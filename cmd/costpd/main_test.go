@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pisa/internal/paillier"
+)
+
+func TestRunModeValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no-mode invocation accepted")
+	}
+	if err := run([]string{"-deal", "2", "-share", "x"}); err == nil {
+		t.Error("both modes accepted")
+	}
+	if err := run([]string{"-share", "/nonexistent/share.gob"}); err == nil {
+		t.Error("missing share file accepted")
+	}
+	if err := run([]string{"-deal", "2", "-config", "/nonexistent.json"}); err == nil {
+		t.Error("missing config accepted")
+	}
+}
+
+func TestDealProducesWorkingShares(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates keys")
+	}
+	dir := filepath.Join(t.TempDir(), "shares")
+	if err := run([]string{"-deal", "2", "-out", dir}); err != nil {
+		t.Fatalf("deal: %v", err)
+	}
+	// The group public key and both shares must decode and jointly
+	// decrypt.
+	pubRaw, err := os.ReadFile(filepath.Join(dir, "group-public.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pub paillier.PublicKey
+	if err := gob.NewDecoder(bytes.NewReader(pubRaw)).Decode(&pub); err != nil {
+		t.Fatalf("decode public key: %v", err)
+	}
+	var shares []*paillier.KeyShare
+	for i := 1; i <= 2; i++ {
+		raw, err := os.ReadFile(filepath.Join(dir, "share-"+string(rune('0'+i))+".gob"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s paillier.KeyShare
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&s); err != nil {
+			t.Fatalf("decode share %d: %v", i, err)
+		}
+		shares = append(shares, &s)
+	}
+	ct, err := pub.EncryptInt(nil, 2026)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var partials []*paillier.Partial
+	for _, s := range shares {
+		p, err := s.PartialDecrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, p)
+	}
+	m, err := paillier.CombinePartials(&pub, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int64() != 2026 {
+		t.Fatalf("dealt shares decrypt to %s, want 2026", m)
+	}
+	// Share files must be private.
+	info, err := os.Stat(filepath.Join(dir, "share-1.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Errorf("share file mode %v, want 0600", info.Mode().Perm())
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import "testing"
+
+func TestRunRequiresExperimentSelection(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no-flag invocation accepted")
+	}
+}
+
+func TestRunCheapExperiments(t *testing.T) {
+	// table1 and sizes are analytic — they must run instantly and
+	// without error.
+	if err := run([]string{"-table1", "-sizes"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs crypto")
+	}
+	if err := run([]string{"-ablation"}); err != nil {
+		t.Fatalf("run -ablation: %v", err)
+	}
+}
+
+func TestRunFHE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs crypto")
+	}
+	if err := run([]string{"-fhe", "-iters", "2"}); err != nil {
+		t.Fatalf("run -fhe: %v", err)
+	}
+}
+
+func TestRunTable2SmallKey(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs crypto")
+	}
+	if err := run([]string{"-table2", "-bits", "256", "-iters", "2"}); err != nil {
+		t.Fatalf("run -table2: %v", err)
+	}
+}
+
+func TestFigureScale(t *testing.T) {
+	c, cols, rows, bits := figureScale(options{})
+	if c*cols*rows >= 100*600 {
+		t.Error("default scale not reduced")
+	}
+	if bits != 2048 {
+		t.Errorf("default bits = %d, want the paper's 2048", bits)
+	}
+	c, cols, rows, bits = figureScale(options{paper: true})
+	if c != 100 || cols*rows != 600 || bits != 2048 {
+		t.Errorf("paper scale = C=%d B=%d n=%d", c, cols*rows, bits)
+	}
+}

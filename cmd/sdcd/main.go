@@ -1,0 +1,94 @@
+// Command sdcd runs the spectrum database controller: it fetches the
+// group key from the STP, precomputes the public E matrix and
+// protection distances, encrypts the initial budgets, and serves PU
+// updates and SU transmission requests.
+//
+// Usage:
+//
+//	sdcd [-config pisa.json] [-listen host:port] [-stp host:port] [-issuer name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pisa/internal/config"
+	"pisa/internal/node"
+	"pisa/internal/pisa"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdcd", flag.ContinueOnError)
+	configPath := fs.String("config", "", "deployment config JSON (defaults built in)")
+	listen := fs.String("listen", "", "listen address (overrides config sdcAddr)")
+	stpAddr := fs.String("stp", "", "STP address (overrides config stpAddr)")
+	issuer := fs.String("issuer", "pisa-sdc", "license issuer name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := config.Load(*configPath)
+	if err != nil {
+		return err
+	}
+	addr := cfg.SDCAddr
+	if *listen != "" {
+		addr = *listen
+	}
+	stpTarget := cfg.STPAddr
+	if *stpAddr != "" {
+		stpTarget = *stpAddr
+	}
+	params, err := cfg.PisaParams()
+	if err != nil {
+		return err
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	log.Info("connecting to STP", "addr", stpTarget)
+	stp, err := node.DialSTP(stpTarget, time.Minute)
+	if err != nil {
+		return err
+	}
+	defer stp.Close()
+
+	log.Info("initialising SDC (encrypting budget matrix)",
+		"channels", params.Watch.Channels, "blocks", params.Watch.Grid.Blocks())
+	start := time.Now()
+	sdc, err := pisa.NewSDC(*issuer, params, nil, stp)
+	if err != nil {
+		return err
+	}
+	log.Info("initialisation complete", "took", time.Since(start).String())
+
+	srv := node.NewSDCServer(sdc, log, 0)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Info("SDC serving", "addr", ln.Addr().String())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case s := <-sig:
+		log.Info("shutting down", "signal", s.String())
+		return srv.Close()
+	case err := <-errCh:
+		return err
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"pisa/internal/config"
+	"pisa/internal/node"
+	"pisa/internal/pisa"
+	"pisa/internal/wire"
+)
+
+func TestRunRejectsBadConfigPath(t *testing.T) {
+	if err := run([]string{"-config", "/nonexistent/pisa.json"}); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunFailsFastWithoutSTP(t *testing.T) {
+	// Port 1 is never listening; the SDC must fail on dial, not hang.
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-stp", "127.0.0.1:1", "-listen", "127.0.0.1:0"})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run succeeded with no STP")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run hung without an STP")
+	}
+}
+
+func TestRunServesAgainstRealSTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins real servers")
+	}
+	cfg := config.Default()
+	cfg.Channels = 2
+	cfg.GridCols = 3
+	cfg.GridRows = 2
+	params, err := cfg.PisaParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stp, err := pisa.NewSTP(nil, params.PaillierBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stpSrv := node.NewSTPServer(stp, nil, time.Minute)
+	stpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = stpSrv.Serve(stpLn) }()
+	t.Cleanup(func() { stpSrv.Close() })
+
+	// Pick a free port for the SDC, then release it for run().
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdcAddr := probe.Addr().String()
+	probe.Close()
+
+	cfgPath := t.TempDir() + "/pisa.json"
+	cfg.STPAddr = stpLn.Addr().String()
+	if err := cfg.Save(cfgPath); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-config", cfgPath, "-listen", sdcAddr})
+	}()
+
+	// Poll until the daemon answers a public-data request.
+	cli := node.DialSDC(sdcAddr, 5*time.Second)
+	defer cli.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := cli.EColumn(0); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("sdcd never became ready: %v", err)
+		} else if _, remote := err.(*wire.RemoteError); remote {
+			t.Fatalf("sdcd rejected a valid block: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("sdcd exited early: %v", err)
+	default:
+	}
+	// The daemon keeps running; the test process exiting tears it
+	// down (goroutines die with the process).
+}

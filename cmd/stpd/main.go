@@ -1,0 +1,114 @@
+// Command stpd runs the semi-trusted third party: it generates (and
+// holds) the group Paillier key, registers SU public keys, and
+// performs the blinded sign-test key conversion for the SDC.
+//
+// Usage:
+//
+//	stpd [-config pisa.json] [-listen host:port] [-key group.key]
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pisa/internal/config"
+	"pisa/internal/node"
+	"pisa/internal/paillier"
+	"pisa/internal/pisa"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stpd", flag.ContinueOnError)
+	configPath := fs.String("config", "", "deployment config JSON (defaults built in)")
+	listen := fs.String("listen", "", "listen address (overrides config stpAddr)")
+	keyPath := fs.String("key", "", "group key file; loaded if present, created otherwise (restart-safe)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := config.Load(*configPath)
+	if err != nil {
+		return err
+	}
+	addr := cfg.STPAddr
+	if *listen != "" {
+		addr = *listen
+	}
+	params, err := cfg.PisaParams()
+	if err != nil {
+		return err
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	group, err := loadOrCreateKey(*keyPath, params.PaillierBits, log)
+	if err != nil {
+		return err
+	}
+	stp := pisa.NewSTPWithKey(nil, group)
+	srv := node.NewSTPServer(stp, log, 0)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Info("STP serving", "addr", ln.Addr().String())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case s := <-sig:
+		log.Info("shutting down", "signal", s.String())
+		return srv.Close()
+	case err := <-errCh:
+		return err
+	}
+}
+
+// loadOrCreateKey restores the group key from keyPath, or generates a
+// fresh one (persisting it when a path was given). Losing the group
+// key invalidates every ciphertext in the deployment, so production
+// runs should always pass -key.
+func loadOrCreateKey(keyPath string, bits int, log *slog.Logger) (*paillier.PrivateKey, error) {
+	if keyPath != "" {
+		if raw, err := os.ReadFile(keyPath); err == nil {
+			var sk paillier.PrivateKey
+			if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&sk); err != nil {
+				return nil, fmt.Errorf("decode %s: %w", keyPath, err)
+			}
+			log.Info("loaded group key", "path", keyPath, "bits", sk.N.BitLen())
+			return &sk, nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	log.Info("generating group key", "bits", bits)
+	sk, err := paillier.GenerateKey(nil, bits)
+	if err != nil {
+		return nil, err
+	}
+	if keyPath != "" {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(sk); err != nil {
+			return nil, fmt.Errorf("encode key: %w", err)
+		}
+		if err := os.WriteFile(keyPath, buf.Bytes(), 0o600); err != nil {
+			return nil, err
+		}
+		log.Info("persisted group key", "path", keyPath)
+	}
+	return sk, nil
+}

@@ -1,0 +1,126 @@
+// Command watchctl analyses the plaintext WATCH baseline: given the
+// deployment config and a set of active receiver registrations, it
+// prints the per-channel secondary-spectrum availability (the
+// quantity WATCH's introduction claims is "vastly increased" over TV
+// white space) and optionally dumps a per-block capacity map as CSV.
+//
+// Usage:
+//
+//	watchctl [-config pisa.json] [-pus "tv1=block:channel:signalMW,..."]
+//	         [-min-eirp-mw 4000] [-tvws] [-capacity-csv channel]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pisa/internal/config"
+	"pisa/internal/geo"
+	"pisa/internal/watch"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "watchctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("watchctl", flag.ContinueOnError)
+	configPath := fs.String("config", "", "deployment config JSON (defaults built in)")
+	pus := fs.String("pus", "", "active receivers as id=block:channel:signalMW, comma separated")
+	minEIRP := fs.Float64("min-eirp-mw", 4000, "query power for the availability report")
+	tvws := fs.Bool("tvws", false, "use legacy TV-white-space contours instead of WATCH")
+	capacityCSV := fs.Int("capacity-csv", -1, "dump the capacity map of this channel as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := config.Load(*configPath)
+	if err != nil {
+		return err
+	}
+	wp, err := cfg.WatchParams()
+	if err != nil {
+		return err
+	}
+	wp.ConservativeContours = *tvws
+	sys, err := watch.NewSystem(wp, nil)
+	if err != nil {
+		return err
+	}
+	if *pus != "" {
+		regs, err := parsePUs(*pus, wp)
+		if err != nil {
+			return err
+		}
+		for id, reg := range regs {
+			if err := sys.UpdatePU(id, reg); err != nil {
+				return fmt.Errorf("register %s: %w", id, err)
+			}
+		}
+	}
+
+	mode := "WATCH"
+	if *tvws {
+		mode = "TVWS"
+	}
+	u, err := sys.Availability(wp.Quantize(*minEIRP))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s availability at >= %g mW (%d active PUs):\n", mode, *minEIRP, sys.ActivePUs())
+	for c, frac := range u.PerChannel {
+		fmt.Fprintf(out, "  channel %2d: %5.1f%% of blocks\n", c, 100*frac)
+	}
+	fmt.Fprintf(out, "  overall:    %5.1f%% (%d/%d cells)\n",
+		100*u.Overall, u.AvailableCells, u.TotalCells)
+
+	if *capacityCSV >= 0 {
+		m, err := sys.CapacityMap(*capacityCSV)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "block,max_eirp_units,max_eirp_mw\n")
+		for b, units := range m {
+			fmt.Fprintf(out, "%d,%d,%g\n", b, units, wp.Dequantize(units))
+		}
+	}
+	return nil
+}
+
+// parsePUs decodes "tv1=8:2:1e-4,tv2=30:1:5e-5".
+func parsePUs(s string, wp watch.Params) (map[watch.PUID]watch.Registration, error) {
+	out := make(map[watch.PUID]watch.Registration)
+	for _, entry := range strings.Split(s, ",") {
+		id, spec, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad PU entry %q (want id=block:channel:signalMW)", entry)
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad PU spec %q (want block:channel:signalMW)", spec)
+		}
+		block, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad block in %q: %w", entry, err)
+		}
+		channel, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad channel in %q: %w", entry, err)
+		}
+		mw, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad signal in %q: %w", entry, err)
+		}
+		out[watch.PUID(id)] = watch.Registration{
+			Block:       geo.BlockID(block),
+			Channel:     channel,
+			SignalUnits: wp.Quantize(mw),
+		}
+	}
+	return out, nil
+}

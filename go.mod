@@ -1,0 +1,3 @@
+module pisa
+
+go 1.22

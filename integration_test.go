@@ -1,0 +1,175 @@
+package repro
+
+// System-level integration test: the full networked deployment built
+// from a config file, driven by a generated workload, checked against
+// the plaintext oracle. This is the closest thing to "running the
+// paper's Figure 3 on one machine".
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"pisa/internal/config"
+	"pisa/internal/geo"
+	"pisa/internal/node"
+	"pisa/internal/pisa"
+	"pisa/internal/trace"
+	"pisa/internal/watch"
+)
+
+func TestSystemIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full networked system")
+	}
+	cfg := config.Default()
+	cfg.Channels = 3
+	cfg.GridCols = 6
+	cfg.GridRows = 4
+	params, err := cfg.PisaParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot the STP and SDC servers on loopback.
+	stp, err := pisa.NewSTP(nil, params.PaillierBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stpSrv := node.NewSTPServer(stp, nil, time.Minute)
+	stpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = stpSrv.Serve(stpLn) }()
+	t.Cleanup(func() { stpSrv.Close() })
+
+	stpCli, err := node.DialSTP(stpLn.Addr().String(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stpCli.Close() })
+
+	sdc, err := pisa.NewSDC("integration-sdc", params, nil, stpCli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdcSrv := node.NewSDCServer(sdc, nil, time.Minute)
+	sdcLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = sdcSrv.Serve(sdcLn) }()
+	t.Cleanup(func() { sdcSrv.Close() })
+
+	// The plaintext oracle the networked system must agree with.
+	oracle, err := watch.NewSystem(params.Watch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner, err := watch.NewPlanner(params.Watch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clients (each role uses its own connections, like real hosts).
+	sdcCli := node.DialSDC(sdcLn.Addr().String(), time.Minute)
+	t.Cleanup(func() { sdcCli.Close() })
+	verifyKey, err := sdcCli.VerifyKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Workload: 3 PUs surfing for an hour, 6 SU requests.
+	schedule, err := trace.PUSchedule(trace.PUConfig{
+		Seed: 17, PUs: 3, Blocks: params.Watch.Grid.Blocks(),
+		Channels: params.Watch.Channels, SwitchesPerHour: 6,
+		OffProbability: 0.2, Horizon: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requests, err := trace.SUWorkload(trace.SUConfig{
+		Seed: 23, Blocks: params.Watch.Grid.Blocks(),
+		Channels:        params.Watch.Channels,
+		MaxEIRPUnits:    params.Watch.Quantize(params.Watch.SUMaxEIRPmW),
+		RequestsPerHour: 15, ChannelsPerRequest: 1.5, Horizon: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pus := make(map[watch.PUID]*pisa.PU)
+	sus := make(map[string]*pisa.SU)
+	si := 0
+	decisions := 0
+	for _, req := range requests {
+		for ; si < len(schedule) && schedule[si].At <= req.At; si++ {
+			ev := schedule[si]
+			pu := pus[ev.PU]
+			if pu == nil {
+				eCol, err := sdcCli.EColumn(ev.Block)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pu, err = pisa.NewPU(nil, ev.PU, ev.Block, eCol, stpCli.GroupKey()); err != nil {
+					t.Fatal(err)
+				}
+				pus[ev.PU] = pu
+			}
+			var update *pisa.PUUpdate
+			reg := watch.Registration{Block: ev.Block, Channel: ev.Channel}
+			if ev.Channel < 0 {
+				reg.Channel = -1
+				update, err = pu.Off()
+			} else {
+				reg.SignalUnits = params.Watch.Quantize(params.Watch.SMinPUmW * 10)
+				update, err = pu.Tune(ev.Channel, reg.SignalUnits)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := oracle.UpdatePU(ev.PU, reg); err != nil {
+				continue // conflicting cell: skip in both worlds
+			}
+			if err := sdcCli.SendUpdate(update); err != nil {
+				t.Fatal(err)
+			}
+		}
+		su := sus[req.SU]
+		if su == nil {
+			if su, err = pisa.NewSU(nil, req.SU, req.Block, params, planner, stpCli.GroupKey()); err != nil {
+				t.Fatal(err)
+			}
+			if err := stpCli.RegisterSU(su.ID(), su.PublicKey()); err != nil {
+				t.Fatal(err)
+			}
+			sus[req.SU] = su
+		}
+		encReq, err := su.PrepareRequest(req.EIRPUnits, geo.Disclosure{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := sdcCli.SendRequest(encReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grant, err := su.OpenResponse(resp, encReq, verifyKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.Evaluate(watch.Request{Block: req.Block, EIRPUnits: req.EIRPUnits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grant.Granted != want.Granted {
+			t.Fatalf("request %s at t=%v: network=%v oracle=%v",
+				req.SU, req.At, grant.Granted, want.Granted)
+		}
+		decisions++
+	}
+	if decisions == 0 {
+		t.Fatal("workload produced no decisions; fixture broken")
+	}
+	t.Logf("%d networked decisions, all matching the plaintext oracle", decisions)
+}

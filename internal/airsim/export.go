@@ -1,0 +1,65 @@
+package airsim
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTraceCSV writes a receiver trace as CSV (time_us, power_mw,
+// amplitude) — the raw data behind the paper's waveform figures, so
+// experiment runs can archive plottable artefacts.
+func WriteTraceCSV(w io.Writer, trace []Sample) error {
+	if _, err := io.WriteString(w, "time_us,power_mw,amplitude\n"); err != nil {
+		return fmt.Errorf("airsim: write header: %w", err)
+	}
+	for _, s := range trace {
+		line := strconv.FormatFloat(float64(s.T.Microseconds()), 'f', -1, 64) + "," +
+			strconv.FormatFloat(s.PowerMW, 'g', 10, 64) + "," +
+			strconv.FormatFloat(s.Amplitude, 'g', 10, 64) + "\n"
+		if _, err := io.WriteString(w, line); err != nil {
+			return fmt.Errorf("airsim: write sample: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteEventsCSV writes the control-plane event log as CSV
+// (time_us, from, to, what) — the message-sequence data behind
+// Figures 10 and 11.
+func (s *Sim) WriteEventsCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "time_us,from,to,what\n"); err != nil {
+		return fmt.Errorf("airsim: write header: %w", err)
+	}
+	for _, ev := range s.Events() {
+		line := strconv.FormatInt(ev.T.Microseconds(), 10) + "," +
+			csvEscape(ev.From) + "," + csvEscape(ev.To) + "," + csvEscape(ev.What) + "\n"
+		if _, err := io.WriteString(w, line); err != nil {
+			return fmt.Errorf("airsim: write event: %w", err)
+		}
+	}
+	return nil
+}
+
+// csvEscape quotes a field when it contains separators.
+func csvEscape(s string) string {
+	needsQuote := false
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' || s[i] == '"' || s[i] == '\n' {
+			needsQuote = true
+			break
+		}
+	}
+	if !needsQuote {
+		return s
+	}
+	out := `"`
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			out += `""`
+			continue
+		}
+		out += string(s[i])
+	}
+	return out + `"`
+}

@@ -1,0 +1,70 @@
+package airsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteTraceCSV(t *testing.T) {
+	s := newSim(t)
+	addNode(t, s, "pu", 0, 0, 0)
+	addNode(t, s, "su", 5, 0, 100)
+	if err := s.SendPacket("su", 0, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := s.Trace("pu", 0, time.Millisecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteTraceCSV(&buf, trace); err != nil {
+		t.Fatalf("WriteTraceCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want header + 5 samples", len(lines))
+	}
+	if lines[0] != "time_us,power_mw,amplitude" {
+		t.Errorf("header = %q", lines[0])
+	}
+	for i, line := range lines[1:] {
+		if strings.Count(line, ",") != 2 {
+			t.Errorf("row %d malformed: %q", i, line)
+		}
+	}
+}
+
+func TestWriteEventsCSV(t *testing.T) {
+	s := newSim(t)
+	s.Record(time.Millisecond, "pu", "sdc", "update, with comma")
+	s.Record(2*time.Millisecond, "sdc", `su"1"`, "ack")
+	var buf strings.Builder
+	if err := s.WriteEventsCSV(&buf); err != nil {
+		t.Fatalf("WriteEventsCSV: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"update, with comma"`) {
+		t.Errorf("comma field not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"su""1"""`) {
+		t.Errorf("quote field not escaped: %q", out)
+	}
+	if !strings.HasPrefix(out, "time_us,from,to,what\n") {
+		t.Errorf("missing header: %q", out)
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"a,b", `"a,b"`},
+		{`say "hi"`, `"say ""hi"""`},
+		{"line\nbreak", "\"line\nbreak\""},
+	}
+	for _, tt := range tests {
+		if got := csvEscape(tt.in); got != tt.want {
+			t.Errorf("csvEscape(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

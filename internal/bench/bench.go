@@ -1,0 +1,494 @@
+// Package bench contains the shared measurement harness behind the
+// paper-reproduction benchmarks: Table II (Paillier micro-benchmarks),
+// Figure 6 (request preparation / processing / PU update costs and
+// message sizes), the privacy/time trade-off sweep, the generic-FHE
+// baseline and the secure-comparison ablation. Both cmd/pisabench and
+// the root bench_test.go drive these helpers.
+package bench
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"time"
+
+	"pisa/internal/dghv"
+	"pisa/internal/geo"
+	"pisa/internal/paillier"
+	"pisa/internal/pisa"
+	"pisa/internal/propagation"
+	"pisa/internal/seccmp"
+	"pisa/internal/watch"
+)
+
+// PaillierStats reproduces the rows of Table II for a given modulus.
+type PaillierStats struct {
+	Bits           int
+	PublicKeyBits  int
+	SecretKeyBits  int
+	PlaintextBits  int
+	CiphertextBits int
+	Encrypt        time.Duration
+	Decrypt        time.Duration
+	Add            time.Duration
+	Sub            time.Duration
+	ScalarSmall    time.Duration // 100-bit constant, as in the paper
+	ScalarFull     time.Duration // full-width constant
+}
+
+// MeasurePaillier times each primitive, averaged over iters
+// iterations (the paper uses 30).
+func MeasurePaillier(bits, iters int) (PaillierStats, error) {
+	if iters <= 0 {
+		return PaillierStats{}, fmt.Errorf("bench: iters must be positive, got %d", iters)
+	}
+	sk, err := paillier.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return PaillierStats{}, err
+	}
+	pk := &sk.PublicKey
+	stats := PaillierStats{
+		Bits:           bits,
+		PublicKeyBits:  2 * bits, // (n, g) with g = n+1
+		SecretKeyBits:  2 * bits, // (lambda, mu)
+		PlaintextBits:  bits,
+		CiphertextBits: 2 * bits,
+	}
+	msg := big.NewInt(1<<59 - 1)
+	small, err := paillier.RandomSigned(rand.Reader, 100, false)
+	if err != nil {
+		return PaillierStats{}, err
+	}
+	full, err := paillier.RandomSigned(rand.Reader, bits-4, false)
+	if err != nil {
+		return PaillierStats{}, err
+	}
+	ct, err := pk.Encrypt(rand.Reader, msg)
+	if err != nil {
+		return PaillierStats{}, err
+	}
+
+	stats.Encrypt, err = timeOp(iters, func() error {
+		_, err := pk.Encrypt(rand.Reader, msg)
+		return err
+	})
+	if err != nil {
+		return PaillierStats{}, err
+	}
+	stats.Decrypt, err = timeOp(iters, func() error {
+		_, err := sk.Decrypt(ct)
+		return err
+	})
+	if err != nil {
+		return PaillierStats{}, err
+	}
+	stats.Add, err = timeOp(iters, func() error {
+		_, err := pk.Add(ct, ct)
+		return err
+	})
+	if err != nil {
+		return PaillierStats{}, err
+	}
+	stats.Sub, err = timeOp(iters, func() error {
+		_, err := pk.Sub(ct, ct)
+		return err
+	})
+	if err != nil {
+		return PaillierStats{}, err
+	}
+	stats.ScalarSmall, err = timeOp(iters, func() error {
+		_, err := pk.ScalarMul(small, ct)
+		return err
+	})
+	if err != nil {
+		return PaillierStats{}, err
+	}
+	stats.ScalarFull, err = timeOp(iters, func() error {
+		_, err := pk.ScalarMul(full, ct)
+		return err
+	})
+	if err != nil {
+		return PaillierStats{}, err
+	}
+	return stats, nil
+}
+
+func timeOp(iters int, op func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), nil
+}
+
+// Universe is an in-process PISA deployment used for end-to-end cost
+// measurement.
+type Universe struct {
+	Params pisa.Params
+	STP    *pisa.STP
+	SDC    *pisa.SDC
+	SU     *pisa.SU
+	PU     *pisa.PU
+
+	// stpTime accumulates time spent inside STP calls, so end-to-end
+	// processing can be split into SDC-side and STP-side shares.
+	stpTime time.Duration
+}
+
+// timingSTP decorates an STP service, charging call time to the
+// universe's stpTime counter.
+type timingSTP struct {
+	inner pisa.STPService
+	u     *Universe
+}
+
+func (t timingSTP) ConvertSigns(req *pisa.SignRequest) (*pisa.SignResponse, error) {
+	start := time.Now()
+	defer func() { t.u.stpTime += time.Since(start) }()
+	return t.inner.ConvertSigns(req)
+}
+
+func (t timingSTP) SUKey(id string) (*paillier.PublicKey, error) { return t.inner.SUKey(id) }
+
+func (t timingSTP) GroupKey() *paillier.PublicKey { return t.inner.GroupKey() }
+
+// NewUniverse stands up STP + SDC + one SU (at block 0) + one PU (at
+// block 1) with keys of params.PaillierBits.
+func NewUniverse(params pisa.Params) (*Universe, error) {
+	u := &Universe{Params: params}
+	stp, err := pisa.NewSTP(rand.Reader, params.PaillierBits)
+	if err != nil {
+		return nil, err
+	}
+	sdc, err := pisa.NewSDC("bench-sdc", params, nil, timingSTP{inner: stp, u: u})
+	if err != nil {
+		return nil, err
+	}
+	su, err := pisa.NewSU(rand.Reader, "bench-su", 0, params, sdc.Planner(), stp.GroupKey())
+	if err != nil {
+		return nil, err
+	}
+	if err := stp.RegisterSU(su.ID(), su.PublicKey()); err != nil {
+		return nil, err
+	}
+	eCol, err := sdc.EColumn(1)
+	if err != nil {
+		return nil, err
+	}
+	pu, err := pisa.NewPU(rand.Reader, "bench-pu", 1, eCol, stp.GroupKey())
+	if err != nil {
+		return nil, err
+	}
+	u.STP, u.SDC, u.SU, u.PU = stp, sdc, su, pu
+	return u, nil
+}
+
+// Figure6Stats captures the end-to-end costs Figure 6 reports,
+// measured at the universe's (C, B) scale.
+type Figure6Stats struct {
+	Channels, Blocks int
+	CiphertextBytes  int
+
+	// Prepare is a full fresh request preparation (C*B encryptions).
+	Prepare time.Duration
+	// Refresh is the re-randomisation reuse path.
+	Refresh time.Duration
+	// Process is the end-to-end request processing; ProcessSDC and
+	// ProcessSTP split it into the SDC-side homomorphic work
+	// (eqs. 11, 12, 14, 16, 17 — what the paper's 219 s covers) and
+	// the STP's decrypt/convert work (eq. 15).
+	Process    time.Duration
+	ProcessSDC time.Duration
+	ProcessSTP time.Duration
+	// PUUpdate is one PU channel switch end to end (eqs. 9-10).
+	PUUpdate time.Duration
+
+	// RequestBytes and UpdateBytes are the measured message sizes;
+	// ResponseBytes is the single-ciphertext reply.
+	RequestBytes  int
+	UpdateBytes   int
+	ResponseBytes int
+}
+
+// MeasureFigure6 runs each pipeline stage once at the universe scale.
+func (u *Universe) MeasureFigure6() (Figure6Stats, error) {
+	w := u.Params.Watch
+	stats := Figure6Stats{
+		Channels:        w.Channels,
+		Blocks:          w.Grid.Blocks(),
+		CiphertextBytes: u.STP.GroupKey().CiphertextBytes(),
+	}
+	eirp := map[int]int64{0: w.Quantize(w.SUMaxEIRPmW) / 2}
+
+	start := time.Now()
+	req, err := u.SU.PrepareRequest(eirp, geo.Disclosure{})
+	if err != nil {
+		return stats, err
+	}
+	stats.Prepare = time.Since(start)
+	stats.RequestBytes = req.SizeBytes()
+
+	// Refresh uses the offline-precomputed nonce pool, matching the
+	// paper's reuse accounting (the r^n factors are prepared while
+	// idle; only the per-ciphertext multiplication is online).
+	if err := u.SU.PrecomputeNonces(req.F.Populated()); err != nil {
+		return stats, err
+	}
+	start = time.Now()
+	if _, err := u.SU.RefreshRequest(req); err != nil {
+		return stats, err
+	}
+	stats.Refresh = time.Since(start)
+
+	// The blinding tuples are precomputed offline, as the paper's
+	// SDC-side 219 s accounting implies.
+	if err := u.SDC.PrecomputeBlinding(req.F.Populated()); err != nil {
+		return stats, err
+	}
+	u.stpTime = 0
+	start = time.Now()
+	if _, err := u.SDC.ProcessRequest(req); err != nil {
+		return stats, err
+	}
+	stats.Process = time.Since(start)
+	stats.ProcessSTP = u.stpTime
+	stats.ProcessSDC = stats.Process - stats.ProcessSTP
+	stats.ResponseBytes = stats.CiphertextBytes
+
+	update, err := u.PU.Tune(0, w.Quantize(w.SMinPUmW*100))
+	if err != nil {
+		return stats, err
+	}
+	stats.UpdateBytes = len(update.Cts) * stats.CiphertextBytes
+	start = time.Now()
+	if err := u.SDC.HandlePUUpdate(update); err != nil {
+		return stats, err
+	}
+	stats.PUUpdate = time.Since(start)
+	return stats, nil
+}
+
+// Extrapolate scales a per-cell measurement from the measured (C, B)
+// to a target (C, B) — the homomorphic pipeline is exactly linear in
+// the number of matrix cells, which is what the paper's trade-off
+// section exploits.
+func Extrapolate(measured time.Duration, fromCells, toCells int) time.Duration {
+	if fromCells <= 0 {
+		return 0
+	}
+	return time.Duration(float64(measured) * float64(toCells) / float64(fromCells))
+}
+
+// FHEStats measures the generic-FHE baseline (DGHV).
+type FHEStats struct {
+	Params          dghv.Params
+	CiphertextBytes int
+	Encrypt         time.Duration
+	Xor             time.Duration
+	And             time.Duration
+	// Compare8 is one 8-bit encrypted comparison; Gates counts its
+	// boolean gates.
+	Compare8 time.Duration
+	Gates    dghv.GateCount
+}
+
+// MeasureFHE times DGHV primitives and one comparator evaluation.
+func MeasureFHE(iters int) (FHEStats, error) {
+	params := dghv.ToyParams()
+	key, err := dghv.KeyGen(rand.Reader, params)
+	if err != nil {
+		return FHEStats{}, err
+	}
+	stats := FHEStats{Params: params, CiphertextBytes: key.CiphertextBytes()}
+	a, err := key.Encrypt(rand.Reader, 1)
+	if err != nil {
+		return FHEStats{}, err
+	}
+	b, err := key.Encrypt(rand.Reader, 0)
+	if err != nil {
+		return FHEStats{}, err
+	}
+	stats.Encrypt, err = timeOp(iters, func() error {
+		_, err := key.Encrypt(rand.Reader, 1)
+		return err
+	})
+	if err != nil {
+		return FHEStats{}, err
+	}
+	stats.Xor, _ = timeOp(iters, func() error { dghv.Xor(a, b); return nil })
+	stats.And, _ = timeOp(iters, func() error { dghv.And(a, b); return nil })
+
+	x, err := key.EncryptBits(rand.Reader, 200, 8)
+	if err != nil {
+		return FHEStats{}, err
+	}
+	y, err := key.EncryptBits(rand.Reader, 100, 8)
+	if err != nil {
+		return FHEStats{}, err
+	}
+	start := time.Now()
+	if _, err := dghv.GreaterThan(x, y, &stats.Gates); err != nil {
+		return FHEStats{}, err
+	}
+	stats.Compare8 = time.Since(start)
+	return stats, nil
+}
+
+// AblationStats compares PISA's blinded sign test with the bit-wise
+// secure comparison it replaces.
+type AblationStats struct {
+	Width int
+	// BitwiseTime is one seccmp comparison of Width-bit values.
+	BitwiseTime time.Duration
+	// BitwiseRounds and BitwiseHomOps are its interaction cost.
+	BitwiseRounds, BitwiseHomOps int
+	// BitwiseCiphertexts is the input size in ciphertexts per value.
+	BitwiseCiphertexts int
+	// PISATime is one blinded sign test for a single cell: SDC-side
+	// blind + STP decrypt/convert + SDC unblind.
+	PISATime time.Duration
+	// PISARounds is always 1 (batched for the whole matrix).
+	PISARounds int
+}
+
+// MeasureAblation times one bit-wise secure comparison against one
+// PISA blinded sign test at the same plaintext width.
+func MeasureAblation(paillierBits, width int) (AblationStats, error) {
+	sk, err := paillier.GenerateKey(rand.Reader, paillierBits)
+	if err != nil {
+		return AblationStats{}, err
+	}
+	helper := seccmp.NewHelper(rand.Reader, sk)
+	eval, err := seccmp.NewEvaluator(rand.Reader, helper, 64)
+	if err != nil {
+		return AblationStats{}, err
+	}
+	stats := AblationStats{Width: width, BitwiseCiphertexts: width, PISARounds: 1}
+
+	x, err := eval.EncryptBits(1<<uint(width-1)+5, width)
+	if err != nil {
+		return AblationStats{}, err
+	}
+	y, err := eval.EncryptBits(1<<uint(width-2)+9, width)
+	if err != nil {
+		return AblationStats{}, err
+	}
+	start := time.Now()
+	if _, err := eval.GreaterThan(x, y); err != nil {
+		return AblationStats{}, err
+	}
+	stats.BitwiseTime = time.Since(start)
+	stats.BitwiseRounds = eval.Stats.Rounds
+	stats.BitwiseHomOps = eval.Stats.HomOps
+
+	// PISA's per-cell cost: alpha-scale + beta-encrypt + subtract +
+	// epsilon-scale on the SDC, one decrypt + one encrypt at the
+	// STP, one scalar-mul unblind.
+	pk := &sk.PublicKey
+	iCt, err := pk.EncryptInt(rand.Reader, 12345)
+	if err != nil {
+		return AblationStats{}, err
+	}
+	alpha, err := paillier.RandomSigned(rand.Reader, 128, false)
+	if err != nil {
+		return AblationStats{}, err
+	}
+	start = time.Now()
+	scaled, err := pk.ScalarMul(alpha, iCt)
+	if err != nil {
+		return AblationStats{}, err
+	}
+	betaCt, err := pk.EncryptInt(rand.Reader, 999)
+	if err != nil {
+		return AblationStats{}, err
+	}
+	v, err := pk.Sub(scaled, betaCt)
+	if err != nil {
+		return AblationStats{}, err
+	}
+	if v, err = pk.ScalarMulInt(-1, v); err != nil {
+		return AblationStats{}, err
+	}
+	plain, err := sk.Decrypt(v)
+	if err != nil {
+		return AblationStats{}, err
+	}
+	sign := int64(-1)
+	if plain.Sign() > 0 {
+		sign = 1
+	}
+	xCt, err := pk.EncryptInt(rand.Reader, sign)
+	if err != nil {
+		return AblationStats{}, err
+	}
+	if _, err := pk.ScalarMulInt(-1, xCt); err != nil {
+		return AblationStats{}, err
+	}
+	stats.PISATime = time.Since(start)
+	return stats, nil
+}
+
+// PaperScaleParams returns the paper's Table I parameters for
+// analytic size computations (no keys are generated).
+func PaperScaleParams() (channels, blocks, paillierBits int) {
+	return 100, 600, 2048
+}
+
+// MessageSizes computes the §VI-A message sizes analytically for a
+// deployment shape: every size is populated-cells x ciphertext bytes.
+type MessageSizes struct {
+	Channels, Blocks int
+	CiphertextBytes  int
+	RequestBytes     int // C*B ciphertexts (about 29 MB in the paper)
+	UpdateBytes      int // C ciphertexts (about 0.05 MB)
+	ResponseBytes    int // 1 ciphertext (about 4.1 kb)
+}
+
+// ComputeSizes evaluates the size formulas.
+func ComputeSizes(channels, blocks, paillierBits int) MessageSizes {
+	ctBytes := (2*paillierBits + 7) / 8
+	return MessageSizes{
+		Channels:        channels,
+		Blocks:          blocks,
+		CiphertextBytes: ctBytes,
+		RequestBytes:    channels * blocks * ctBytes,
+		UpdateBytes:     channels * ctBytes,
+		ResponseBytes:   ctBytes,
+	}
+}
+
+// SmallParams builds a reduced-scale pisa.Params for timed runs:
+// channels x (cols x rows) cells with the given key size. The key
+// must be at least 576 bits so the license signer fits (the signer
+// needs 512 bits plus 64 bits of masking headroom).
+func SmallParams(channels, cols, rows, paillierBits int) (pisa.Params, error) {
+	if paillierBits < 576 {
+		return pisa.Params{}, fmt.Errorf("bench: paillierBits %d too small for the license signer (min 576)", paillierBits)
+	}
+	grid, err := geo.NewGrid(cols, rows, 10)
+	if err != nil {
+		return pisa.Params{}, err
+	}
+	wp := watch.Params{
+		Channels:    channels,
+		Grid:        grid,
+		UnitsPerMW:  1e9,
+		SUMaxEIRPmW: 4000,
+		SMinPUmW:    1e-5,
+		DeltaInt:    34,
+		Secondary:   propagation.LogDistance{RefLossDB: 40, Exponent: 3.5},
+		WorstCase:   propagation.LogDistance{RefLossDB: 60, Exponent: 4},
+	}
+	p := pisa.Params{
+		Watch:         wp,
+		PaillierBits:  paillierBits,
+		PlaintextBits: 60,
+		AlphaBits:     100,
+		BetaBits:      80,
+		EtaBits:       min(256, paillierBits/4),
+		SignerBits:    paillierBits - 64,
+	}
+	return p, p.Validate()
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeasurePaillierSmall(t *testing.T) {
+	stats, err := MeasurePaillier(256, 3)
+	if err != nil {
+		t.Fatalf("MeasurePaillier: %v", err)
+	}
+	if stats.CiphertextBits != 512 || stats.PublicKeyBits != 512 {
+		t.Errorf("sizes wrong: %+v", stats)
+	}
+	for name, d := range map[string]time.Duration{
+		"encrypt": stats.Encrypt, "decrypt": stats.Decrypt,
+		"add": stats.Add, "sub": stats.Sub,
+		"scalarSmall": stats.ScalarSmall, "scalarFull": stats.ScalarFull,
+	} {
+		if d <= 0 {
+			t.Errorf("%s duration not positive", name)
+		}
+	}
+	// Addition is a single modular multiplication; it must be far
+	// cheaper than encryption (Table II shows 0.004 ms vs 30 ms).
+	if stats.Add*10 > stats.Encrypt {
+		t.Errorf("add (%v) not clearly cheaper than encrypt (%v)", stats.Add, stats.Encrypt)
+	}
+	if _, err := MeasurePaillier(256, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestUniverseFigure6(t *testing.T) {
+	params, err := SmallParams(2, 3, 2, 576)
+	if err != nil {
+		t.Fatalf("SmallParams: %v", err)
+	}
+	u, err := NewUniverse(params)
+	if err != nil {
+		t.Fatalf("NewUniverse: %v", err)
+	}
+	stats, err := u.MeasureFigure6()
+	if err != nil {
+		t.Fatalf("MeasureFigure6: %v", err)
+	}
+	if stats.Channels != 2 || stats.Blocks != 6 {
+		t.Errorf("scale recorded wrong: %+v", stats)
+	}
+	if stats.RequestBytes != 2*6*stats.CiphertextBytes {
+		t.Errorf("request bytes %d, want %d", stats.RequestBytes, 2*6*stats.CiphertextBytes)
+	}
+	if stats.UpdateBytes != 2*stats.CiphertextBytes {
+		t.Errorf("update bytes %d, want %d", stats.UpdateBytes, 2*stats.CiphertextBytes)
+	}
+	if stats.Prepare <= 0 || stats.Process <= 0 || stats.PUUpdate <= 0 || stats.Refresh <= 0 {
+		t.Errorf("non-positive durations: %+v", stats)
+	}
+	// The refresh path must beat fresh preparation (the paper's
+	// 221 s vs 11 s claim, here at reduced scale).
+	if stats.Refresh >= stats.Prepare {
+		t.Errorf("refresh (%v) not faster than prepare (%v)", stats.Refresh, stats.Prepare)
+	}
+}
+
+func TestExtrapolateLinear(t *testing.T) {
+	if got := Extrapolate(time.Second, 10, 100); got != 10*time.Second {
+		t.Errorf("Extrapolate = %v, want 10s", got)
+	}
+	if got := Extrapolate(time.Second, 0, 100); got != 0 {
+		t.Errorf("zero cells should yield 0, got %v", got)
+	}
+}
+
+func TestComputeSizesMatchPaper(t *testing.T) {
+	c, b, bits := PaperScaleParams()
+	sizes := ComputeSizes(c, b, bits)
+	// 100*600 ciphertexts of 512 bytes = 30.72 MB; the paper rounds
+	// to "about 29 MB" (MiB): 30720000/2^20 = 29.3 MiB.
+	if mib := float64(sizes.RequestBytes) / (1 << 20); mib < 29 || mib > 30 {
+		t.Errorf("request size %.2f MiB, paper reports about 29 MB", mib)
+	}
+	// PU update: 100 * 512 B = 51.2 kB, paper says about 0.05 MB.
+	if kb := float64(sizes.UpdateBytes) / 1e3; kb < 50 || kb > 53 {
+		t.Errorf("update size %.1f kB, paper reports about 50 kB", kb)
+	}
+	// Response: one ciphertext = 4096 bits = 4.1 kb as reported.
+	if kbit := float64(sizes.ResponseBytes*8) / 1e3; kbit < 4 || kbit > 4.2 {
+		t.Errorf("response size %.2f kbit, paper reports about 4.1 kb", kbit)
+	}
+}
+
+func TestMeasureFHE(t *testing.T) {
+	stats, err := MeasureFHE(2)
+	if err != nil {
+		t.Fatalf("MeasureFHE: %v", err)
+	}
+	if stats.Compare8 <= 0 {
+		t.Error("comparator not timed")
+	}
+	if stats.Gates.And == 0 {
+		t.Error("gate count empty")
+	}
+	if stats.CiphertextBytes != 512 {
+		t.Errorf("DGHV ciphertext bytes = %d, want 512", stats.CiphertextBytes)
+	}
+}
+
+func TestMeasureAblation(t *testing.T) {
+	stats, err := MeasureAblation(512, 8)
+	if err != nil {
+		t.Fatalf("MeasureAblation: %v", err)
+	}
+	if stats.BitwiseRounds <= stats.PISARounds {
+		t.Errorf("bit-wise rounds %d should exceed PISA's %d", stats.BitwiseRounds, stats.PISARounds)
+	}
+	if stats.BitwiseTime <= stats.PISATime {
+		t.Errorf("bit-wise time %v should exceed PISA per-cell time %v",
+			stats.BitwiseTime, stats.PISATime)
+	}
+	if stats.BitwiseCiphertexts != 8 {
+		t.Errorf("bit-wise input ciphertexts = %d, want 8", stats.BitwiseCiphertexts)
+	}
+}

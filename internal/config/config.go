@@ -1,0 +1,208 @@
+// Package config loads and validates the deployment configuration
+// shared by every PISA process (SDC, STP, PU and SU tools must agree
+// on the radio and crypto parameters out of band; only protocol
+// messages travel over the network).
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pisa/internal/geo"
+	"pisa/internal/pisa"
+	"pisa/internal/propagation"
+	"pisa/internal/watch"
+)
+
+// ModelSpec selects and parameterises a path-loss model by name.
+type ModelSpec struct {
+	// Type is one of "free-space", "log-distance", "extended-hata".
+	Type string `json:"type"`
+	// FreqMHz applies to free-space and extended-hata.
+	FreqMHz float64 `json:"freqMHz,omitempty"`
+	// RefLossDB, RefDistance and Exponent apply to log-distance.
+	RefLossDB   float64 `json:"refLossDB,omitempty"`
+	RefDistance float64 `json:"refDistance,omitempty"`
+	Exponent    float64 `json:"exponent,omitempty"`
+	// BaseHeight and MobileHeight apply to extended-hata.
+	BaseHeight   float64 `json:"baseHeight,omitempty"`
+	MobileHeight float64 `json:"mobileHeight,omitempty"`
+	// ShadowSigmaDB, when non-zero, wraps the model in deterministic
+	// terrain shadowing with the given deviation.
+	ShadowSigmaDB float64 `json:"shadowSigmaDB,omitempty"`
+	// ShadowSeed decorrelates shadowing fields.
+	ShadowSeed uint64 `json:"shadowSeed,omitempty"`
+}
+
+// Build instantiates the model.
+func (m ModelSpec) Build() (propagation.Model, error) {
+	var base propagation.Model
+	switch m.Type {
+	case "free-space":
+		base = propagation.FreeSpace{FreqMHz: m.FreqMHz}
+	case "log-distance":
+		base = propagation.LogDistance{
+			RefLossDB:   m.RefLossDB,
+			RefDistance: m.RefDistance,
+			Exponent:    m.Exponent,
+		}
+	case "extended-hata":
+		base = propagation.ExtendedHata{
+			FreqMHz:      m.FreqMHz,
+			BaseHeight:   m.BaseHeight,
+			MobileHeight: m.MobileHeight,
+		}
+	default:
+		return nil, fmt.Errorf("config: unknown model type %q", m.Type)
+	}
+	if m.ShadowSigmaDB > 0 {
+		return propagation.Shadowed{Base: base, SigmaDB: m.ShadowSigmaDB, Seed: m.ShadowSeed}, nil
+	}
+	return base, nil
+}
+
+// File is the on-disk deployment description.
+type File struct {
+	// Radio / allocation parameters (Table I of the paper).
+	Channels        int     `json:"channels"`
+	GridCols        int     `json:"gridCols"`
+	GridRows        int     `json:"gridRows"`
+	BlockSizeMeters float64 `json:"blockSizeMeters"`
+	UnitsPerMW      float64 `json:"unitsPerMW"`
+	SUMaxEIRPmW     float64 `json:"suMaxEIRPmW"`
+	SMinPUmW        float64 `json:"sMinPUmW"`
+	DeltaSINRdB     float64 `json:"deltaSINRdB"`
+	DeltaRednDB     float64 `json:"deltaRednDB"`
+
+	Secondary ModelSpec `json:"secondaryModel"`
+	WorstCase ModelSpec `json:"worstCaseModel"`
+
+	// Crypto parameters.
+	PaillierBits  int `json:"paillierBits"`
+	PlaintextBits int `json:"plaintextBits"`
+	AlphaBits     int `json:"alphaBits"`
+	BetaBits      int `json:"betaBits"`
+	EtaBits       int `json:"etaBits"`
+	SignerBits    int `json:"signerBits"`
+
+	// Network addresses.
+	SDCAddr string `json:"sdcAddr"`
+	STPAddr string `json:"stpAddr"`
+}
+
+// Default returns a laptop-scale deployment: the paper's Table I
+// geometry scaled down (10 channels, 10x6 blocks) with test-size keys
+// so requests complete in seconds rather than minutes.
+func Default() File {
+	return File{
+		Channels:        10,
+		GridCols:        10,
+		GridRows:        6,
+		BlockSizeMeters: 10,
+		UnitsPerMW:      1e9,
+		SUMaxEIRPmW:     4000,
+		SMinPUmW:        1e-5,
+		DeltaSINRdB:     15,
+		DeltaRednDB:     3,
+		Secondary:       ModelSpec{Type: "log-distance", RefLossDB: 40, Exponent: 3.5},
+		WorstCase:       ModelSpec{Type: "log-distance", RefLossDB: 60, Exponent: 4},
+		PaillierBits:    768,
+		PlaintextBits:   60,
+		AlphaBits:       128,
+		BetaBits:        64,
+		EtaBits:         64,
+		SignerBits:      512,
+		SDCAddr:         "127.0.0.1:7410",
+		STPAddr:         "127.0.0.1:7411",
+	}
+}
+
+// Paper returns the paper's full Table I configuration: 100 channels,
+// 600 blocks, 2048-bit Paillier. Request processing at this scale
+// takes minutes per the paper's own measurements.
+func Paper() File {
+	f := Default()
+	f.Channels = 100
+	f.GridCols = 30
+	f.GridRows = 20
+	f.PaillierBits = 2048
+	f.AlphaBits = 512
+	f.BetaBits = 256
+	f.EtaBits = 256
+	f.SignerBits = 2048 - 64
+	return f
+}
+
+// Load reads a JSON config; an empty path returns Default().
+func Load(path string) (File, error) {
+	if path == "" {
+		return Default(), nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, fmt.Errorf("config: %w", err)
+	}
+	f := Default()
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return File{}, fmt.Errorf("config: parse %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Save writes the config as indented JSON.
+func (f File) Save(path string) error {
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return nil
+}
+
+// WatchParams builds the radio/allocation parameter set.
+func (f File) WatchParams() (watch.Params, error) {
+	grid, err := geo.NewGrid(f.GridCols, f.GridRows, f.BlockSizeMeters)
+	if err != nil {
+		return watch.Params{}, err
+	}
+	secondary, err := f.Secondary.Build()
+	if err != nil {
+		return watch.Params{}, fmt.Errorf("secondary model: %w", err)
+	}
+	worst, err := f.WorstCase.Build()
+	if err != nil {
+		return watch.Params{}, fmt.Errorf("worst-case model: %w", err)
+	}
+	wp := watch.Params{
+		Channels:    f.Channels,
+		Grid:        grid,
+		UnitsPerMW:  f.UnitsPerMW,
+		SUMaxEIRPmW: f.SUMaxEIRPmW,
+		SMinPUmW:    f.SMinPUmW,
+		DeltaInt:    watch.DeltaFromDB(f.DeltaSINRdB, f.DeltaRednDB),
+		Secondary:   secondary,
+		WorstCase:   worst,
+	}
+	return wp, wp.Validate()
+}
+
+// PisaParams builds the full protocol parameter set.
+func (f File) PisaParams() (pisa.Params, error) {
+	wp, err := f.WatchParams()
+	if err != nil {
+		return pisa.Params{}, err
+	}
+	p := pisa.Params{
+		Watch:         wp,
+		PaillierBits:  f.PaillierBits,
+		PlaintextBits: f.PlaintextBits,
+		AlphaBits:     f.AlphaBits,
+		BetaBits:      f.BetaBits,
+		EtaBits:       f.EtaBits,
+		SignerBits:    f.SignerBits,
+	}
+	return p, p.Validate()
+}

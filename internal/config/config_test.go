@@ -1,0 +1,100 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDefaultBuilds(t *testing.T) {
+	f := Default()
+	if _, err := f.WatchParams(); err != nil {
+		t.Fatalf("default WatchParams: %v", err)
+	}
+	if _, err := f.PisaParams(); err != nil {
+		t.Fatalf("default PisaParams: %v", err)
+	}
+}
+
+func TestPaperBuilds(t *testing.T) {
+	f := Paper()
+	p, err := f.PisaParams()
+	if err != nil {
+		t.Fatalf("paper PisaParams: %v", err)
+	}
+	if p.PaillierBits != 2048 {
+		t.Errorf("paper PaillierBits = %d", p.PaillierBits)
+	}
+	if p.Watch.Channels != 100 || p.Watch.Grid.Blocks() != 600 {
+		t.Errorf("paper geometry %dx%d, want 100x600", p.Watch.Channels, p.Watch.Grid.Blocks())
+	}
+	// Table I: 60-bit representation.
+	if p.PlaintextBits != 60 {
+		t.Errorf("paper PlaintextBits = %d, want 60", p.PlaintextBits)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pisa.json")
+	f := Default()
+	f.Channels = 7
+	f.SDCAddr = "10.0.0.1:99"
+	if err := f.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Channels != 7 || got.SDCAddr != "10.0.0.1:99" {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if got.UnitsPerMW != f.UnitsPerMW {
+		t.Errorf("defaults not preserved")
+	}
+}
+
+func TestLoadEmptyPathIsDefault(t *testing.T) {
+	got, err := Load("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != Default() {
+		t.Error("empty path did not return defaults")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent/nope.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestModelSpecBuild(t *testing.T) {
+	specs := []ModelSpec{
+		{Type: "free-space", FreqMHz: 600},
+		{Type: "log-distance", RefLossDB: 40, Exponent: 3},
+		{Type: "extended-hata", FreqMHz: 600, BaseHeight: 100, MobileHeight: 1.5},
+		{Type: "log-distance", RefLossDB: 40, Exponent: 3, ShadowSigmaDB: 8, ShadowSeed: 5},
+	}
+	for i, spec := range specs {
+		m, err := spec.Build()
+		if err != nil {
+			t.Errorf("spec %d: %v", i, err)
+			continue
+		}
+		if m.LossDB(1000) <= 0 {
+			t.Errorf("spec %d: implausible loss", i)
+		}
+	}
+	if _, err := (ModelSpec{Type: "warp-drive"}).Build(); err == nil {
+		t.Error("unknown model type accepted")
+	}
+}

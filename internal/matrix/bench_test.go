@@ -1,0 +1,79 @@
+package matrix
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// benchEnc builds a 4x4 encrypted matrix fixture.
+func benchEnc(b *testing.B) (*Enc, *Enc) {
+	b.Helper()
+	sk := testKey()
+	m, err := NewInt(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		for bl := 0; bl < 4; bl++ {
+			if err := m.Set(c, bl, int64(c*17-bl*3)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	a, err := EncryptInt(rand.Reader, &sk.PublicKey, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := EncryptInt(rand.Reader, &sk.PublicKey, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, c
+}
+
+func BenchmarkEncAdd(b *testing.B) {
+	x, y := benchEnc(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Add(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncSub(b *testing.B) {
+	x, y := benchEnc(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Sub(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncScalarMul(b *testing.B) {
+	x, _ := benchEnc(b)
+	k := big.NewInt(34)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.ScalarMul(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncGobRoundTrip(b *testing.B) {
+	x, _ := benchEnc(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := x.GobEncode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var back Enc
+		if err := back.GobDecode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

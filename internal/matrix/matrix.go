@@ -1,0 +1,396 @@
+// Package matrix provides the dense (channel x block) matrices that
+// WATCH and PISA compute over (§III-D of the paper): a plaintext
+// int64 matrix for the WATCH baseline and an element-wise encrypted
+// matrix over Paillier ciphertexts for PISA.
+//
+// Rows index channels (C of them), columns index blocks (B of them),
+// matching the paper's {m(c, b)}_{CxB} notation.
+package matrix
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"pisa/internal/paillier"
+)
+
+// Int is a dense C x B matrix of signed 64-bit integers. The zero
+// value is unusable; construct with NewInt.
+type Int struct {
+	channels, blocks int
+	data             []int64 // row-major: data[c*blocks + b]
+}
+
+// NewInt allocates a zeroed channels x blocks matrix.
+func NewInt(channels, blocks int) (*Int, error) {
+	if channels <= 0 || blocks <= 0 {
+		return nil, fmt.Errorf("matrix: dimensions must be positive, got %dx%d", channels, blocks)
+	}
+	return &Int{
+		channels: channels,
+		blocks:   blocks,
+		data:     make([]int64, channels*blocks),
+	}, nil
+}
+
+// Channels returns C.
+func (m *Int) Channels() int { return m.channels }
+
+// Blocks returns B.
+func (m *Int) Blocks() int { return m.blocks }
+
+func (m *Int) idx(c, b int) (int, error) {
+	if c < 0 || c >= m.channels || b < 0 || b >= m.blocks {
+		return 0, fmt.Errorf("matrix: index (%d, %d) outside %dx%d", c, b, m.channels, m.blocks)
+	}
+	return c*m.blocks + b, nil
+}
+
+// At returns the element at (channel, block).
+func (m *Int) At(c, b int) (int64, error) {
+	i, err := m.idx(c, b)
+	if err != nil {
+		return 0, err
+	}
+	return m.data[i], nil
+}
+
+// Set writes the element at (channel, block).
+func (m *Int) Set(c, b int, v int64) error {
+	i, err := m.idx(c, b)
+	if err != nil {
+		return err
+	}
+	m.data[i] = v
+	return nil
+}
+
+// Clone returns a deep copy.
+func (m *Int) Clone() *Int {
+	out := &Int{channels: m.channels, blocks: m.blocks, data: make([]int64, len(m.data))}
+	copy(out.data, m.data)
+	return out
+}
+
+// sameShape verifies dimensional compatibility.
+func (m *Int) sameShape(other *Int) error {
+	if m.channels != other.channels || m.blocks != other.blocks {
+		return fmt.Errorf("matrix: shape mismatch %dx%d vs %dx%d",
+			m.channels, m.blocks, other.channels, other.blocks)
+	}
+	return nil
+}
+
+// AddInPlace adds other element-wise into m.
+func (m *Int) AddInPlace(other *Int) error {
+	if err := m.sameShape(other); err != nil {
+		return err
+	}
+	for i := range m.data {
+		m.data[i] += other.data[i]
+	}
+	return nil
+}
+
+// Sub returns m - other element-wise.
+func (m *Int) Sub(other *Int) (*Int, error) {
+	if err := m.sameShape(other); err != nil {
+		return nil, err
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= other.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns k * m element-wise.
+func (m *Int) Scale(k int64) *Int {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= k
+	}
+	return out
+}
+
+// Equal reports element-wise equality.
+func (m *Int) Equal(other *Int) bool {
+	if m.sameShape(other) != nil {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != other.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinEntry returns the smallest element and its position.
+func (m *Int) MinEntry() (v int64, c, b int) {
+	v = m.data[0]
+	for i, x := range m.data {
+		if x < v {
+			v, c, b = x, i/m.blocks, i%m.blocks
+		}
+	}
+	return v, c, b
+}
+
+// AllPositive reports whether every element is > 0 — the paper's
+// grant condition on the interference indicator matrix I_j.
+func (m *Int) AllPositive() bool {
+	for _, x := range m.data {
+		if x <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every element in row-major order, stopping on
+// the first error.
+func (m *Int) ForEach(fn func(c, b int, v int64) error) error {
+	for i, v := range m.data {
+		if err := fn(i/m.blocks, i%m.blocks, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Enc is a dense C x B matrix of Paillier ciphertexts under a single
+// public key. Entries may be nil for "not shipped" positions (the
+// partial-disclosure request of §VI-A sends only a subset of columns).
+type Enc struct {
+	channels, blocks int
+	key              *paillier.PublicKey
+	data             []*paillier.Ciphertext
+}
+
+// NewEnc allocates an encrypted matrix with all entries nil.
+func NewEnc(key *paillier.PublicKey, channels, blocks int) (*Enc, error) {
+	if channels <= 0 || blocks <= 0 {
+		return nil, fmt.Errorf("matrix: dimensions must be positive, got %dx%d", channels, blocks)
+	}
+	if key == nil {
+		return nil, fmt.Errorf("matrix: nil public key")
+	}
+	return &Enc{
+		channels: channels,
+		blocks:   blocks,
+		key:      key,
+		data:     make([]*paillier.Ciphertext, channels*blocks),
+	}, nil
+}
+
+// EncryptInt encrypts every element of m under key.
+func EncryptInt(random io.Reader, key *paillier.PublicKey, m *Int) (*Enc, error) {
+	out, err := NewEnc(key, m.channels, m.blocks)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range m.data {
+		ct, err := key.Encrypt(random, big.NewInt(v))
+		if err != nil {
+			return nil, fmt.Errorf("encrypt element %d: %w", i, err)
+		}
+		out.data[i] = ct
+	}
+	return out, nil
+}
+
+// Channels returns C.
+func (e *Enc) Channels() int { return e.channels }
+
+// Blocks returns B.
+func (e *Enc) Blocks() int { return e.blocks }
+
+// Key returns the public key the entries are encrypted under.
+func (e *Enc) Key() *paillier.PublicKey { return e.key }
+
+func (e *Enc) idx(c, b int) (int, error) {
+	if c < 0 || c >= e.channels || b < 0 || b >= e.blocks {
+		return 0, fmt.Errorf("matrix: index (%d, %d) outside %dx%d", c, b, e.channels, e.blocks)
+	}
+	return c*e.blocks + b, nil
+}
+
+// At returns the ciphertext at (channel, block); nil if the position
+// was never populated.
+func (e *Enc) At(c, b int) (*paillier.Ciphertext, error) {
+	i, err := e.idx(c, b)
+	if err != nil {
+		return nil, err
+	}
+	return e.data[i], nil
+}
+
+// Set writes a ciphertext at (channel, block).
+func (e *Enc) Set(c, b int, ct *paillier.Ciphertext) error {
+	i, err := e.idx(c, b)
+	if err != nil {
+		return err
+	}
+	e.data[i] = ct
+	return nil
+}
+
+// Populated returns the number of non-nil entries.
+func (e *Enc) Populated() int {
+	n := 0
+	for _, ct := range e.data {
+		if ct != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeBytes returns the wire size of the populated entries: count x
+// ciphertext size for the key. This is the quantity the paper's
+// Figure 6 reports as request/update message size.
+func (e *Enc) SizeBytes() int {
+	return e.Populated() * e.key.CiphertextBytes()
+}
+
+func (e *Enc) sameShape(other *Enc) error {
+	if e.channels != other.channels || e.blocks != other.blocks {
+		return fmt.Errorf("matrix: shape mismatch %dx%d vs %dx%d",
+			e.channels, e.blocks, other.channels, other.blocks)
+	}
+	if !e.key.Equal(other.key) {
+		return fmt.Errorf("matrix: operand matrices encrypted under different keys")
+	}
+	return nil
+}
+
+// Add returns the element-wise homomorphic sum e + other. A position
+// that is nil in one operand adopts the other operand's entry (an
+// absent entry means "encrypts zero / not shipped").
+func (e *Enc) Add(other *Enc) (*Enc, error) {
+	if err := e.sameShape(other); err != nil {
+		return nil, err
+	}
+	out, err := NewEnc(e.key, e.channels, e.blocks)
+	if err != nil {
+		return nil, err
+	}
+	for i := range e.data {
+		a, b := e.data[i], other.data[i]
+		switch {
+		case a == nil && b == nil:
+			// stays nil
+		case a == nil:
+			out.data[i] = b.Clone()
+		case b == nil:
+			out.data[i] = a.Clone()
+		default:
+			sum, err := e.key.Add(a, b)
+			if err != nil {
+				return nil, fmt.Errorf("add element %d: %w", i, err)
+			}
+			out.data[i] = sum
+		}
+	}
+	return out, nil
+}
+
+// Sub returns the element-wise homomorphic difference e - other over
+// positions populated in both operands; positions nil in either
+// operand stay nil in the result.
+func (e *Enc) Sub(other *Enc) (*Enc, error) {
+	if err := e.sameShape(other); err != nil {
+		return nil, err
+	}
+	out, err := NewEnc(e.key, e.channels, e.blocks)
+	if err != nil {
+		return nil, err
+	}
+	for i := range e.data {
+		a, b := e.data[i], other.data[i]
+		if a == nil || b == nil {
+			continue
+		}
+		diff, err := e.key.Sub(a, b)
+		if err != nil {
+			return nil, fmt.Errorf("sub element %d: %w", i, err)
+		}
+		out.data[i] = diff
+	}
+	return out, nil
+}
+
+// ScalarMul returns k (x) e element-wise over populated positions.
+func (e *Enc) ScalarMul(k *big.Int) (*Enc, error) {
+	out, err := NewEnc(e.key, e.channels, e.blocks)
+	if err != nil {
+		return nil, err
+	}
+	for i, ct := range e.data {
+		if ct == nil {
+			continue
+		}
+		prod, err := e.key.ScalarMul(k, ct)
+		if err != nil {
+			return nil, fmt.Errorf("scale element %d: %w", i, err)
+		}
+		out.data[i] = prod
+	}
+	return out, nil
+}
+
+// Rerandomize refreshes every populated ciphertext in place-free
+// fashion (returns a new matrix), the cheap request-reuse path of
+// §VI-A.
+func (e *Enc) Rerandomize(random io.Reader) (*Enc, error) {
+	out, err := NewEnc(e.key, e.channels, e.blocks)
+	if err != nil {
+		return nil, err
+	}
+	for i, ct := range e.data {
+		if ct == nil {
+			continue
+		}
+		rr, err := e.key.Rerandomize(random, ct)
+		if err != nil {
+			return nil, fmt.Errorf("rerandomize element %d: %w", i, err)
+		}
+		out.data[i] = rr
+	}
+	return out, nil
+}
+
+// ForEach calls fn for every populated entry in row-major order.
+func (e *Enc) ForEach(fn func(c, b int, ct *paillier.Ciphertext) error) error {
+	for i, ct := range e.data {
+		if ct == nil {
+			continue
+		}
+		if err := fn(i/e.blocks, i%e.blocks, ct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decrypt decrypts every populated entry with sk; absent entries
+// decode as 0. Intended for tests and the STP role.
+func Decrypt(sk *paillier.PrivateKey, e *Enc) (*Int, error) {
+	out, err := NewInt(e.channels, e.blocks)
+	if err != nil {
+		return nil, err
+	}
+	for i, ct := range e.data {
+		if ct == nil {
+			continue
+		}
+		v, err := sk.DecryptInt(ct)
+		if err != nil {
+			return nil, fmt.Errorf("decrypt element %d: %w", i, err)
+		}
+		out.data[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package node
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pisa/internal/geo"
+	"pisa/internal/paillier"
+	"pisa/internal/pisa"
+	"pisa/internal/wire"
+)
+
+// client is a single-connection, mutex-serialised RPC client.
+type client struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn *wire.Conn
+}
+
+func newClient(addr string, timeout time.Duration) *client {
+	if timeout <= 0 {
+		timeout = defaultTimeout
+	}
+	return &client{addr: addr, timeout: timeout}
+}
+
+// call performs one request/reply exchange, (re)dialling on demand.
+func (c *client) call(req *wire.Envelope, want wire.Kind) (*wire.Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		raw, err := net.DialTimeout("tcp", c.addr, c.timeout)
+		if err != nil {
+			return nil, fmt.Errorf("node: dial %s: %w", c.addr, err)
+		}
+		c.conn = wire.NewConn(raw, c.timeout)
+	}
+	resp, err := c.conn.Call(req, want)
+	if err != nil {
+		// Drop the connection on transport faults so the next call
+		// redials; keep it for remote (application) errors.
+		if _, remote := err.(*wire.RemoteError); !remote {
+			c.conn.Close()
+			c.conn = nil
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Close tears down the connection if one is open.
+func (c *client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// STPClient is the SDC's (and SUs') view of a remote STP server. It
+// implements pisa.STPService.
+type STPClient struct {
+	*client
+
+	groupKey *paillier.PublicKey
+}
+
+var _ pisa.STPService = (*STPClient)(nil)
+
+// DialSTP connects to an STP server and eagerly fetches the group
+// key, so the error surface stays on the constructor (GroupKey itself
+// cannot fail, per pisa.STPService).
+func DialSTP(addr string, timeout time.Duration) (*STPClient, error) {
+	c := &STPClient{client: newClient(addr, timeout)}
+	resp, err := c.call(&wire.Envelope{Kind: wire.KindGroupKeyRequest}, wire.KindGroupKey)
+	if err != nil {
+		return nil, fmt.Errorf("node: fetch group key: %w", err)
+	}
+	if resp.Paillier == nil {
+		return nil, fmt.Errorf("node: STP returned no group key")
+	}
+	c.groupKey = resp.Paillier
+	return c, nil
+}
+
+// GroupKey implements pisa.STPService.
+func (c *STPClient) GroupKey() *paillier.PublicKey { return c.groupKey }
+
+// ConvertSigns implements pisa.STPService.
+func (c *STPClient) ConvertSigns(req *pisa.SignRequest) (*pisa.SignResponse, error) {
+	resp, err := c.call(&wire.Envelope{Kind: wire.KindConvertRequest, SignRequest: req}, wire.KindConvertResponse)
+	if err != nil {
+		return nil, err
+	}
+	if resp.SignResponse == nil {
+		return nil, fmt.Errorf("node: STP returned no sign response")
+	}
+	return resp.SignResponse, nil
+}
+
+// SUKey implements pisa.STPService.
+func (c *STPClient) SUKey(id string) (*paillier.PublicKey, error) {
+	resp, err := c.call(&wire.Envelope{Kind: wire.KindSUKeyRequest, SUID: id}, wire.KindSUKey)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Paillier == nil {
+		return nil, fmt.Errorf("node: STP returned no SU key")
+	}
+	return resp.Paillier, nil
+}
+
+// RegisterSU uploads an SU public key to the STP registry.
+func (c *STPClient) RegisterSU(id string, pk *paillier.PublicKey) error {
+	_, err := c.call(&wire.Envelope{Kind: wire.KindRegisterSU, SUID: id, Paillier: pk}, wire.KindAck)
+	return err
+}
+
+// SDCClient is the PU/SU view of a remote SDC server.
+type SDCClient struct {
+	*client
+}
+
+// DialSDC connects to an SDC server lazily (first call dials).
+func DialSDC(addr string, timeout time.Duration) *SDCClient {
+	return &SDCClient{client: newClient(addr, timeout)}
+}
+
+// SendUpdate delivers a PU channel-reception update.
+func (c *SDCClient) SendUpdate(u *pisa.PUUpdate) error {
+	_, err := c.call(&wire.Envelope{Kind: wire.KindPUUpdate, PUUpdate: u}, wire.KindAck)
+	return err
+}
+
+// SendRequest delivers an SU transmission request and returns the
+// SDC's (always identically-shaped) response.
+func (c *SDCClient) SendRequest(r *pisa.TransmissionRequest) (*pisa.Response, error) {
+	resp, err := c.call(&wire.Envelope{Kind: wire.KindSURequest, Request: r}, wire.KindSUResponse)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Response == nil {
+		return nil, fmt.Errorf("node: SDC returned no response payload")
+	}
+	return resp.Response, nil
+}
+
+// EColumn fetches the public E column for a block.
+func (c *SDCClient) EColumn(b geo.BlockID) ([]int64, error) {
+	resp, err := c.call(&wire.Envelope{Kind: wire.KindEColumnRequest, Block: int(b)}, wire.KindEColumn)
+	if err != nil {
+		return nil, err
+	}
+	return resp.EColumn, nil
+}
+
+// VerifyKey fetches the SDC's license verification key.
+func (c *SDCClient) VerifyKey() (*rsa.PublicKey, error) {
+	resp, err := c.call(&wire.Envelope{Kind: wire.KindVerifyKeyRequest}, wire.KindVerifyKey)
+	if err != nil {
+		return nil, err
+	}
+	if resp.VerifyKey == nil {
+		return nil, fmt.Errorf("node: SDC returned no verify key")
+	}
+	return resp.VerifyKey, nil
+}
+
+// ProcessRequest aliases SendRequest so SDCClient satisfies
+// pisa.SDCService and session code runs unchanged against a remote
+// controller.
+func (c *SDCClient) ProcessRequest(r *pisa.TransmissionRequest) (*pisa.Response, error) {
+	return c.SendRequest(r)
+}
+
+var _ pisa.SDCService = (*SDCClient)(nil)

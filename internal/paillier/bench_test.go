@@ -1,0 +1,150 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"testing"
+)
+
+// benchKeys caches keys per modulus size across benchmarks.
+var benchKeys = map[int]*PrivateKey{}
+
+func benchKey(b *testing.B, bits int) *PrivateKey {
+	b.Helper()
+	if sk, ok := benchKeys[bits]; ok {
+		return sk
+	}
+	sk, err := GenerateKey(rand.Reader, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchKeys[bits] = sk
+	return sk
+}
+
+// BenchmarkEncrypt sweeps modulus sizes; encryption cost grows
+// roughly cubically with the modulus (one n-bit exponentiation mod
+// n^2).
+func BenchmarkEncrypt(b *testing.B) {
+	for _, bits := range []int{512, 1024, 2048} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			sk := benchKey(b, bits)
+			m := big.NewInt(1<<59 - 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.PublicKey.Encrypt(rand.Reader, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecryptCRT measures the CRT-optimised decryption.
+func BenchmarkDecryptCRT(b *testing.B) {
+	for _, bits := range []int{512, 1024, 2048} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			sk := benchKey(b, bits)
+			ct, err := sk.PublicKey.EncryptInt(rand.Reader, 123456789)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.Decrypt(ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkThresholdDecrypt measures 2-of-2 threshold decryption (two
+// full-width exponentiations plus a combine) against the CRT path.
+func BenchmarkThresholdDecrypt(b *testing.B) {
+	sk := benchKey(b, 1024)
+	shares, err := sk.SplitKey(rand.Reader, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := sk.PublicKey.EncryptInt(rand.Reader, 424242)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa, err := shares[0].PartialDecrypt(ct)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pb, err := shares[1].PartialDecrypt(ct)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := CombinePartials(&sk.PublicKey, []*Partial{pa, pb}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRerandomize compares fresh re-randomisation with the
+// pooled-nonce path (the §VI-A reuse trick).
+func BenchmarkRerandomize(b *testing.B) {
+	sk := benchKey(b, 2048)
+	ct, err := sk.PublicKey.EncryptInt(rand.Reader, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sk.PublicKey.Rerandomize(rand.Reader, ct); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		// Cycle a fixed nonce array: generating b.N nonces in setup
+		// would dominate the run, and the timed operation (one
+		// modular multiplication) is identical either way.
+		nonces := make([]*Nonce, 64)
+		for i := range nonces {
+			n, err := sk.PublicKey.NewNonce(rand.Reader)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nonces[i] = n
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sk.PublicKey.RerandomizeWith(ct, nonces[i%len(nonces)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkScalarMulWidth shows scalar-multiplication cost scaling
+// with the scalar width — the reason PISA keeps its blinding factors
+// around 100 bits.
+func BenchmarkScalarMulWidth(b *testing.B) {
+	sk := benchKey(b, 2048)
+	ct, err := sk.PublicKey.EncryptInt(rand.Reader, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, width := range []int{60, 100, 512, 2040} {
+		b.Run(fmt.Sprintf("scalarBits=%d", width), func(b *testing.B) {
+			k, err := RandomSigned(rand.Reader, width, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.PublicKey.ScalarMul(k, ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package paillier
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// gobEncode and gobDecode are small helpers shared by the types in
+// this package that implement custom gob encodings.
+func gobEncode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// privateKeyGob is the serialised private key: the prime factors are
+// sufficient to rebuild every cached field.
+type privateKeyGob struct {
+	P, Q *big.Int
+}
+
+// GobEncode implements gob.GobEncoder for key persistence (e.g. the
+// STP storing its group key across restarts). The encoding is secret
+// key material; store it with restrictive permissions.
+func (sk *PrivateKey) GobEncode() ([]byte, error) {
+	return gobEncode(privateKeyGob{P: sk.p, Q: sk.q})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (sk *PrivateKey) GobDecode(data []byte) error {
+	var payload privateKeyGob
+	if err := gobDecode(data, &payload); err != nil {
+		return fmt.Errorf("paillier: decode private key: %w", err)
+	}
+	if payload.P == nil || payload.Q == nil ||
+		!payload.P.ProbablyPrime(20) || !payload.Q.ProbablyPrime(20) ||
+		payload.P.Cmp(payload.Q) == 0 {
+		return errors.New("paillier: decoded private key malformed")
+	}
+	*sk = *newPrivateKey(payload.P, payload.Q)
+	return nil
+}

@@ -1,0 +1,195 @@
+package pisa
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"sync"
+
+	"pisa/internal/paillier"
+)
+
+// This file implements the paper's stated future work (§VII): "we
+// will pursue a model that does not involve an STP". The single
+// semi-trusted key holder is replaced by k co-STPs, each holding only
+// an additive share of the threshold decryption exponent
+// (paillier.KeyShare). No single co-STP — and no coalition smaller
+// than all of them — can decrypt PU or SU data. An unprivileged
+// combiner (which sees only the blinded, sign-scrambled V values, as
+// the original STP did) drives the sign conversion.
+
+// ShareService is one co-STP: it partially decrypts ciphertexts with
+// its key share. A network deployment would put each instance behind
+// its own server; LocalShare is the in-process implementation.
+type ShareService interface {
+	// PartialDecryptBatch computes this holder's partial for every
+	// ciphertext.
+	PartialDecryptBatch(cts []*paillier.Ciphertext) ([]*paillier.Partial, error)
+}
+
+// LocalShare wraps a key share as an in-process ShareService.
+type LocalShare struct {
+	share *paillier.KeyShare
+}
+
+var _ ShareService = (*LocalShare)(nil)
+
+// NewLocalShare wraps one key share.
+func NewLocalShare(share *paillier.KeyShare) *LocalShare {
+	return &LocalShare{share: share}
+}
+
+// PartialDecryptBatch implements ShareService.
+func (l *LocalShare) PartialDecryptBatch(cts []*paillier.Ciphertext) ([]*paillier.Partial, error) {
+	out := make([]*paillier.Partial, len(cts))
+	for i, ct := range cts {
+		p, err := l.share.PartialDecrypt(ct)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: partial decrypt %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// DistSTP is the distributed replacement for STP: same STPService
+// interface towards the SDC, but decryption requires every co-STP's
+// cooperation. The DistSTP process itself holds no key material.
+type DistSTP struct {
+	group   *paillier.PublicKey
+	holders []ShareService
+	random  io.Reader
+
+	mu     sync.RWMutex
+	suKeys map[string]*paillier.PublicKey
+}
+
+var _ STPService = (*DistSTP)(nil)
+
+// NewDistSTP generates a fresh group key, splits it into count
+// shares, and returns the combiner plus the co-STP share services.
+// The dealer's private key material lives only inside this function;
+// production deployments would run the dealer inside an enclave or
+// use a distributed key-generation ceremony instead.
+func NewDistSTP(random io.Reader, paillierBits, count int) (*DistSTP, []*LocalShare, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	sk, err := paillier.GenerateKey(random, paillierBits)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pisa: generate group key: %w", err)
+	}
+	shares, err := sk.SplitKey(random, count)
+	if err != nil {
+		return nil, nil, err
+	}
+	locals := make([]*LocalShare, len(shares))
+	services := make([]ShareService, len(shares))
+	for i, s := range shares {
+		locals[i] = NewLocalShare(s)
+		services[i] = locals[i]
+	}
+	dist, err := NewDistSTPWithShares(random, sk.Public(), services)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dist, locals, nil
+}
+
+// NewDistSTPWithShares assembles a combiner over existing share
+// services (e.g. network clients to remote co-STPs).
+func NewDistSTPWithShares(random io.Reader, group *paillier.PublicKey, holders []ShareService) (*DistSTP, error) {
+	if len(holders) < 2 {
+		return nil, fmt.Errorf("pisa: distributed STP needs at least 2 share holders, got %d", len(holders))
+	}
+	if group == nil {
+		return nil, fmt.Errorf("pisa: distributed STP needs the group public key")
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	return &DistSTP{
+		group:   group,
+		holders: holders,
+		random:  random,
+		suKeys:  make(map[string]*paillier.PublicKey),
+	}, nil
+}
+
+// GroupKey implements STPService.
+func (d *DistSTP) GroupKey() *paillier.PublicKey { return d.group }
+
+// RegisterSU stores an SU public key, with the same substitution
+// protection as the single STP.
+func (d *DistSTP) RegisterSU(id string, pk *paillier.PublicKey) error {
+	if id == "" {
+		return fmt.Errorf("pisa: empty SU id")
+	}
+	if pk == nil || pk.N == nil {
+		return fmt.Errorf("pisa: nil public key for SU %q", id)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if existing, ok := d.suKeys[id]; ok && !existing.Equal(pk) {
+		return fmt.Errorf("pisa: SU %q already registered with a different key", id)
+	}
+	d.suKeys[id] = pk
+	return nil
+}
+
+// SUKey implements STPService.
+func (d *DistSTP) SUKey(id string) (*paillier.PublicKey, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	pk, ok := d.suKeys[id]
+	if !ok {
+		return nil, fmt.Errorf("pisa: SU %q not registered with distributed STP", id)
+	}
+	return pk, nil
+}
+
+// ConvertSigns implements STPService: every co-STP contributes a
+// partial for every V; the combiner multiplies partials, reads the
+// blinded sign, and re-encrypts +-1 under the SU's key (eq. 15).
+func (d *DistSTP) ConvertSigns(req *SignRequest) (*SignResponse, error) {
+	if req == nil {
+		return nil, fmt.Errorf("pisa: nil sign request")
+	}
+	suKey, err := d.SUKey(req.SUID)
+	if err != nil {
+		return nil, err
+	}
+	// Gather each holder's batch of partials.
+	batches := make([][]*paillier.Partial, len(d.holders))
+	for h, holder := range d.holders {
+		batch, err := holder.PartialDecryptBatch(req.V)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: co-STP %d: %w", h, err)
+		}
+		if len(batch) != len(req.V) {
+			return nil, fmt.Errorf("pisa: co-STP %d returned %d partials, want %d", h, len(batch), len(req.V))
+		}
+		batches[h] = batch
+	}
+	out := make([]*paillier.Ciphertext, len(req.V))
+	perValue := make([]*paillier.Partial, len(d.holders))
+	for i := range req.V {
+		for h := range d.holders {
+			perValue[h] = batches[h][i]
+		}
+		v, err := paillier.CombinePartials(d.group, perValue)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: combine V[%d]: %w", i, err)
+		}
+		x := int64(-1)
+		if v.Sign() > 0 {
+			x = 1
+		}
+		enc, err := suKey.EncryptInt(d.random, x)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: encrypt X[%d]: %w", i, err)
+		}
+		out[i] = enc
+	}
+	return &SignResponse{X: out}, nil
+}

@@ -1,0 +1,95 @@
+package pisa
+
+import (
+	"bytes"
+	"fmt"
+
+	"pisa/internal/dsig"
+	"pisa/internal/geo"
+	"pisa/internal/matrix"
+	"pisa/internal/paillier"
+	"pisa/internal/watch"
+)
+
+// PUUpdate is the channel-reception update a PU sends the SDC
+// (Figure 4): one group-key ciphertext per channel for the PU's
+// (public, registered) block, encrypting W(c) = T(c) - E(c) for the
+// received channel and 0 elsewhere. A switched-off receiver sends all
+// zeros.
+type PUUpdate struct {
+	// PUID identifies the sender; its block registration is public.
+	PUID watch.PUID
+	// Block is the PU's registered location.
+	Block geo.BlockID
+	// Cts holds exactly C ciphertexts, channel-indexed.
+	Cts []*paillier.Ciphertext
+}
+
+// TransmissionRequest is the SU's spectrum-access request (Figure 5):
+// the encrypted F matrix plus the disclosed block set it covers.
+type TransmissionRequest struct {
+	// SUID identifies the requester; the STP must know its public key.
+	SUID string
+	// F is the encrypted F_j matrix under the group key. All C
+	// channels are populated for every disclosed block, including
+	// encryptions of zero, so the SDC cannot tell which channels or
+	// blocks matter.
+	F *matrix.Enc
+	// Disclosure lists the block columns shipped; nil or
+	// grid-complete means full location privacy (§VI-A trade-off).
+	Disclosure []geo.BlockID
+}
+
+// SizeBytes reports the request's dominant wire size (the ciphertext
+// payload), the quantity Figure 6 reports as about 29 MB at paper
+// scale.
+func (r *TransmissionRequest) SizeBytes() int {
+	if r.F == nil {
+		return 0
+	}
+	return r.F.SizeBytes()
+}
+
+// Digest commits to the encrypted request for license binding.
+func (r *TransmissionRequest) Digest() ([32]byte, error) {
+	if r.F == nil {
+		return [32]byte{}, fmt.Errorf("pisa: request has no F matrix")
+	}
+	var buf bytes.Buffer
+	buf.WriteString(r.SUID)
+	err := r.F.ForEach(func(c, b int, ct *paillier.Ciphertext) error {
+		buf.Write(ct.C.Bytes())
+		return nil
+	})
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return dsig.HashRequest(buf.Bytes()), nil
+}
+
+// Response is the SDC's reply (Figure 5, step 11): the license body in
+// the clear plus the masked signature ciphertext under the SU's key.
+// The SDC sends the identical shape whether or not the request was
+// granted, so it never learns the decision.
+type Response struct {
+	// License is the permission body the signature covers.
+	License dsig.License
+	// MaskedSig is G~ = SG~ (+) eta (x) sum(Q~) under the SU's key.
+	MaskedSig *paillier.Ciphertext
+}
+
+// SignRequest is what the SDC sends the STP: the blinded sign-test
+// column V~ (eq. 14) for one SU request, in an order known only to
+// the SDC.
+type SignRequest struct {
+	// SUID names the SU whose public key the STP must convert to.
+	SUID string
+	// V holds the blinded ciphertexts under the group key.
+	V []*paillier.Ciphertext
+}
+
+// SignResponse carries the converted signs X~ (eq. 15) under the SU's
+// public key, positionally aligned with SignRequest.V.
+type SignResponse struct {
+	X []*paillier.Ciphertext
+}

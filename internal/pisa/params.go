@@ -1,0 +1,143 @@
+// Package pisa implements the paper's primary contribution: the
+// privacy-preserving spectrum access protocol (§IV-B). Four roles
+// cooperate:
+//
+//   - PU (TV receiver): encrypts channel-reception updates under the
+//     group key (Figure 4).
+//   - SU (secondary WiFi user): encrypts transmission requests under
+//     the group key and decrypts license responses with its own key
+//     (Figure 5).
+//   - SDC (spectrum database controller): maintains the encrypted
+//     interference budget (eqs. 8-10) and processes requests purely
+//     homomorphically (eqs. 11-17), learning nothing about PU
+//     channels, SU locations, or decisions.
+//   - STP (semi-trusted third party): holds the group secret key and
+//     performs the blinded sign test plus key conversion (eq. 15).
+//
+// The plaintext semantics are defined by internal/watch; this package
+// guarantees the same grant/deny decisions without revealing the
+// private inputs to the SDC or the decisions to anyone but the SU.
+package pisa
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pisa/internal/dsig"
+	"pisa/internal/watch"
+)
+
+// Params configures a PISA deployment: the underlying WATCH radio
+// parameters plus the cryptographic budgets.
+type Params struct {
+	// Watch carries the radio/allocation configuration shared with
+	// the plaintext baseline.
+	Watch watch.Params
+
+	// PaillierBits sizes the group and SU moduli. The paper uses
+	// 2048 (112-bit security per NIST SP 800-57); tests use smaller.
+	PaillierBits int
+
+	// PlaintextBits bounds |I(c, i)| — the paper's 60-bit integer
+	// representation (Table I). Validation checks the radio
+	// quantisation cannot overflow it.
+	PlaintextBits int
+
+	// AlphaBits and BetaBits size the multiplicative and additive
+	// blinding factors of eq. 14. Alpha is drawn from
+	// [2^(AlphaBits-1), 2^AlphaBits), beta from [1, 2^BetaBits), so
+	// BetaBits <= AlphaBits-1 guarantees alpha > beta.
+	AlphaBits int
+	BetaBits  int
+
+	// EtaBits sizes the one-time license mask of eq. 17.
+	EtaBits int
+
+	// SignerBits sizes the RSA license-signing key; it must leave
+	// the signature integer inside the Paillier plaintext domain
+	// (<= dsig.MaxSignerBits(PaillierBits)).
+	SignerBits int
+}
+
+// DefaultParams returns the paper's Table I configuration on top of
+// the given WATCH parameters: 2048-bit Paillier, 60-bit plaintexts,
+// and 100-bit multiplicative blinding (the magnitude the paper's
+// Table II "100-bit constant" row and its 219 s processing figure
+// imply). Raise AlphaBits for stronger magnitude hiding at the cost
+// of slower scalar multiplications; see DESIGN.md on what the STP can
+// infer from blinded magnitudes.
+func DefaultParams(w watch.Params) Params {
+	return Params{
+		Watch:         w,
+		PaillierBits:  2048,
+		PlaintextBits: 60,
+		AlphaBits:     100,
+		BetaBits:      80,
+		EtaBits:       256,
+		SignerBits:    dsig.MaxSignerBits(2048),
+	}
+}
+
+// TestParams returns a configuration with small moduli for fast tests
+// and simulations. Security is nominal; the arithmetic constraints
+// all still hold.
+func TestParams(w watch.Params) Params {
+	return Params{
+		Watch:         w,
+		PaillierBits:  768,
+		PlaintextBits: 60,
+		AlphaBits:     128,
+		BetaBits:      64,
+		EtaBits:       64,
+		SignerBits:    512,
+	}
+}
+
+// Validate checks the cryptographic budgets are mutually consistent:
+// no homomorphic intermediate may wrap around the Paillier modulus.
+func (p Params) Validate() error {
+	if err := p.Watch.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case p.PaillierBits < 128:
+		return fmt.Errorf("pisa: PaillierBits %d too small", p.PaillierBits)
+	case p.PlaintextBits < 8:
+		return fmt.Errorf("pisa: PlaintextBits %d too small", p.PlaintextBits)
+	case p.AlphaBits < 2:
+		return fmt.Errorf("pisa: AlphaBits %d too small", p.AlphaBits)
+	case p.BetaBits < 1 || p.BetaBits > p.AlphaBits-1:
+		return fmt.Errorf("pisa: BetaBits %d must be in [1, AlphaBits-1=%d]", p.BetaBits, p.AlphaBits-1)
+	case p.EtaBits < 1:
+		return fmt.Errorf("pisa: EtaBits %d too small", p.EtaBits)
+	case p.SignerBits < 512:
+		return fmt.Errorf("pisa: SignerBits %d too small (min 512)", p.SignerBits)
+	case p.SignerBits > dsig.MaxSignerBits(p.PaillierBits):
+		return fmt.Errorf("pisa: SignerBits %d exceeds dsig.MaxSignerBits(%d) = %d",
+			p.SignerBits, p.PaillierBits, dsig.MaxSignerBits(p.PaillierBits))
+	}
+	// Blinded value: |eps*(alpha*I - beta)| < 2^(AlphaBits + PlaintextBits) + 2^BetaBits.
+	// It must stay inside the centred plaintext domain (-n/2, n/2).
+	if p.AlphaBits+p.PlaintextBits+2 > p.PaillierBits-1 {
+		return fmt.Errorf("pisa: alpha*I may wrap: AlphaBits %d + PlaintextBits %d + 2 > PaillierBits %d - 1",
+			p.AlphaBits, p.PlaintextBits, p.PaillierBits)
+	}
+	// Masked license: SG + eta * sum(Q), |sum(Q)| <= 2*C*B.
+	cells := p.Watch.Channels * p.Watch.Grid.Blocks()
+	maskBits := p.EtaBits + 2 + bits.Len(uint(cells))
+	if p.SignerBits+2 > p.PaillierBits-1 || maskBits+2 > p.PaillierBits-1 {
+		return fmt.Errorf("pisa: license mask may wrap (signer %d, mask %d, paillier %d bits)",
+			p.SignerBits, maskBits, p.PaillierBits)
+	}
+	// Radio quantisation must fit the declared plaintext width:
+	// |I| <= N + R <= 2 * Quantize(S_max) * X + X + 1.
+	maxUnits := 2*p.Watch.Quantize(p.Watch.SUMaxEIRPmW)*p.Watch.DeltaInt + p.Watch.DeltaInt + 1
+	if maxUnits <= 0 {
+		return fmt.Errorf("pisa: radio quantisation overflows int64")
+	}
+	if p.PlaintextBits < 63 && maxUnits > int64(1)<<p.PlaintextBits {
+		return fmt.Errorf("pisa: radio quantisation needs more than PlaintextBits=%d (max |I| about %d)",
+			p.PlaintextBits, maxUnits)
+	}
+	return nil
+}

@@ -1,0 +1,434 @@
+package pisa
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+	"time"
+
+	"pisa/internal/dsig"
+	"pisa/internal/geo"
+	"pisa/internal/matrix"
+	"pisa/internal/paillier"
+	"pisa/internal/watch"
+)
+
+// SDC is the spectrum database controller. It keeps the interference
+// budget matrix N~ only in encrypted form and processes PU updates
+// (eqs. 8-10) and SU requests (eqs. 11-17) homomorphically. The SDC
+// never holds the group secret key, so it learns neither the PU
+// channel receptions, nor the SU parameters, nor the decisions.
+type SDC struct {
+	params Params
+	issuer string
+	group  *paillier.PublicKey
+	stp    STPService
+	signer *dsig.Signer
+	public *watch.System // public-data precomputation only: E, d^c
+	ePlain *matrix.Int   // plaintext E (public)
+	random io.Reader
+	now    func() time.Time
+	licTTL time.Duration
+
+	mu        sync.Mutex
+	nEnc      *matrix.Enc                // N~: encrypted budgets
+	puUpdates map[watch.PUID]*PUUpdate   // latest update per PU
+	puBlocks  map[watch.PUID]geo.BlockID // fixed registered locations
+	serial    uint64
+	blindPool []blindFactors // offline-precomputed blinding tuples
+}
+
+// blindFactors is one precomputed (alpha, E(beta), epsilon) tuple for
+// eq. 14. The beta encryption is the expensive part; precomputing it
+// offline is what keeps online request processing at homomorphic-op
+// speed (the paper's 219 s figure counts only the online SDC work).
+type blindFactors struct {
+	alpha   *big.Int
+	betaEnc *paillier.Ciphertext
+	eps     int64
+}
+
+// SDCOption customises SDC construction.
+type SDCOption interface {
+	apply(*SDC)
+}
+
+type sdcOptionFunc func(*SDC)
+
+func (f sdcOptionFunc) apply(s *SDC) { f(s) }
+
+// WithClock injects a deterministic time source (tests).
+func WithClock(now func() time.Time) SDCOption {
+	return sdcOptionFunc(func(s *SDC) { s.now = now })
+}
+
+// WithLicenseTTL sets the license validity window (default 24h).
+func WithLicenseTTL(ttl time.Duration) SDCOption {
+	return sdcOptionFunc(func(s *SDC) { s.licTTL = ttl })
+}
+
+// WithRandom injects the randomness source (default crypto/rand).
+func WithRandom(r io.Reader) SDCOption {
+	return sdcOptionFunc(func(s *SDC) { s.random = r })
+}
+
+// NewSDC builds the controller: performs the plaintext initialisation
+// step of §IV-A1 (E matrix and protection distances from public data
+// only), generates the license-signing key, and encrypts the initial
+// budget matrix N~ = E~ under the group key fetched from the STP.
+func NewSDC(issuer string, params Params, transmitters []watch.TVTransmitter, stp STPService, opts ...SDCOption) (*SDC, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if stp == nil {
+		return nil, fmt.Errorf("pisa: SDC requires an STP service")
+	}
+	public, err := watch.NewSystem(params.Watch, transmitters)
+	if err != nil {
+		return nil, fmt.Errorf("pisa: public precomputation: %w", err)
+	}
+	s := &SDC{
+		params:    params,
+		issuer:    issuer,
+		group:     stp.GroupKey(),
+		stp:       stp,
+		public:    public,
+		ePlain:    public.EMatrix(),
+		random:    rand.Reader,
+		now:       time.Now,
+		licTTL:    24 * time.Hour,
+		puUpdates: make(map[watch.PUID]*PUUpdate),
+		puBlocks:  make(map[watch.PUID]geo.BlockID),
+	}
+	for _, opt := range opts {
+		opt.apply(s)
+	}
+	s.signer, err = dsig.NewSigner(s.random, params.SignerBits)
+	if err != nil {
+		return nil, err
+	}
+	if s.nEnc, err = matrix.EncryptInt(s.random, s.group, s.ePlain); err != nil {
+		return nil, fmt.Errorf("pisa: encrypt initial budgets: %w", err)
+	}
+	return s, nil
+}
+
+// VerifyKey returns the public key SUs use to check license
+// signatures.
+func (s *SDC) VerifyKey() *rsa.PublicKey { return s.signer.Public() }
+
+// Planner returns the public-data planner (grid, d^c) for parties
+// that need to build requests against this deployment.
+func (s *SDC) Planner() *watch.Planner { return s.public.Planner() }
+
+// EColumn returns the plaintext E column for a block — public data a
+// PU needs to form its offset update W = T - E.
+func (s *SDC) EColumn(b geo.BlockID) ([]int64, error) {
+	if !s.params.Watch.Grid.Valid(b) {
+		return nil, fmt.Errorf("pisa: block %d invalid", b)
+	}
+	col := make([]int64, s.params.Watch.Channels)
+	for c := range col {
+		v, err := s.ePlain.At(c, int(b))
+		if err != nil {
+			return nil, err
+		}
+		col[c] = v
+	}
+	return col, nil
+}
+
+// HandlePUUpdate ingests a channel-reception update (Figure 4 steps
+// 4): stores the PU's latest W~ column and rebuilds the encrypted
+// budget column N~(:, b) = E~(:, b) (+) sum of W~ columns at b
+// (eqs. 9-10). The E column is re-encrypted fresh on every rebuild,
+// matching the paper's measured update cost (about C encryptions plus
+// C homomorphic additions, about 2.6 s at paper scale).
+func (s *SDC) HandlePUUpdate(u *PUUpdate) error {
+	if u == nil {
+		return fmt.Errorf("pisa: nil PU update")
+	}
+	if u.PUID == "" {
+		return fmt.Errorf("pisa: PU update missing id")
+	}
+	if !s.params.Watch.Grid.Valid(u.Block) {
+		return fmt.Errorf("pisa: PU update block %d invalid", u.Block)
+	}
+	if len(u.Cts) != s.params.Watch.Channels {
+		return fmt.Errorf("pisa: PU update has %d ciphertexts, want C=%d",
+			len(u.Cts), s.params.Watch.Channels)
+	}
+	for c, ct := range u.Cts {
+		if ct == nil || ct.C == nil {
+			return fmt.Errorf("pisa: PU update ciphertext %d is nil", c)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.puBlocks[u.PUID]; ok && prev != u.Block {
+		return fmt.Errorf("pisa: PU %q registered at block %d, update claims %d (TV receiver locations are fixed)",
+			u.PUID, prev, u.Block)
+	}
+	s.puBlocks[u.PUID] = u.Block
+	s.puUpdates[u.PUID] = u
+	return s.rebuildColumnLocked(u.Block)
+}
+
+// rebuildColumnLocked recomputes N~(:, b) from a fresh encryption of
+// the public E column plus every stored W~ column at block b.
+func (s *SDC) rebuildColumnLocked(b geo.BlockID) error {
+	channels := s.params.Watch.Channels
+	for c := 0; c < channels; c++ {
+		ev, err := s.ePlain.At(c, int(b))
+		if err != nil {
+			return err
+		}
+		acc, err := s.group.Encrypt(s.random, big.NewInt(ev))
+		if err != nil {
+			return fmt.Errorf("pisa: encrypt E(%d, %d): %w", c, b, err)
+		}
+		for id, u := range s.puUpdates {
+			if u.Block != b {
+				continue
+			}
+			acc, err = s.group.Add(acc, u.Cts[c])
+			if err != nil {
+				return fmt.Errorf("pisa: fold update from %q: %w", id, err)
+			}
+		}
+		if err := s.nEnc.Set(c, int(b), acc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// requestEntry tracks one (c, b) cell through the blinded sign test.
+type requestEntry struct {
+	c, b int
+	eps  int64 // epsilon in {-1, +1}, secret to the SDC
+}
+
+// ProcessRequest executes Figure 5 steps 3-11 for one SU request and
+// returns the response to forward to the SU. The SDC cannot tell from
+// anything it computes whether the request was granted.
+func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
+	if req == nil || req.F == nil {
+		return nil, fmt.Errorf("pisa: nil request")
+	}
+	if req.SUID == "" {
+		return nil, fmt.Errorf("pisa: request missing SU id")
+	}
+	w := s.params.Watch
+	if req.F.Channels() != w.Channels || req.F.Blocks() != w.Grid.Blocks() {
+		return nil, fmt.Errorf("pisa: request matrix %dx%d, want %dx%d",
+			req.F.Channels(), req.F.Blocks(), w.Channels, w.Grid.Blocks())
+	}
+	if !req.F.Key().Equal(s.group) {
+		return nil, fmt.Errorf("pisa: request not encrypted under the group key")
+	}
+	if req.F.Populated() == 0 {
+		return nil, fmt.Errorf("pisa: request matrix is empty")
+	}
+	suKey, err := s.stp.SUKey(req.SUID)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 3-5: R~ = X (x) F~, I~ = N~ (-) R~, blind into V~.
+	deltaX := big.NewInt(w.DeltaInt)
+	var (
+		entries []requestEntry
+		vs      []*paillier.Ciphertext
+	)
+	s.mu.Lock()
+	err = req.F.ForEach(func(c, b int, f *paillier.Ciphertext) error {
+		r, err := s.group.ScalarMul(deltaX, f) // eq. 11
+		if err != nil {
+			return fmt.Errorf("scale F(%d, %d): %w", c, b, err)
+		}
+		n, err := s.nEnc.At(c, b)
+		if err != nil {
+			return err
+		}
+		i, err := s.group.Sub(n, r) // eq. 12
+		if err != nil {
+			return fmt.Errorf("budget at (%d, %d): %w", c, b, err)
+		}
+		v, eps, err := s.blind(i) // eq. 14
+		if err != nil {
+			return fmt.Errorf("blind (%d, %d): %w", c, b, err)
+		}
+		entries = append(entries, requestEntry{c: c, b: b, eps: eps})
+		vs = append(vs, v)
+		return nil
+	})
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 6-8 happen at the STP.
+	signResp, err := s.stp.ConvertSigns(&SignRequest{SUID: req.SUID, V: vs})
+	if err != nil {
+		return nil, fmt.Errorf("pisa: STP conversion: %w", err)
+	}
+	if len(signResp.X) != len(entries) {
+		return nil, fmt.Errorf("pisa: STP returned %d signs, want %d", len(signResp.X), len(entries))
+	}
+
+	// Step 9: Q~ = eps (x) X~ (-) 1~ under the SU key (eq. 16).
+	// Summed directly: sum(Q) = sum(eps*X) - count.
+	var sumQ *paillier.Ciphertext
+	for k, x := range signResp.X {
+		unblinded, err := suKey.ScalarMul(big.NewInt(entries[k].eps), x)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: unblind sign %d: %w", k, err)
+		}
+		if sumQ == nil {
+			sumQ = unblinded
+			continue
+		}
+		if sumQ, err = suKey.Add(sumQ, unblinded); err != nil {
+			return nil, fmt.Errorf("pisa: accumulate Q: %w", err)
+		}
+	}
+	sumQ, err = suKey.AddPlain(sumQ, big.NewInt(-int64(len(entries))))
+	if err != nil {
+		return nil, fmt.Errorf("pisa: offset Q sum: %w", err)
+	}
+
+	// Steps 10-11: sign the license, encrypt under the SU key, mask
+	// with eta (x) sum(Q~) (eq. 17).
+	digest, err := req.Digest()
+	if err != nil {
+		return nil, err
+	}
+	now := s.now()
+	s.mu.Lock()
+	s.serial++
+	serial := s.serial
+	s.mu.Unlock()
+	lic := dsig.License{
+		SUID:          req.SUID,
+		Issuer:        s.issuer,
+		Serial:        serial,
+		IssuedUnix:    now.Unix(),
+		ExpiresUnix:   now.Add(s.licTTL).Unix(),
+		RequestDigest: digest,
+	}
+	sig, err := s.signer.Sign(&lic)
+	if err != nil {
+		return nil, err
+	}
+	sigEnc, err := suKey.Encrypt(s.random, dsig.SignatureToInt(sig))
+	if err != nil {
+		return nil, fmt.Errorf("pisa: encrypt signature: %w", err)
+	}
+	etaLo := new(big.Int).Lsh(big.NewInt(1), uint(s.params.EtaBits-1))
+	etaHi := new(big.Int).Lsh(big.NewInt(1), uint(s.params.EtaBits))
+	eta, err := paillier.RandomInRange(s.random, etaLo, etaHi)
+	if err != nil {
+		return nil, err
+	}
+	mask, err := suKey.ScalarMul(eta, sumQ)
+	if err != nil {
+		return nil, fmt.Errorf("pisa: mask term: %w", err)
+	}
+	masked, err := suKey.Add(sigEnc, mask)
+	if err != nil {
+		return nil, fmt.Errorf("pisa: mask signature: %w", err)
+	}
+	return &Response{License: lic, MaskedSig: masked}, nil
+}
+
+// newBlindFactors draws one (alpha, E(beta), epsilon) tuple — the
+// offline-precomputable part of eq. 14.
+func (s *SDC) newBlindFactors() (blindFactors, error) {
+	alphaLo := new(big.Int).Lsh(big.NewInt(1), uint(s.params.AlphaBits-1))
+	alphaHi := new(big.Int).Lsh(big.NewInt(1), uint(s.params.AlphaBits))
+	alpha, err := paillier.RandomInRange(s.random, alphaLo, alphaHi)
+	if err != nil {
+		return blindFactors{}, err
+	}
+	betaHi := new(big.Int).Lsh(big.NewInt(1), uint(s.params.BetaBits))
+	beta, err := paillier.RandomInRange(s.random, big.NewInt(1), betaHi)
+	if err != nil {
+		return blindFactors{}, err
+	}
+	betaEnc, err := s.group.Encrypt(s.random, beta)
+	if err != nil {
+		return blindFactors{}, err
+	}
+	epsBit := make([]byte, 1)
+	if _, err := io.ReadFull(s.random, epsBit); err != nil {
+		return blindFactors{}, fmt.Errorf("draw epsilon: %w", err)
+	}
+	eps := int64(1)
+	if epsBit[0]&1 == 1 {
+		eps = -1
+	}
+	return blindFactors{alpha: alpha, betaEnc: betaEnc, eps: eps}, nil
+}
+
+// PrecomputeBlinding extends the offline pool of blinding tuples.
+// Each processed matrix cell consumes one tuple; a dry pool falls
+// back to on-the-fly generation (one extra encryption per cell).
+func (s *SDC) PrecomputeBlinding(count int) error {
+	if count < 0 {
+		return fmt.Errorf("pisa: negative blinding count %d", count)
+	}
+	fresh := make([]blindFactors, 0, count)
+	for i := 0; i < count; i++ {
+		bf, err := s.newBlindFactors()
+		if err != nil {
+			return err
+		}
+		fresh = append(fresh, bf)
+	}
+	s.mu.Lock()
+	s.blindPool = append(s.blindPool, fresh...)
+	s.mu.Unlock()
+	return nil
+}
+
+// PooledBlinding reports the remaining precomputed blinding tuples.
+func (s *SDC) PooledBlinding() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blindPool)
+}
+
+// blind applies eq. 14 to one encrypted budget slack I~: one-time
+// alpha > beta > 0 hide the magnitude, epsilon in {-1, +1} hides the
+// sign from the STP. Returns V~ and the epsilon needed to unblind the
+// converted sign. Must be called with s.mu held (it may pop the
+// blinding pool).
+func (s *SDC) blind(i *paillier.Ciphertext) (*paillier.Ciphertext, int64, error) {
+	var (
+		bf  blindFactors
+		err error
+	)
+	if n := len(s.blindPool); n > 0 {
+		bf = s.blindPool[n-1]
+		s.blindPool = s.blindPool[:n-1]
+	} else if bf, err = s.newBlindFactors(); err != nil {
+		return nil, 0, err
+	}
+	scaled, err := s.group.ScalarMul(bf.alpha, i)
+	if err != nil {
+		return nil, 0, err
+	}
+	diff, err := s.group.Sub(scaled, bf.betaEnc)
+	if err != nil {
+		return nil, 0, err
+	}
+	v, err := s.group.ScalarMul(big.NewInt(bf.eps), diff)
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, bf.eps, nil
+}

@@ -1,0 +1,91 @@
+package pisa
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"time"
+
+	"pisa/internal/geo"
+)
+
+// SDCService is the slice of the SDC an SU needs: request processing.
+// *SDC satisfies it in process; node.SDCClient satisfies it over TCP.
+type SDCService interface {
+	ProcessRequest(req *TransmissionRequest) (*Response, error)
+}
+
+// Session wraps the repeated-use flow of §VI-A: prepare an encrypted
+// request once (expensive), then re-submit cheap re-randomised copies
+// whenever spectrum is needed again, keeping the latest license.
+type Session struct {
+	su        *SU
+	sdc       SDCService
+	verifyKey *rsa.PublicKey
+	base      *TransmissionRequest
+	now       func() time.Time
+	lastGrant *Grant
+}
+
+// NewSession prepares the base request (the ~221 s offline step at
+// paper scale) and binds the session to an SDC.
+func NewSession(su *SU, sdc SDCService, verifyKey *rsa.PublicKey, eirpUnits map[int]int64, disclosure geo.Disclosure) (*Session, error) {
+	if su == nil || sdc == nil || verifyKey == nil {
+		return nil, fmt.Errorf("pisa: session requires SU, SDC and verify key")
+	}
+	base, err := su.PrepareRequest(eirpUnits, disclosure)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		su:        su,
+		sdc:       sdc,
+		verifyKey: verifyKey,
+		base:      base,
+		now:       time.Now,
+	}, nil
+}
+
+// PrecomputeRounds tops up the SU's nonce pool for the given number
+// of future Submit calls (offline work).
+func (s *Session) PrecomputeRounds(rounds int) error {
+	if rounds < 0 {
+		return fmt.Errorf("pisa: negative rounds %d", rounds)
+	}
+	return s.su.PrecomputeNonces(rounds * s.base.F.Populated())
+}
+
+// Submit sends one fresh (unlinkable) copy of the request and opens
+// the response. The grant is cached for License.
+func (s *Session) Submit() (Grant, error) {
+	req, err := s.su.RefreshRequest(s.base)
+	if err != nil {
+		return Grant{}, err
+	}
+	resp, err := s.sdc.ProcessRequest(req)
+	if err != nil {
+		return Grant{}, err
+	}
+	grant, err := s.su.OpenResponse(resp, req, s.verifyKey)
+	if err != nil {
+		return Grant{}, err
+	}
+	s.lastGrant = &grant
+	return grant, nil
+}
+
+// Authorized reports whether the session currently holds a valid,
+// unexpired license. SUs call this before transmitting; an expired
+// license means Submit again.
+func (s *Session) Authorized() bool {
+	return s.lastGrant != nil &&
+		s.lastGrant.Granted &&
+		s.lastGrant.License.ValidAt(s.now().Unix())
+}
+
+// LastGrant returns the most recent grant, if any.
+func (s *Session) LastGrant() (Grant, bool) {
+	if s.lastGrant == nil {
+		return Grant{}, false
+	}
+	return *s.lastGrant, true
+}

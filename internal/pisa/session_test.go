@@ -1,0 +1,121 @@
+package pisa
+
+import (
+	"testing"
+	"time"
+
+	"pisa/internal/geo"
+)
+
+func TestSessionLifecycle(t *testing.T) {
+	d := newDeployment(t)
+	su := d.newSU(t, "su-session", 7)
+	pu := d.newPU(t, "tv-session", 8)
+
+	sess, err := NewSession(su, d.sdc, d.sdc.VerifyKey(), map[int]int64{1: maxEIRP(d)}, geo.Disclosure{})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if sess.Authorized() {
+		t.Fatal("authorized before any submission")
+	}
+	if _, ok := sess.LastGrant(); ok {
+		t.Fatal("grant present before any submission")
+	}
+	if err := sess.PrecomputeRounds(3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 1: channel free -> granted, authorized.
+	grant, err := sess.Submit()
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if !grant.Granted || !sess.Authorized() {
+		t.Fatal("free channel not granted")
+	}
+
+	// PU appears: the next submission is denied and authorization
+	// drops.
+	d.tune(t, pu, 1, d.params.Watch.Quantize(d.params.Watch.SMinPUmW))
+	grant, err = sess.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grant.Granted || sess.Authorized() {
+		t.Fatal("session stayed authorized against an active PU")
+	}
+
+	// PU leaves: authorized again.
+	d.off(t, pu)
+	if _, err := sess.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Authorized() {
+		t.Fatal("session not re-authorized after PU left")
+	}
+	last, ok := sess.LastGrant()
+	if !ok || !last.Granted {
+		t.Fatal("LastGrant does not reflect the latest submission")
+	}
+}
+
+func TestSessionAuthorizationExpires(t *testing.T) {
+	wp := testWatchParams(t)
+	params := TestParams(wp)
+	stp, err := NewSTP(nil, params.PaillierBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Date(2026, 7, 5, 10, 0, 0, 0, time.UTC)
+	sdc, err := NewSDC("sdc-ttl", params, nil, stp,
+		WithClock(func() time.Time { return clock }),
+		WithLicenseTTL(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := NewSU(nil, "su-ttl", 7, params, sdc.Planner(), stp.GroupKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stp.RegisterSU(su.ID(), su.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(su, sdc, sdc.VerifyKey(), map[int]int64{0: 100}, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.now = func() time.Time { return clock }
+	if _, err := sess.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Authorized() {
+		t.Fatal("not authorized after grant")
+	}
+	// Two hours later the license has lapsed.
+	clock = clock.Add(2 * time.Hour)
+	if sess.Authorized() {
+		t.Fatal("authorized on an expired license")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	d := newDeployment(t)
+	su := d.newSU(t, "su-v", 7)
+	if _, err := NewSession(nil, d.sdc, d.sdc.VerifyKey(), map[int]int64{0: 1}, geo.Disclosure{}); err == nil {
+		t.Error("nil SU accepted")
+	}
+	if _, err := NewSession(su, nil, d.sdc.VerifyKey(), map[int]int64{0: 1}, geo.Disclosure{}); err == nil {
+		t.Error("nil SDC accepted")
+	}
+	if _, err := NewSession(su, d.sdc, nil, map[int]int64{0: 1}, geo.Disclosure{}); err == nil {
+		t.Error("nil key accepted")
+	}
+	sess, err := NewSession(su, d.sdc, d.sdc.VerifyKey(), map[int]int64{0: 1}, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.PrecomputeRounds(-1); err == nil {
+		t.Error("negative rounds accepted")
+	}
+}

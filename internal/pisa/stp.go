@@ -1,0 +1,140 @@
+package pisa
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"pisa/internal/paillier"
+)
+
+// STPService is the interface the SDC uses to reach the semi-trusted
+// third party. An *STP satisfies it directly for in-process
+// deployments; internal/node provides a TCP-backed implementation.
+type STPService interface {
+	// ConvertSigns performs the blinded sign test and key conversion
+	// of eq. 15: decrypt each group-key ciphertext, map its sign to
+	// +1/-1, and re-encrypt under the named SU's key.
+	ConvertSigns(req *SignRequest) (*SignResponse, error)
+	// SUKey returns the registered public key of an SU.
+	SUKey(id string) (*paillier.PublicKey, error)
+	// GroupKey returns the group public key pk_G.
+	GroupKey() *paillier.PublicKey
+}
+
+// STP is the semi-trusted third party: sole holder of the group
+// secret key, registry of SU public keys. It sees only blinded values
+// whose sign carries no information thanks to the SDC's one-time
+// epsilon flips (eq. 14).
+type STP struct {
+	group  *paillier.PrivateKey
+	random io.Reader
+
+	mu     sync.RWMutex
+	suKeys map[string]*paillier.PublicKey
+
+	// observer, when set (tests only), receives the plaintext V
+	// values the STP decrypts, enabling the leakage analysis of
+	// §V without instrumenting production code paths.
+	observer func(suID string, values []*big.Int)
+}
+
+var _ STPService = (*STP)(nil)
+
+// NewSTP generates the group key pair and an empty SU registry.
+func NewSTP(random io.Reader, paillierBits int) (*STP, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	group, err := paillier.GenerateKey(random, paillierBits)
+	if err != nil {
+		return nil, fmt.Errorf("pisa: generate group key: %w", err)
+	}
+	return NewSTPWithKey(random, group), nil
+}
+
+// NewSTPWithKey wraps an existing group key (deterministic tests,
+// state restoration).
+func NewSTPWithKey(random io.Reader, group *paillier.PrivateKey) *STP {
+	if random == nil {
+		random = rand.Reader
+	}
+	return &STP{
+		group:  group,
+		random: random,
+		suKeys: make(map[string]*paillier.PublicKey),
+	}
+}
+
+// GroupKey returns pk_G. Anyone may retrieve it (§III-C).
+func (s *STP) GroupKey() *paillier.PublicKey {
+	return s.group.Public()
+}
+
+// RegisterSU stores an SU's public key for later key conversion.
+// Re-registration with the same key is idempotent; changing the key
+// for an existing ID is rejected (it would let an attacker redirect
+// another SU's responses).
+func (s *STP) RegisterSU(id string, pk *paillier.PublicKey) error {
+	if id == "" {
+		return fmt.Errorf("pisa: empty SU id")
+	}
+	if pk == nil || pk.N == nil {
+		return fmt.Errorf("pisa: nil public key for SU %q", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.suKeys[id]; ok && !existing.Equal(pk) {
+		return fmt.Errorf("pisa: SU %q already registered with a different key", id)
+	}
+	s.suKeys[id] = pk
+	return nil
+}
+
+// SUKey implements STPService.
+func (s *STP) SUKey(id string) (*paillier.PublicKey, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pk, ok := s.suKeys[id]
+	if !ok {
+		return nil, fmt.Errorf("pisa: SU %q not registered with STP", id)
+	}
+	return pk, nil
+}
+
+// ConvertSigns implements STPService: eq. 15 plus key conversion.
+func (s *STP) ConvertSigns(req *SignRequest) (*SignResponse, error) {
+	if req == nil {
+		return nil, fmt.Errorf("pisa: nil sign request")
+	}
+	suKey, err := s.SUKey(req.SUID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*paillier.Ciphertext, len(req.V))
+	var observed []*big.Int
+	for i, ct := range req.V {
+		v, err := s.group.Decrypt(ct)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: decrypt V[%d]: %w", i, err)
+		}
+		if s.observer != nil {
+			observed = append(observed, new(big.Int).Set(v))
+		}
+		x := int64(-1)
+		if v.Sign() > 0 {
+			x = 1
+		}
+		enc, err := suKey.EncryptInt(s.random, x)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: encrypt X[%d]: %w", i, err)
+		}
+		out[i] = enc
+	}
+	if s.observer != nil {
+		s.observer(req.SUID, observed)
+	}
+	return &SignResponse{X: out}, nil
+}

@@ -1,0 +1,134 @@
+package probe
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pisa/internal/geo"
+)
+
+// Obfuscator implements the counter-measure the paper's related work
+// describes (Bahrak et al. [7]): the spectrum database perturbs its
+// answers so that denial patterns no longer pinpoint protected
+// receivers, trading some secondary utility (spurious denials) for
+// primary-user location privacy.
+//
+// Mechanism: deterministic per-(block, channel) noise flips a
+// fraction of answers from grant to deny. False *grants* are never
+// introduced — the obfuscation must not endanger primary users — so
+// the perturbation is one-sided: real denials stay, decoy denials
+// appear. Decoys are sticky (the same probe always gets the same
+// answer), otherwise an attacker could average them away by repeating
+// queries.
+type Obfuscator struct {
+	inner Decider
+	// decoyRate is the probability a granted cell answers "deny".
+	decoyRate float64
+	rng       *rand.Rand
+	mu        sync.Mutex
+	sticky    map[obfKey]bool // true = flip this cell to deny
+
+	// FalseDenials counts grants suppressed so far — the utility
+	// cost of the obfuscation.
+	FalseDenials int
+}
+
+type obfKey struct {
+	block   geo.BlockID
+	channel int
+}
+
+// NewObfuscator wraps a decider. decoyRate in (0, 1) is the chance a
+// truly-grantable cell is reported as denied; seed makes the decoy
+// field reproducible.
+func NewObfuscator(inner Decider, decoyRate float64, seed int64) (*Obfuscator, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("probe: obfuscator requires a decider")
+	}
+	if decoyRate <= 0 || decoyRate >= 1 {
+		return nil, fmt.Errorf("probe: decoy rate %g outside (0, 1)", decoyRate)
+	}
+	return &Obfuscator{
+		inner:     inner,
+		decoyRate: decoyRate,
+		rng:       rand.New(rand.NewSource(seed)),
+		sticky:    make(map[obfKey]bool),
+	}, nil
+}
+
+// Decide implements Decider with one-sided perturbation.
+func (o *Obfuscator) Decide(block geo.BlockID, channel int, eirpUnits int64) (bool, error) {
+	granted, err := o.inner.Decide(block, channel, eirpUnits)
+	if err != nil {
+		return false, err
+	}
+	if !granted {
+		return false, nil // real denials always stand
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	key := obfKey{block: block, channel: channel}
+	flip, ok := o.sticky[key]
+	if !ok {
+		flip = o.rng.Float64() < o.decoyRate
+		o.sticky[key] = flip
+	}
+	if flip {
+		o.FalseDenials++
+		return false, nil
+	}
+	return true, nil
+}
+
+// TradeoffReport quantifies what the obfuscation bought and cost for
+// one attack sweep against a single protected receiver.
+type TradeoffReport struct {
+	// ErrorPlain and ErrorObfuscated are the attacker's localization
+	// errors in metres without and with the counter-measure.
+	ErrorPlain, ErrorObfuscated float64
+	// DenialsPlain and DenialsObfuscated count denied probes.
+	DenialsPlain, DenialsObfuscated int
+	// FalseDenialRate is the fraction of additional (spurious)
+	// denials among all probes — the utility price.
+	FalseDenialRate float64
+}
+
+// MeasureTradeoff runs the probing attack against a decider with and
+// without obfuscation and reports the privacy gain and utility cost.
+// truth is the protected receiver's true position; channel selects the
+// result row to score.
+func MeasureTradeoff(cfg Config, plain Decider, decoyRate float64, seed int64, channel int, truth geo.Point) (TradeoffReport, error) {
+	if channel < 0 || channel >= cfg.Channels {
+		return TradeoffReport{}, fmt.Errorf("probe: channel %d outside [0, %d)", channel, cfg.Channels)
+	}
+	plainResults, err := Sweep(cfg, plain)
+	if err != nil {
+		return TradeoffReport{}, err
+	}
+	obf, err := NewObfuscator(plain, decoyRate, seed)
+	if err != nil {
+		return TradeoffReport{}, err
+	}
+	obfResults, err := Sweep(cfg, obf)
+	if err != nil {
+		return TradeoffReport{}, err
+	}
+	var report TradeoffReport
+	report.DenialsPlain = len(plainResults[channel].DeniedBlocks)
+	report.DenialsObfuscated = len(obfResults[channel].DeniedBlocks)
+	if e, ok := LocalizationError(cfg.Grid, plainResults[channel], truth); ok {
+		report.ErrorPlain = e
+	}
+	if e, ok := LocalizationError(cfg.Grid, obfResults[channel], truth); ok {
+		report.ErrorObfuscated = e
+	}
+	totalProbes := 0
+	for _, r := range obfResults {
+		totalProbes += r.Queries
+	}
+	if totalProbes > 0 {
+		report.FalseDenialRate = float64(obf.FalseDenials) / float64(totalProbes)
+	}
+	return report, nil
+}

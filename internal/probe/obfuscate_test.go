@@ -1,0 +1,123 @@
+package probe
+
+import (
+	"testing"
+
+	"pisa/internal/geo"
+	"pisa/internal/watch"
+)
+
+func TestObfuscatorValidation(t *testing.T) {
+	ok := DeciderFunc(func(geo.BlockID, int, int64) (bool, error) { return true, nil })
+	if _, err := NewObfuscator(nil, 0.3, 1); err == nil {
+		t.Error("nil decider accepted")
+	}
+	for _, rate := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewObfuscator(ok, rate, 1); err == nil {
+			t.Errorf("rate %g accepted", rate)
+		}
+	}
+}
+
+func TestObfuscatorNeverGrantsRealDenials(t *testing.T) {
+	// Safety property: a true denial must never become a grant.
+	alwaysDeny := DeciderFunc(func(geo.BlockID, int, int64) (bool, error) { return false, nil })
+	obf, err := NewObfuscator(alwaysDeny, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 100; b++ {
+		granted, err := obf.Decide(geo.BlockID(b), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if granted {
+			t.Fatal("obfuscator granted a real denial; primary users endangered")
+		}
+	}
+	if obf.FalseDenials != 0 {
+		t.Errorf("FalseDenials = %d over pure denials", obf.FalseDenials)
+	}
+}
+
+func TestObfuscatorSticky(t *testing.T) {
+	alwaysGrant := DeciderFunc(func(geo.BlockID, int, int64) (bool, error) { return true, nil })
+	obf, err := NewObfuscator(alwaysGrant, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make(map[geo.BlockID]bool)
+	for b := 0; b < 50; b++ {
+		g, err := obf.Decide(geo.BlockID(b), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[geo.BlockID(b)] = g
+	}
+	// Repeating every probe returns identical answers — no averaging
+	// attack.
+	for b := 0; b < 50; b++ {
+		g, err := obf.Decide(geo.BlockID(b), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != first[geo.BlockID(b)] {
+			t.Fatalf("answer for block %d changed between probes", b)
+		}
+	}
+	// Roughly half the grants should have been decoyed.
+	denied := 0
+	for _, g := range first {
+		if !g {
+			denied++
+		}
+	}
+	if denied < 10 || denied > 40 {
+		t.Errorf("decoy count %d/50 far from the configured 50%%", denied)
+	}
+}
+
+func TestMeasureTradeoff(t *testing.T) {
+	wp := attackParams(t)
+	sys, err := watch.NewSystem(wp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := geo.BlockID(27)
+	if err := sys.UpdatePU("victim", watch.Registration{
+		Block: victim, Channel: 1, SignalUnits: wp.Quantize(wp.SMinPUmW),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	truth, err := wp.Grid.Center(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Grid:           wp.Grid,
+		Channels:       wp.Channels,
+		ProbeEIRPUnits: wp.Quantize(wp.SUMaxEIRPmW),
+		Stride:         1,
+	}
+	report, err := MeasureTradeoff(cfg, oracleDecider(t, sys), 0.4, 3, 1, truth)
+	if err != nil {
+		t.Fatalf("MeasureTradeoff: %v", err)
+	}
+	// Privacy gain: the decoy field drags the centroid away from the
+	// victim.
+	if report.ErrorObfuscated <= report.ErrorPlain {
+		t.Errorf("obfuscation did not increase localization error: %.1f m -> %.1f m",
+			report.ErrorPlain, report.ErrorObfuscated)
+	}
+	// Utility cost: spurious denials appeared and are accounted.
+	if report.DenialsObfuscated <= report.DenialsPlain {
+		t.Errorf("no decoy denials: %d -> %d", report.DenialsPlain, report.DenialsObfuscated)
+	}
+	if report.FalseDenialRate <= 0 || report.FalseDenialRate >= 1 {
+		t.Errorf("false denial rate %g implausible", report.FalseDenialRate)
+	}
+	// Validation.
+	if _, err := MeasureTradeoff(cfg, oracleDecider(t, sys), 0.4, 3, 99, truth); err == nil {
+		t.Error("invalid channel accepted")
+	}
+}

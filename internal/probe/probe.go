@@ -1,0 +1,132 @@
+// Package probe implements the primary-user inference attack of
+// Bahrak et al. (DySPAN 2014, reference [7] of the paper): a
+// malicious secondary user issues seemingly innocuous transmission
+// requests across the service area and triangulates active TV
+// receivers from the grant/deny answers alone.
+//
+// The attack needs nothing but the legitimate query interface, so it
+// applies to plaintext WATCH and to the full PISA pipeline alike —
+// PISA's guarantee is against the database operator, not against
+// query-response inference (the paper scopes this out via [7]; see
+// DESIGN.md §6). The package exists to *measure* that equivalence and
+// to provide the substrate for obfuscation counter-measures.
+package probe
+
+import (
+	"fmt"
+
+	"pisa/internal/geo"
+)
+
+// Decider answers a probe: "would an SU at this block, transmitting
+// at this EIRP on this channel, be granted?". Both the plaintext
+// oracle and the encrypted pipeline satisfy it via small adapters.
+type Decider interface {
+	Decide(block geo.BlockID, channel int, eirpUnits int64) (bool, error)
+}
+
+// DeciderFunc adapts a closure to Decider.
+type DeciderFunc func(block geo.BlockID, channel int, eirpUnits int64) (bool, error)
+
+// Decide implements Decider.
+func (f DeciderFunc) Decide(block geo.BlockID, channel int, eirpUnits int64) (bool, error) {
+	return f(block, channel, eirpUnits)
+}
+
+// Config tunes the sweep.
+type Config struct {
+	// Grid is the service area under attack.
+	Grid *geo.Grid
+	// Channels is the number of channels to probe.
+	Channels int
+	// ProbeEIRPUnits is the power each probe requests. Higher power
+	// probes "see" PUs from further away but lose spatial
+	// resolution; callers typically use the regulatory cap.
+	ProbeEIRPUnits int64
+	// Stride probes every Stride-th block (1 = every block). Coarser
+	// strides trade queries for resolution.
+	Stride int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Grid == nil:
+		return fmt.Errorf("probe: Grid is required")
+	case c.Channels <= 0:
+		return fmt.Errorf("probe: Channels must be positive, got %d", c.Channels)
+	case c.ProbeEIRPUnits <= 0:
+		return fmt.Errorf("probe: ProbeEIRPUnits must be positive, got %d", c.ProbeEIRPUnits)
+	case c.Stride <= 0:
+		return fmt.Errorf("probe: Stride must be positive, got %d", c.Stride)
+	}
+	return nil
+}
+
+// Result is the attacker's map of one channel.
+type Result struct {
+	// Channel is the probed channel.
+	Channel int
+	// DeniedBlocks are the probe positions that were refused — the
+	// attacker's evidence of a protected receiver nearby.
+	DeniedBlocks []geo.BlockID
+	// Queries counts the requests spent.
+	Queries int
+}
+
+// Centroid estimates the protected receiver's position as the mean of
+// the denied probe positions. Returns false when nothing was denied.
+func (r Result) Centroid(grid *geo.Grid) (geo.Point, bool) {
+	if len(r.DeniedBlocks) == 0 {
+		return geo.Point{}, false
+	}
+	var sum geo.Point
+	for _, b := range r.DeniedBlocks {
+		p, err := grid.Center(b)
+		if err != nil {
+			continue
+		}
+		sum.X += p.X
+		sum.Y += p.Y
+	}
+	n := float64(len(r.DeniedBlocks))
+	return geo.Point{X: sum.X / n, Y: sum.Y / n}, true
+}
+
+// Sweep runs the attack: probe every Stride-th block on every channel
+// and record where transmission is denied.
+func Sweep(cfg Config, decide Decider) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if decide == nil {
+		return nil, fmt.Errorf("probe: Decider is required")
+	}
+	results := make([]Result, cfg.Channels)
+	for c := 0; c < cfg.Channels; c++ {
+		res := Result{Channel: c}
+		for b := 0; b < cfg.Grid.Blocks(); b += cfg.Stride {
+			granted, err := decide.Decide(geo.BlockID(b), c, cfg.ProbeEIRPUnits)
+			if err != nil {
+				return nil, fmt.Errorf("probe block %d channel %d: %w", b, c, err)
+			}
+			res.Queries++
+			if !granted {
+				res.DeniedBlocks = append(res.DeniedBlocks, geo.BlockID(b))
+			}
+		}
+		results[c] = res
+	}
+	return results, nil
+}
+
+// LocalizationError returns the distance in metres between the
+// attack's centroid estimate and the true receiver position, and
+// whether the channel produced an estimate at all.
+func LocalizationError(grid *geo.Grid, r Result, truth geo.Point) (float64, bool) {
+	est, ok := r.Centroid(grid)
+	if !ok {
+		return 0, false
+	}
+	return est.Distance(truth), true
+}

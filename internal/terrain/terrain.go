@@ -1,0 +1,261 @@
+// Package terrain provides the public terrain-database substrate the
+// paper leans on (§III-D: "terrain information is public knowledge
+// that is easily found on government terrain database" — USGS/SRTM3,
+// refs [3, 33]). Since those databases are unavailable offline, the
+// package generates deterministic synthetic elevation fields with the
+// diamond-square algorithm and derives terrain-aware path loss via
+// single knife-edge diffraction — the physical effect the
+// Longley-Rice irregular terrain model (ref [29]) captures and that
+// the paper's S^PU values come from.
+//
+// Everything is seeded: the same seed always yields the same terrain,
+// so experiments are reproducible and all parties can derive the same
+// "public knowledge" independently.
+package terrain
+
+import (
+	"fmt"
+	"math"
+
+	"pisa/internal/geo"
+	"pisa/internal/propagation"
+)
+
+// Map is a square elevation grid over a service area.
+type Map struct {
+	size    int // grid vertices per side (2^n + 1)
+	spacing float64
+	heights []float64 // row-major, metres above datum
+}
+
+// Config parameterises terrain generation.
+type Config struct {
+	// Seed makes the terrain reproducible.
+	Seed uint64
+	// Size is the number of vertices per side; rounded up to the
+	// next 2^n + 1 (diamond-square requirement).
+	Size int
+	// SpacingMeters is the horizontal distance between vertices
+	// (SRTM3 is ~90 m).
+	SpacingMeters float64
+	// ReliefMeters is the initial corner displacement amplitude —
+	// larger means more mountainous terrain.
+	ReliefMeters float64
+	// Roughness in (0, 1) controls how fast displacement decays per
+	// octave: ~0.5 gives natural-looking terrain.
+	Roughness float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Size < 2:
+		return fmt.Errorf("terrain: Size must be at least 2, got %d", c.Size)
+	case c.SpacingMeters <= 0:
+		return fmt.Errorf("terrain: SpacingMeters must be positive, got %g", c.SpacingMeters)
+	case c.ReliefMeters < 0:
+		return fmt.Errorf("terrain: ReliefMeters must be non-negative, got %g", c.ReliefMeters)
+	case c.Roughness <= 0 || c.Roughness >= 1:
+		return fmt.Errorf("terrain: Roughness %g outside (0, 1)", c.Roughness)
+	}
+	return nil
+}
+
+// Generate builds a terrain map with the diamond-square algorithm.
+func Generate(cfg Config) (*Map, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Round size up to 2^n + 1.
+	size := 3
+	for size < cfg.Size {
+		size = (size-1)*2 + 1
+	}
+	m := &Map{
+		size:    size,
+		spacing: cfg.SpacingMeters,
+		heights: make([]float64, size*size),
+	}
+	rnd := func(a, b int, scale float64) float64 {
+		// Deterministic signed displacement per vertex.
+		u := unitHash(cfg.Seed, uint64(a)<<32|uint64(uint32(b)), uint64(size))
+		return (u*2 - 1) * scale
+	}
+	at := func(x, y int) float64 { return m.heights[y*m.size+x] }
+	set := func(x, y int, v float64) { m.heights[y*m.size+x] = v }
+
+	// Seed the corners.
+	for _, corner := range [][2]int{{0, 0}, {size - 1, 0}, {0, size - 1}, {size - 1, size - 1}} {
+		set(corner[0], corner[1], rnd(corner[0], corner[1], cfg.ReliefMeters))
+	}
+	scale := cfg.ReliefMeters
+	for step := size - 1; step > 1; step /= 2 {
+		half := step / 2
+		// Diamond step.
+		for y := half; y < size; y += step {
+			for x := half; x < size; x += step {
+				avg := (at(x-half, y-half) + at(x+half, y-half) +
+					at(x-half, y+half) + at(x+half, y+half)) / 4
+				set(x, y, avg+rnd(x, y, scale))
+			}
+		}
+		// Square step.
+		for y := 0; y < size; y += half {
+			start := half
+			if (y/half)%2 == 1 {
+				start = 0
+			}
+			for x := start; x < size; x += step {
+				sum, n := 0.0, 0
+				if x-half >= 0 {
+					sum += at(x-half, y)
+					n++
+				}
+				if x+half < size {
+					sum += at(x+half, y)
+					n++
+				}
+				if y-half >= 0 {
+					sum += at(x, y-half)
+					n++
+				}
+				if y+half < size {
+					sum += at(x, y+half)
+					n++
+				}
+				set(x, y, sum/float64(n)+rnd(x, y, scale))
+			}
+		}
+		scale *= cfg.Roughness
+	}
+	return m, nil
+}
+
+// Extent returns the map's side length in metres.
+func (m *Map) Extent() float64 { return float64(m.size-1) * m.spacing }
+
+// ElevationAt returns the bilinearly interpolated elevation at a
+// point; coordinates outside the map clamp to the edge.
+func (m *Map) ElevationAt(p geo.Point) float64 {
+	fx := clamp(p.X/m.spacing, 0, float64(m.size-1))
+	fy := clamp(p.Y/m.spacing, 0, float64(m.size-1))
+	x0, y0 := int(fx), int(fy)
+	x1, y1 := min(x0+1, m.size-1), min(y0+1, m.size-1)
+	tx, ty := fx-float64(x0), fy-float64(y0)
+	h00 := m.heights[y0*m.size+x0]
+	h10 := m.heights[y0*m.size+x1]
+	h01 := m.heights[y1*m.size+x0]
+	h11 := m.heights[y1*m.size+x1]
+	return h00*(1-tx)*(1-ty) + h10*tx*(1-ty) + h01*(1-tx)*ty + h11*tx*ty
+}
+
+// Profile samples the terrain along the straight path from a to b.
+func (m *Map) Profile(a, b geo.Point, samples int) []float64 {
+	if samples < 2 {
+		samples = 2
+	}
+	out := make([]float64, samples)
+	for i := range out {
+		t := float64(i) / float64(samples-1)
+		out[i] = m.ElevationAt(geo.Point{
+			X: a.X + t*(b.X-a.X),
+			Y: a.Y + t*(b.Y-a.Y),
+		})
+	}
+	return out
+}
+
+// KnifeEdgeLossDB computes the single knife-edge diffraction loss for
+// the worst obstruction between two antennas (heights in metres above
+// local ground), at the given frequency. Zero when the path is clear.
+// This is the dominant terrain effect Longley-Rice models; the
+// approximation is the ITU-R P.526 formulation of the Fresnel
+// parameter v:
+//
+//	loss = 6.9 + 20*log10(sqrt((v-0.1)^2 + 1) + v - 0.1)  for v > -0.78
+func (m *Map) KnifeEdgeLossDB(a, b geo.Point, antennaA, antennaB, freqMHz float64) float64 {
+	const samples = 64
+	profile := m.Profile(a, b, samples)
+	d := a.Distance(b)
+	if d <= 0 || freqMHz <= 0 {
+		return 0
+	}
+	lambda := 299.792458 / freqMHz // metres
+	hA := profile[0] + antennaA
+	hB := profile[samples-1] + antennaB
+	worstV := math.Inf(-1)
+	for i := 1; i < samples-1; i++ {
+		t := float64(i) / float64(samples-1)
+		d1 := d * t
+		d2 := d * (1 - t)
+		los := hA + (hB-hA)*t // line of sight height at the sample
+		h := profile[i] - los // obstruction above the LOS line
+		v := h * math.Sqrt(2*d/(lambda*d1*d2))
+		if v > worstV {
+			worstV = v
+		}
+	}
+	if worstV <= -0.78 {
+		return 0
+	}
+	x := worstV - 0.1
+	return 6.9 + 20*math.Log10(math.Sqrt(x*x+1)+x)
+}
+
+// Model wraps a base distance model with terrain diffraction for a
+// fixed link geometry, satisfying propagation.Model. Build one per
+// link via LinkModel.
+type Model struct {
+	base       propagation.Model
+	m          *Map
+	a, b       geo.Point
+	hA, hB     float64
+	freqMHz    float64
+	terrainDB  float64
+	terrainSet bool
+}
+
+// LinkModel returns a propagation model for the specific path a->b:
+// base loss plus the (precomputed) knife-edge diffraction loss for
+// that path. The diffraction term is geometry-dependent, not
+// distance-dependent, so it is computed once.
+func (m *Map) LinkModel(base propagation.Model, a, b geo.Point, antennaA, antennaB, freqMHz float64) *Model {
+	return &Model{
+		base:    base,
+		m:       m,
+		a:       a,
+		b:       b,
+		hA:      antennaA,
+		hB:      antennaB,
+		freqMHz: freqMHz,
+	}
+}
+
+// Name implements propagation.Model.
+func (l *Model) Name() string { return l.base.Name() + "+terrain" }
+
+// LossDB implements propagation.Model.
+func (l *Model) LossDB(dMeters float64) float64 {
+	if !l.terrainSet {
+		l.terrainDB = l.m.KnifeEdgeLossDB(l.a, l.b, l.hA, l.hB, l.freqMHz)
+		l.terrainSet = true
+	}
+	return l.base.LossDB(dMeters) + l.terrainDB
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}
+
+// unitHash maps (seed, a, b) to a deterministic uniform [0, 1).
+func unitHash(seed, a, b uint64) float64 {
+	x := splitmix64(seed ^ splitmix64(a) ^ splitmix64(b*0x9e3779b97f4a7c15))
+	return float64(x>>11) / (1 << 53)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,185 @@
+package terrain
+
+import (
+	"math"
+	"testing"
+
+	"pisa/internal/geo"
+	"pisa/internal/propagation"
+)
+
+func testConfig() Config {
+	return Config{
+		Seed:          7,
+		Size:          65,
+		SpacingMeters: 90, // SRTM3-like
+		ReliefMeters:  200,
+		Roughness:     0.55,
+	}
+}
+
+func mustGenerate(t *testing.T, cfg Config) *Map {
+	t.Helper()
+	m, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Size = 1 },
+		func(c *Config) { c.SpacingMeters = 0 },
+		func(c *Config) { c.ReliefMeters = -1 },
+		func(c *Config) { c.Roughness = 0 },
+		func(c *Config) { c.Roughness = 1 },
+	}
+	for i, mut := range mutations {
+		cfg := testConfig()
+		mut(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := mustGenerate(t, testConfig())
+	b := mustGenerate(t, testConfig())
+	for i := range a.heights {
+		if a.heights[i] != b.heights[i] {
+			t.Fatalf("vertex %d differs between identical seeds", i)
+		}
+	}
+	other := testConfig()
+	other.Seed = 8
+	c := mustGenerate(t, other)
+	same := true
+	for i := range a.heights {
+		if a.heights[i] != c.heights[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical terrain")
+	}
+}
+
+func TestTerrainHasRelief(t *testing.T) {
+	m := mustGenerate(t, testConfig())
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, h := range m.heights {
+		lo = math.Min(lo, h)
+		hi = math.Max(hi, h)
+	}
+	if hi-lo < 50 {
+		t.Errorf("terrain relief %g m too flat for 200 m amplitude", hi-lo)
+	}
+	if hi-lo > 2000 {
+		t.Errorf("terrain relief %g m implausibly large", hi-lo)
+	}
+}
+
+func TestElevationInterpolationContinuous(t *testing.T) {
+	m := mustGenerate(t, testConfig())
+	// Tiny moves must produce tiny elevation changes.
+	p := geo.Point{X: 1000, Y: 1000}
+	base := m.ElevationAt(p)
+	for _, dx := range []float64{0.5, 1, 2} {
+		delta := math.Abs(m.ElevationAt(geo.Point{X: p.X + dx, Y: p.Y}) - base)
+		if delta > 10 {
+			t.Errorf("elevation jumped %g m over %g m horizontally", delta, dx)
+		}
+	}
+	// Out-of-range points clamp instead of panicking.
+	_ = m.ElevationAt(geo.Point{X: -500, Y: 1e9})
+}
+
+func TestProfileEndpoints(t *testing.T) {
+	m := mustGenerate(t, testConfig())
+	a := geo.Point{X: 100, Y: 200}
+	b := geo.Point{X: 4000, Y: 3500}
+	prof := m.Profile(a, b, 32)
+	if len(prof) != 32 {
+		t.Fatalf("profile has %d samples", len(prof))
+	}
+	if math.Abs(prof[0]-m.ElevationAt(a)) > 1e-9 {
+		t.Error("profile start does not match endpoint elevation")
+	}
+	if math.Abs(prof[31]-m.ElevationAt(b)) > 1e-9 {
+		t.Error("profile end does not match endpoint elevation")
+	}
+}
+
+func TestKnifeEdgeLossProperties(t *testing.T) {
+	m := mustGenerate(t, testConfig())
+	a := geo.Point{X: 200, Y: 200}
+	b := geo.Point{X: 5000, Y: 4800}
+	// Loss is never negative and is finite.
+	loss := m.KnifeEdgeLossDB(a, b, 10, 10, 600)
+	if loss < 0 || math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("implausible diffraction loss %g", loss)
+	}
+	// Raising both antennas high above the relief clears the path.
+	clear := m.KnifeEdgeLossDB(a, b, 5000, 5000, 600)
+	if clear != 0 {
+		t.Errorf("5 km masts still obstructed: %g dB", clear)
+	}
+	// Burying the antennas cannot reduce the loss.
+	buried := m.KnifeEdgeLossDB(a, b, 0, 0, 600)
+	if buried < loss {
+		t.Errorf("lower antennas reduced loss: %g < %g", buried, loss)
+	}
+	// Degenerate inputs are harmless.
+	if got := m.KnifeEdgeLossDB(a, a, 10, 10, 600); got != 0 {
+		t.Errorf("zero-length path lost %g dB", got)
+	}
+	if got := m.KnifeEdgeLossDB(a, b, 10, 10, 0); got != 0 {
+		t.Errorf("zero frequency lost %g dB", got)
+	}
+}
+
+func TestLinkModelAddsTerrainLoss(t *testing.T) {
+	m := mustGenerate(t, testConfig())
+	base := propagation.FreeSpace{FreqMHz: 600}
+	// Find an obstructed link so the test is meaningful.
+	var a, b geo.Point
+	found := false
+	for i := 0; i < 50 && !found; i++ {
+		a = geo.Point{X: float64(100 + i*37), Y: 150}
+		b = geo.Point{X: 5200, Y: float64(300 + i*53)}
+		if m.KnifeEdgeLossDB(a, b, 5, 5, 600) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("terrain produced no obstructed links for this seed")
+	}
+	link := m.LinkModel(base, a, b, 5, 5, 600)
+	d := a.Distance(b)
+	if got, want := link.LossDB(d), base.LossDB(d); got <= want {
+		t.Errorf("terrain link loss %g dB not above base %g dB", got, want)
+	}
+	if link.Name() != "free-space+terrain" {
+		t.Errorf("Name = %q", link.Name())
+	}
+	// Repeated queries reuse the cached diffraction term.
+	first := link.LossDB(d)
+	if second := link.LossDB(d); second != first {
+		t.Error("link loss not stable across calls")
+	}
+}
+
+func TestSizeRounding(t *testing.T) {
+	cfg := testConfig()
+	cfg.Size = 20 // not 2^n + 1
+	m := mustGenerate(t, cfg)
+	if m.size != 33 {
+		t.Errorf("size rounded to %d, want 33", m.size)
+	}
+	if m.Extent() != float64(32)*cfg.SpacingMeters {
+		t.Errorf("extent = %g", m.Extent())
+	}
+}

@@ -1,0 +1,231 @@
+// Package trace generates deterministic workloads for experiments:
+// PU virtual-channel switching (the paper cites 2.3-2.7 switches per
+// hour per viewer, §VI-A), Poisson SU request arrivals, and
+// Zipf-popular channel choices. Everything derives from an explicit
+// seed so experiment runs are reproducible.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"pisa/internal/geo"
+	"pisa/internal/watch"
+)
+
+// PUSwitch is one PU tuning event: the receiver switches to Channel
+// (or off, when Channel is -1) at time At.
+type PUSwitch struct {
+	At      time.Duration
+	PU      watch.PUID
+	Block   geo.BlockID
+	Channel int
+}
+
+// PUConfig parameterises the PU switching schedule.
+type PUConfig struct {
+	// Seed makes the schedule reproducible.
+	Seed int64
+	// PUs is the number of TV receivers.
+	PUs int
+	// Blocks is the number of grid blocks receivers are placed in.
+	Blocks int
+	// Channels is the number of selectable channels C.
+	Channels int
+	// SwitchesPerHour is the mean per-receiver tuning rate (the
+	// paper cites 2.3-2.7 for physical-channel switches).
+	SwitchesPerHour float64
+	// OffProbability is the chance a tuning event turns the
+	// receiver off instead of changing channel.
+	OffProbability float64
+	// ZipfS skews channel popularity (1.1-2.0 typical); 0 disables
+	// the skew (uniform channels).
+	ZipfS float64
+	// VirtualsPerPhysical models the paper's §VI-A observation that
+	// viewers mostly hop between *virtual* channels multiplexed onto
+	// one physical channel: only physical-channel changes reach the
+	// SDC. A value v > 1 maps v consecutive virtual channels onto
+	// each physical channel, so roughly (v-1)/v of tuning events are
+	// absorbed locally and never emitted. 0 or 1 disables the
+	// distinction.
+	VirtualsPerPhysical int
+	// Horizon is the schedule length.
+	Horizon time.Duration
+}
+
+// Validate reports configuration errors.
+func (c PUConfig) Validate() error {
+	switch {
+	case c.PUs <= 0:
+		return fmt.Errorf("trace: PUs must be positive, got %d", c.PUs)
+	case c.Blocks <= 0:
+		return fmt.Errorf("trace: Blocks must be positive, got %d", c.Blocks)
+	case c.Channels <= 0:
+		return fmt.Errorf("trace: Channels must be positive, got %d", c.Channels)
+	case c.SwitchesPerHour <= 0:
+		return fmt.Errorf("trace: SwitchesPerHour must be positive, got %g", c.SwitchesPerHour)
+	case c.OffProbability < 0 || c.OffProbability >= 1:
+		return fmt.Errorf("trace: OffProbability %g outside [0, 1)", c.OffProbability)
+	case c.ZipfS != 0 && c.ZipfS <= 1:
+		return fmt.Errorf("trace: ZipfS must be > 1 (or 0 for uniform), got %g", c.ZipfS)
+	case c.VirtualsPerPhysical < 0:
+		return fmt.Errorf("trace: VirtualsPerPhysical must be non-negative, got %d", c.VirtualsPerPhysical)
+	case c.Horizon <= 0:
+		return fmt.Errorf("trace: Horizon must be positive, got %v", c.Horizon)
+	}
+	return nil
+}
+
+// PUSchedule generates the tuning events for every PU over the
+// horizon, time-ordered. Each PU gets a home block (stable across the
+// schedule, TV receivers don't move) and an initial tune-in at t=0.
+// With VirtualsPerPhysical > 1, tuning picks among virtual channels
+// and only emits an event when the underlying physical channel
+// changes, matching the paper's update-rate argument.
+func PUSchedule(cfg PUConfig) ([]PUSwitch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	virtuals := cfg.VirtualsPerPhysical
+	if virtuals < 1 {
+		virtuals = 1
+	}
+	virtualChannels := cfg.Channels * virtuals
+	var zipf *rand.Zipf
+	if cfg.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(virtualChannels-1))
+	}
+	// pickChannel returns a virtual channel; /virtuals maps it onto
+	// its physical channel.
+	pickChannel := func() int {
+		if zipf != nil {
+			return int(zipf.Uint64())
+		}
+		return rng.Intn(virtualChannels)
+	}
+	meanGap := time.Duration(float64(time.Hour) / cfg.SwitchesPerHour)
+	var events []PUSwitch
+	for i := 0; i < cfg.PUs; i++ {
+		id := watch.PUID(fmt.Sprintf("pu-%03d", i))
+		block := geo.BlockID(rng.Intn(cfg.Blocks))
+		physical := pickChannel() / virtuals
+		events = append(events, PUSwitch{At: 0, PU: id, Block: block, Channel: physical})
+		t := time.Duration(0)
+		for {
+			t += time.Duration(rng.ExpFloat64() * float64(meanGap))
+			if t >= cfg.Horizon {
+				break
+			}
+			if rng.Float64() < cfg.OffProbability {
+				physical = -1
+				events = append(events, PUSwitch{At: t, PU: id, Block: block, Channel: -1})
+				continue
+			}
+			next := pickChannel() / virtuals
+			if next == physical {
+				// Virtual-channel hop inside the same physical
+				// channel: no SDC update needed (§VI-A).
+				continue
+			}
+			physical = next
+			events = append(events, PUSwitch{At: t, PU: id, Block: block, Channel: physical})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events, nil
+}
+
+// SURequest is one secondary-user transmission request.
+type SURequest struct {
+	At    time.Duration
+	SU    string
+	Block geo.BlockID
+	// EIRPUnits maps requested channel to EIRP in integer units.
+	EIRPUnits map[int]int64
+}
+
+// SUConfig parameterises the SU arrival process.
+type SUConfig struct {
+	// Seed makes the workload reproducible.
+	Seed int64
+	// Blocks is the number of grid blocks SUs appear in.
+	Blocks int
+	// Channels is the number of channels C.
+	Channels int
+	// MaxEIRPUnits caps requested EIRP (S_max^SU in units).
+	MaxEIRPUnits int64
+	// RequestsPerHour is the aggregate arrival rate.
+	RequestsPerHour float64
+	// ChannelsPerRequest is the mean number of channels each
+	// request asks for (at least 1 is always requested).
+	ChannelsPerRequest float64
+	// Horizon is the workload length.
+	Horizon time.Duration
+}
+
+// Validate reports configuration errors.
+func (c SUConfig) Validate() error {
+	switch {
+	case c.Blocks <= 0:
+		return fmt.Errorf("trace: Blocks must be positive, got %d", c.Blocks)
+	case c.Channels <= 0:
+		return fmt.Errorf("trace: Channels must be positive, got %d", c.Channels)
+	case c.MaxEIRPUnits <= 0:
+		return fmt.Errorf("trace: MaxEIRPUnits must be positive, got %d", c.MaxEIRPUnits)
+	case c.RequestsPerHour <= 0:
+		return fmt.Errorf("trace: RequestsPerHour must be positive, got %g", c.RequestsPerHour)
+	case c.ChannelsPerRequest < 1:
+		return fmt.Errorf("trace: ChannelsPerRequest must be >= 1, got %g", c.ChannelsPerRequest)
+	case c.Horizon <= 0:
+		return fmt.Errorf("trace: Horizon must be positive, got %v", c.Horizon)
+	}
+	return nil
+}
+
+// SUWorkload generates Poisson request arrivals over the horizon,
+// time-ordered. EIRPs are log-uniform between 1/1000 of the cap and
+// the cap, mimicking the spread of device classes.
+func SUWorkload(cfg SUConfig) ([]SURequest, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	meanGap := time.Duration(float64(time.Hour) / cfg.RequestsPerHour)
+	var out []SURequest
+	t := time.Duration(0)
+	for i := 0; ; i++ {
+		t += time.Duration(rng.ExpFloat64() * float64(meanGap))
+		if t >= cfg.Horizon {
+			break
+		}
+		eirp := make(map[int]int64)
+		// Geometric number of channels with the requested mean.
+		n := 1
+		for rng.Float64() < 1-1/cfg.ChannelsPerRequest && n < cfg.Channels {
+			n++
+		}
+		for len(eirp) < n {
+			c := rng.Intn(cfg.Channels)
+			if _, ok := eirp[c]; ok {
+				continue
+			}
+			// Log-uniform power over three decades.
+			p := float64(cfg.MaxEIRPUnits) / math.Pow(10, rng.Float64()*3)
+			if p < 1 {
+				p = 1
+			}
+			eirp[c] = int64(p)
+		}
+		out = append(out, SURequest{
+			At:        t,
+			SU:        fmt.Sprintf("su-%04d", i),
+			Block:     geo.BlockID(rng.Intn(cfg.Blocks)),
+			EIRPUnits: eirp,
+		})
+	}
+	return out, nil
+}

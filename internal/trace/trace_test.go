@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func puConfig() PUConfig {
+	return PUConfig{
+		Seed:            42,
+		PUs:             20,
+		Blocks:          600,
+		Channels:        10,
+		SwitchesPerHour: 2.5,
+		OffProbability:  0.1,
+		ZipfS:           1.3,
+		Horizon:         4 * time.Hour,
+	}
+}
+
+func suConfig() SUConfig {
+	return SUConfig{
+		Seed:               42,
+		Blocks:             600,
+		Channels:           10,
+		MaxEIRPUnits:       4_000_000_000_000,
+		RequestsPerHour:    60,
+		ChannelsPerRequest: 2,
+		Horizon:            4 * time.Hour,
+	}
+}
+
+func TestPUConfigValidation(t *testing.T) {
+	mutations := []func(*PUConfig){
+		func(c *PUConfig) { c.PUs = 0 },
+		func(c *PUConfig) { c.Blocks = 0 },
+		func(c *PUConfig) { c.Channels = 0 },
+		func(c *PUConfig) { c.SwitchesPerHour = 0 },
+		func(c *PUConfig) { c.OffProbability = 1 },
+		func(c *PUConfig) { c.OffProbability = -0.1 },
+		func(c *PUConfig) { c.ZipfS = 0.5 },
+		func(c *PUConfig) { c.Horizon = 0 },
+	}
+	for i, mut := range mutations {
+		c := puConfig()
+		mut(&c)
+		if _, err := PUSchedule(c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestPUScheduleDeterministic(t *testing.T) {
+	a, err := PUSchedule(puConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PUSchedule(puConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	other := puConfig()
+	other.Seed = 43
+	c, err := PUSchedule(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical schedules")
+		}
+	}
+}
+
+func TestPUScheduleShape(t *testing.T) {
+	cfg := puConfig()
+	events, err := PUSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every PU tunes in at t=0 plus roughly rate*horizon switches:
+	// 20 PUs * 2.5/h * 4h = 200 expected, give a wide tolerance.
+	if len(events) < cfg.PUs+100 || len(events) > cfg.PUs+400 {
+		t.Errorf("got %d events, expected about %d", len(events), cfg.PUs+200)
+	}
+	blocks := make(map[watchPUID]int)
+	offs := 0
+	for i, e := range events {
+		if i > 0 && e.At < events[i-1].At {
+			t.Fatal("events not time-ordered")
+		}
+		if e.At < 0 || e.At >= cfg.Horizon {
+			t.Fatalf("event outside horizon: %v", e.At)
+		}
+		if e.Channel < -1 || e.Channel >= cfg.Channels {
+			t.Fatalf("channel %d out of range", e.Channel)
+		}
+		if e.Channel == -1 {
+			offs++
+		}
+		if prev, ok := blocks[watchPUID(e.PU)]; ok && prev != int(e.Block) {
+			t.Fatalf("PU %s moved blocks", e.PU)
+		}
+		blocks[watchPUID(e.PU)] = int(e.Block)
+	}
+	if offs == 0 {
+		t.Error("no off events despite OffProbability > 0")
+	}
+	if len(blocks) != cfg.PUs {
+		t.Errorf("saw %d distinct PUs, want %d", len(blocks), cfg.PUs)
+	}
+}
+
+// watchPUID avoids importing watch just for a map key in tests.
+type watchPUID string
+
+func TestZipfSkewsChannels(t *testing.T) {
+	cfg := puConfig()
+	cfg.ZipfS = 2.0
+	cfg.PUs = 200
+	events, err := PUSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make([]int, cfg.Channels)
+	for _, e := range events {
+		if e.Channel >= 0 {
+			hist[e.Channel]++
+		}
+	}
+	if hist[0] <= hist[cfg.Channels-1]*2 {
+		t.Errorf("channel 0 (%d) not clearly more popular than channel %d (%d)",
+			hist[0], cfg.Channels-1, hist[cfg.Channels-1])
+	}
+}
+
+func TestSUConfigValidation(t *testing.T) {
+	mutations := []func(*SUConfig){
+		func(c *SUConfig) { c.Blocks = 0 },
+		func(c *SUConfig) { c.Channels = 0 },
+		func(c *SUConfig) { c.MaxEIRPUnits = 0 },
+		func(c *SUConfig) { c.RequestsPerHour = 0 },
+		func(c *SUConfig) { c.ChannelsPerRequest = 0.5 },
+		func(c *SUConfig) { c.Horizon = 0 },
+	}
+	for i, mut := range mutations {
+		c := suConfig()
+		mut(&c)
+		if _, err := SUWorkload(c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSUWorkloadShape(t *testing.T) {
+	cfg := suConfig()
+	reqs, err := SUWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60/h * 4h = 240 expected arrivals.
+	if len(reqs) < 140 || len(reqs) > 360 {
+		t.Errorf("got %d requests, expected about 240", len(reqs))
+	}
+	ids := make(map[string]bool)
+	for i, r := range reqs {
+		if i > 0 && r.At < reqs[i-1].At {
+			t.Fatal("requests not time-ordered")
+		}
+		if int(r.Block) < 0 || int(r.Block) >= cfg.Blocks {
+			t.Fatalf("block %d out of range", r.Block)
+		}
+		if len(r.EIRPUnits) == 0 {
+			t.Fatal("request with no channels")
+		}
+		for c, p := range r.EIRPUnits {
+			if c < 0 || c >= cfg.Channels {
+				t.Fatalf("channel %d out of range", c)
+			}
+			if p <= 0 || p > cfg.MaxEIRPUnits {
+				t.Fatalf("power %d outside (0, %d]", p, cfg.MaxEIRPUnits)
+			}
+		}
+		if ids[r.SU] {
+			t.Fatalf("duplicate SU id %s", r.SU)
+		}
+		ids[r.SU] = true
+	}
+}
+
+func TestSUWorkloadDeterministic(t *testing.T) {
+	a, err := SUWorkload(suConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SUWorkload(suConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Block != b[i].Block || a[i].SU != b[i].SU {
+			t.Fatalf("request %d differs", i)
+		}
+		for c, p := range a[i].EIRPUnits {
+			if b[i].EIRPUnits[c] != p {
+				t.Fatalf("request %d channel %d power differs", i, c)
+			}
+		}
+	}
+}
+
+func TestVirtualChannelsSuppressUpdates(t *testing.T) {
+	base := puConfig()
+	base.ZipfS = 0 // uniform, so suppression depends only on v
+	dense, err := PUSchedule(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseCfg := base
+	sparseCfg.VirtualsPerPhysical = 8
+	sparse, err := PUSchedule(sparseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 8 virtual channels per physical and few physical
+	// channels, many hops stay inside one physical channel and are
+	// absorbed — the emitted schedule must shrink noticeably.
+	if len(sparse) >= len(dense) {
+		t.Errorf("virtual channels did not reduce update count: %d >= %d", len(sparse), len(dense))
+	}
+	for _, e := range sparse {
+		if e.Channel < -1 || e.Channel >= base.Channels {
+			t.Fatalf("physical channel %d out of range", e.Channel)
+		}
+	}
+	// Consecutive events for one PU never repeat the same physical
+	// channel (that is the whole point of the suppression).
+	last := make(map[string]int)
+	for _, e := range sparse {
+		if prev, ok := last[string(e.PU)]; ok && prev == e.Channel && e.Channel >= 0 {
+			t.Fatalf("PU %s emitted a no-op physical switch to %d", e.PU, e.Channel)
+		}
+		last[string(e.PU)] = e.Channel
+	}
+	if _, err := PUSchedule(PUConfig{
+		Seed: 1, PUs: 1, Blocks: 1, Channels: 1,
+		SwitchesPerHour: 1, VirtualsPerPhysical: -1, Horizon: time.Hour,
+	}); err == nil {
+		t.Error("negative VirtualsPerPhysical accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package watch
+
+import (
+	"fmt"
+
+	"pisa/internal/geo"
+)
+
+// Utilization summarises secondary spectrum availability across the
+// service area — the quantity WATCH's introduction argues is "vastly
+// increased" over the TV-white-space model.
+type Utilization struct {
+	// PerChannel[c] is the fraction of blocks on channel c where an
+	// SU could be granted at least the query power.
+	PerChannel []float64
+	// Overall is the mean across channels.
+	Overall float64
+	// AvailableCells counts the (channel, block) cells at or above
+	// the query power.
+	AvailableCells int
+	// TotalCells is Channels * Blocks.
+	TotalCells int
+}
+
+// Availability computes, under the current budgets, where an SU
+// demanding at least minEIRPUnits could operate. minEIRPUnits of the
+// regulatory cap answers "where is full power available?"; smaller
+// values answer "where could a low-power device squeeze in?".
+func (s *System) Availability(minEIRPUnits int64) (Utilization, error) {
+	if minEIRPUnits <= 0 {
+		return Utilization{}, fmt.Errorf("watch: query power must be positive, got %d", minEIRPUnits)
+	}
+	u := Utilization{
+		PerChannel: make([]float64, s.params.Channels),
+		TotalCells: s.params.Channels * s.params.Grid.Blocks(),
+	}
+	for c := 0; c < s.params.Channels; c++ {
+		available := 0
+		for b := 0; b < s.params.Grid.Blocks(); b++ {
+			maxEIRP, err := s.MaxEIRPUnits(c, geo.BlockID(b))
+			if err != nil {
+				return Utilization{}, err
+			}
+			if maxEIRP >= minEIRPUnits {
+				available++
+			}
+		}
+		u.PerChannel[c] = float64(available) / float64(s.params.Grid.Blocks())
+		u.AvailableCells += available
+	}
+	u.Overall = float64(u.AvailableCells) / float64(u.TotalCells)
+	return u, nil
+}
+
+// CapacityMap returns the maximum grantable EIRP (in units) for every
+// block of one channel — the per-block cap WATCH publishes (eq. 2),
+// and the raw data behind coverage heat maps.
+func (s *System) CapacityMap(channel int) ([]int64, error) {
+	if channel < 0 || channel >= s.params.Channels {
+		return nil, fmt.Errorf("watch: channel %d outside [0, %d)", channel, s.params.Channels)
+	}
+	out := make([]int64, s.params.Grid.Blocks())
+	for b := range out {
+		v, err := s.MaxEIRPUnits(channel, geo.BlockID(b))
+		if err != nil {
+			return nil, err
+		}
+		out[b] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package watch
+
+import (
+	"testing"
+
+	"pisa/internal/geo"
+)
+
+func TestAvailabilityFullWhenIdle(t *testing.T) {
+	s := newTestSystem(t, nil)
+	maxUnits := s.Params().Quantize(s.Params().SUMaxEIRPmW)
+	u, err := s.Availability(maxUnits)
+	if err != nil {
+		t.Fatalf("Availability: %v", err)
+	}
+	if u.Overall != 1.0 {
+		t.Errorf("idle availability = %.3f, want 1.0", u.Overall)
+	}
+	if u.AvailableCells != u.TotalCells {
+		t.Errorf("cells %d/%d", u.AvailableCells, u.TotalCells)
+	}
+	if len(u.PerChannel) != s.Params().Channels {
+		t.Errorf("PerChannel has %d entries", len(u.PerChannel))
+	}
+}
+
+func TestAvailabilityDropsAroundActivePU(t *testing.T) {
+	s := newTestSystem(t, nil)
+	maxUnits := s.Params().Quantize(s.Params().SUMaxEIRPmW)
+	weak := s.Params().Quantize(s.Params().SMinPUmW)
+	if err := s.UpdatePU("tv", Registration{Block: 30, Channel: 1, SignalUnits: weak}); err != nil {
+		t.Fatal(err)
+	}
+	u, err := s.Availability(maxUnits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.PerChannel[1] >= 1.0 {
+		t.Error("active weak PU did not reduce full-power availability on its channel")
+	}
+	for c := 0; c < s.Params().Channels; c++ {
+		if c != 1 && u.PerChannel[c] != 1.0 {
+			t.Errorf("channel %d availability %.3f affected by PU on channel 1", c, u.PerChannel[c])
+		}
+	}
+	// Low-power availability stays higher: fine-grained sharing at
+	// work.
+	low, err := s.Availability(s.Params().Quantize(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.PerChannel[1] < u.PerChannel[1] {
+		t.Errorf("low-power availability %.3f below full-power %.3f", low.PerChannel[1], u.PerChannel[1])
+	}
+}
+
+func TestAvailabilityWATCHBeatsTVWS(t *testing.T) {
+	// The motivating claim: with no active receivers, WATCH offers
+	// full availability where TVWS still protects broadcast contours.
+	tx := TVTransmitter{Location: geo.Point{X: 30, Y: 30}, Channel: 1, EIRPmW: 1e9}
+	wcfg := testParams(t)
+	watchSys, err := NewSystem(wcfg, []TVTransmitter{tx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := testParams(t)
+	tcfg.ConservativeContours = true
+	tvwsSys, err := NewSystem(tcfg, []TVTransmitter{tx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxUnits := wcfg.Quantize(wcfg.SUMaxEIRPmW)
+	wu, err := watchSys.Availability(maxUnits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := tvwsSys.Availability(maxUnits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wu.Overall <= tu.Overall {
+		t.Errorf("WATCH availability %.3f not above TVWS %.3f", wu.Overall, tu.Overall)
+	}
+	if wu.Overall != 1.0 {
+		t.Errorf("WATCH with no active receivers should be fully available, got %.3f", wu.Overall)
+	}
+}
+
+func TestAvailabilityValidation(t *testing.T) {
+	s := newTestSystem(t, nil)
+	if _, err := s.Availability(0); err == nil {
+		t.Error("zero query power accepted")
+	}
+	if _, err := s.Availability(-5); err == nil {
+		t.Error("negative query power accepted")
+	}
+}
+
+func TestCapacityMap(t *testing.T) {
+	s := newTestSystem(t, nil)
+	weak := s.Params().Quantize(s.Params().SMinPUmW)
+	if err := s.UpdatePU("tv", Registration{Block: 30, Channel: 1, SignalUnits: weak}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.CapacityMap(1)
+	if err != nil {
+		t.Fatalf("CapacityMap: %v", err)
+	}
+	if len(m) != s.Params().Grid.Blocks() {
+		t.Fatalf("map has %d entries", len(m))
+	}
+	// The cap at the PU's own block is the area minimum.
+	min := m[0]
+	for _, v := range m {
+		if v < min {
+			min = v
+		}
+	}
+	if m[30] != min {
+		t.Errorf("cap at the PU block (%d) is not the minimum (%d)", m[30], min)
+	}
+	if _, err := s.CapacityMap(-1); err == nil {
+		t.Error("negative channel accepted")
+	}
+	if _, err := s.CapacityMap(99); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+}

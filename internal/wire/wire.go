@@ -1,0 +1,220 @@
+// Package wire defines the message envelope and connection framing
+// for the networked PISA deployment (Figure 3 of the paper): PUs and
+// SUs talk to the SDC server; the SDC talks to the STP server. All
+// messages are gob-encoded envelopes over TCP.
+package wire
+
+import (
+	"crypto/rsa"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"pisa/internal/paillier"
+	"pisa/internal/pisa"
+)
+
+// Kind discriminates envelope payloads.
+type Kind uint8
+
+// Message kinds. Requests and replies are paired.
+const (
+	KindError Kind = iota + 1
+
+	KindPUUpdate // PU -> SDC, reply KindAck
+	KindSURequest
+	KindSUResponse
+	KindEColumnRequest // PU -> SDC public data fetch
+	KindEColumn
+	KindVerifyKeyRequest // SU -> SDC verification key fetch
+	KindVerifyKey
+
+	KindConvertRequest // SDC -> STP
+	KindConvertResponse
+	KindSUKeyRequest // SDC (or anyone) -> STP
+	KindSUKey
+	KindGroupKeyRequest // anyone -> STP
+	KindGroupKey
+	KindRegisterSU // SU -> STP, reply KindAck
+
+	KindPartialRequest // DistSTP combiner -> co-STP share holder
+	KindPartialResponse
+
+	KindAck
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPUUpdate:
+		return "pu-update"
+	case KindSURequest:
+		return "su-request"
+	case KindSUResponse:
+		return "su-response"
+	case KindEColumnRequest:
+		return "e-column-request"
+	case KindEColumn:
+		return "e-column"
+	case KindVerifyKeyRequest:
+		return "verify-key-request"
+	case KindVerifyKey:
+		return "verify-key"
+	case KindConvertRequest:
+		return "convert-request"
+	case KindConvertResponse:
+		return "convert-response"
+	case KindSUKeyRequest:
+		return "su-key-request"
+	case KindSUKey:
+		return "su-key"
+	case KindGroupKeyRequest:
+		return "group-key-request"
+	case KindGroupKey:
+		return "group-key"
+	case KindRegisterSU:
+		return "register-su"
+	case KindPartialRequest:
+		return "partial-request"
+	case KindPartialResponse:
+		return "partial-response"
+	case KindAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Envelope is the single message type on the wire; the Kind says
+// which payload fields are meaningful.
+type Envelope struct {
+	Kind Kind
+
+	// Err carries the error text for KindError replies.
+	Err string
+
+	// SUID / Block parameterise lookups and registrations.
+	SUID  string
+	Block int
+
+	PUUpdate     *pisa.PUUpdate
+	Request      *pisa.TransmissionRequest
+	Response     *pisa.Response
+	SignRequest  *pisa.SignRequest
+	SignResponse *pisa.SignResponse
+
+	EColumn   []int64
+	Paillier  *paillier.PublicKey
+	VerifyKey *rsa.PublicKey
+
+	// Ciphertexts and Partials carry threshold-decryption batches
+	// between the DistSTP combiner and co-STP share holders.
+	Ciphertexts []*paillier.Ciphertext
+	Partials    []*paillier.Partial
+}
+
+// RemoteError is an error reported by the peer (as opposed to a
+// transport failure).
+type RemoteError struct {
+	// Msg is the peer-provided error text.
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "remote: " + e.Msg }
+
+// Conn wraps a net.Conn with gob framing and per-operation deadlines.
+// It is not safe for concurrent use; callers serialise access.
+type Conn struct {
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	timeout time.Duration
+}
+
+// NewConn wraps an established connection. timeout bounds each
+// individual send or receive; zero disables deadlines.
+func NewConn(conn net.Conn, timeout time.Duration) *Conn {
+	return &Conn{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		dec:     gob.NewDecoder(conn),
+		timeout: timeout,
+	}
+}
+
+// Send writes one envelope.
+func (c *Conn) Send(env *Envelope) error {
+	if c.timeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+			return fmt.Errorf("wire: set write deadline: %w", err)
+		}
+	}
+	if err := c.enc.Encode(env); err != nil {
+		return fmt.Errorf("wire: send %s: %w", env.Kind, err)
+	}
+	return nil
+}
+
+// Recv reads one envelope.
+func (c *Conn) Recv() (*Envelope, error) {
+	if c.timeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("wire: set read deadline: %w", err)
+		}
+	}
+	var env Envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("wire: recv: %w", err)
+	}
+	return &env, nil
+}
+
+// Call sends a request and waits for the matching reply kind. A
+// KindError reply surfaces as *RemoteError.
+func (c *Conn) Call(req *Envelope, want Kind) (*Envelope, error) {
+	if err := c.Send(req); err != nil {
+		return nil, err
+	}
+	resp, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind == KindError {
+		return nil, &RemoteError{Msg: resp.Err}
+	}
+	if resp.Kind != want {
+		return nil, fmt.Errorf("wire: got %s, want %s", resp.Kind, want)
+	}
+	return resp, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// SendError reports a handler failure to the peer.
+func (c *Conn) SendError(err error) error {
+	return c.Send(&Envelope{Kind: KindError, Err: err.Error()})
+}
+
+// IsClosed reports whether err indicates a connection that went away
+// normally (EOF or closed socket), as opposed to a protocol error.
+func IsClosed(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false
+	}
+	s := err.Error()
+	return strings.Contains(s, "EOF") || strings.Contains(s, "connection reset")
+}

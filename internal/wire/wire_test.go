@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/gob"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"pisa/internal/paillier"
+)
+
+// pipePair returns two framed connections joined by an in-memory pipe.
+func pipePair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	ca := NewConn(a, 2*time.Second)
+	cb := NewConn(b, 2*time.Second)
+	t.Cleanup(func() {
+		ca.Close()
+		cb.Close()
+	})
+	return ca, cb
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	a, b := pipePair(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- a.Send(&Envelope{Kind: KindEColumnRequest, Block: 17})
+	}()
+	env, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if env.Kind != KindEColumnRequest || env.Block != 17 {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestEnvelopeCarriesCiphertexts(t *testing.T) {
+	sk, err := paillier.GenerateKey(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := sk.PublicKey.EncryptInt(rand.Reader, -321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := pipePair(t)
+	go func() {
+		_ = a.Send(&Envelope{
+			Kind:     KindGroupKey,
+			Paillier: sk.Public(),
+		})
+	}()
+	env, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Paillier == nil || env.Paillier.N.Cmp(sk.N) != 0 {
+		t.Fatal("public key mangled in transit")
+	}
+	// The deserialised key must be usable for ciphertext operations.
+	sum, err := env.Paillier.Add(ct, ct)
+	if err != nil {
+		t.Fatalf("Add with wire key: %v", err)
+	}
+	v, err := sk.DecryptInt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != -642 {
+		t.Fatalf("got %d, want -642", v)
+	}
+}
+
+func TestCallMatchesKinds(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		env, err := b.Recv()
+		if err != nil {
+			return
+		}
+		if env.Kind == KindGroupKeyRequest {
+			_ = b.Send(&Envelope{Kind: KindGroupKey})
+		}
+	}()
+	resp, err := a.Call(&Envelope{Kind: KindGroupKeyRequest}, KindGroupKey)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if resp.Kind != KindGroupKey {
+		t.Fatalf("kind = %s", resp.Kind)
+	}
+}
+
+func TestCallSurfacesRemoteError(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		if _, err := b.Recv(); err != nil {
+			return
+		}
+		_ = b.SendError(errors.New("budget exceeded"))
+	}()
+	_, err := a.Call(&Envelope{Kind: KindSURequest}, KindSUResponse)
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("got %v, want RemoteError", err)
+	}
+	if remote.Msg != "budget exceeded" {
+		t.Fatalf("msg = %q", remote.Msg)
+	}
+}
+
+func TestCallRejectsWrongKind(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		if _, err := b.Recv(); err != nil {
+			return
+		}
+		_ = b.Send(&Envelope{Kind: KindAck})
+	}()
+	if _, err := a.Call(&Envelope{Kind: KindSURequest}, KindSUResponse); err == nil {
+		t.Fatal("mismatched reply kind accepted")
+	}
+}
+
+func TestRecvTimesOut(t *testing.T) {
+	a, conn := net.Pipe()
+	defer a.Close()
+	c := NewConn(conn, 50*time.Millisecond)
+	defer c.Close()
+	start := time.Now()
+	_, err := c.Recv()
+	if err == nil {
+		t.Fatal("Recv succeeded with no sender")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("deadline not applied")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{
+		KindError, KindPUUpdate, KindSURequest, KindSUResponse,
+		KindEColumnRequest, KindEColumn, KindVerifyKeyRequest, KindVerifyKey,
+		KindConvertRequest, KindConvertResponse, KindSUKeyRequest, KindSUKey,
+		KindGroupKeyRequest, KindGroupKey, KindRegisterSU, KindAck,
+	}
+	seen := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+}
+
+func TestIsClosed(t *testing.T) {
+	if IsClosed(nil) {
+		t.Error("nil is closed")
+	}
+	if !IsClosed(errors.New("read: EOF")) {
+		t.Error("EOF not recognised")
+	}
+	if !IsClosed(net.ErrClosed) {
+		t.Error("net.ErrClosed not recognised")
+	}
+	if IsClosed(errors.New("some protocol error")) {
+		t.Error("protocol error misreported as closed")
+	}
+}
+
+func FuzzEnvelopeDecode(f *testing.F) {
+	// Seed with a real encoded envelope plus junk.
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(&Envelope{Kind: KindAck, SUID: "su"})
+	f.Add(buf.Bytes())
+	f.Add([]byte("not gob at all"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Malformed frames must produce errors, never panics.
+		var env Envelope
+		_ = gob.NewDecoder(bytes.NewReader(raw)).Decode(&env)
+	})
+}
