@@ -18,6 +18,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math/big"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -235,6 +236,89 @@ func BenchmarkFigure6_PUUpdate(b *testing.B) {
 		if err := u.SDC.HandlePUUpdate(update); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchWorkerCounts sweeps serial vs pooled: 1 worker is the exact
+// legacy code path, GOMAXPROCS the full pool (identical on a 1-CPU
+// machine, where the pooled variant simply doesn't appear).
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkParallel_ProcessRequest compares serial vs pooled
+// end-to-end request processing (SDC homomorphic work + STP sign
+// conversion) on the shared 2048-bit deployment.
+func BenchmarkParallel_ProcessRequest(b *testing.B) {
+	u := figureUniverse()
+	eirp := map[int]int64{0: u.Params.Watch.Quantize(1000)}
+	req, err := u.SU.PrepareRequest(eirp, geo.Disclosure{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer u.SetParallelism(0) // figureUniverse is shared: restore serial
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			u.SetParallelism(w)
+			if err := u.SDC.PrecomputeBlinding(req.F.Populated() * b.N); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := u.SDC.ProcessRequest(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallel_RequestPrepare compares serial vs pooled fresh SU
+// request preparation (C*B encryptions).
+func BenchmarkParallel_RequestPrepare(b *testing.B) {
+	u := figureUniverse()
+	eirp := map[int]int64{0: u.Params.Watch.Quantize(1000)}
+	defer u.SetParallelism(0)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			u.SetParallelism(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := u.SU.PrepareRequest(eirp, geo.Disclosure{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallel_PUUpdate compares serial vs pooled PU update
+// handling (C encryptions + C homomorphic folds per rebuild).
+func BenchmarkParallel_PUUpdate(b *testing.B) {
+	u := figureUniverse()
+	sig := u.Params.Watch.Quantize(u.Params.Watch.SMinPUmW * 100)
+	defer u.SetParallelism(0)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			u.SetParallelism(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				update, err := u.PU.Tune(i%u.Params.Watch.Channels, sig)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := u.SDC.HandlePUUpdate(update); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -8,18 +8,24 @@
 //	pisabench -sizes           # message sizes at paper scale
 //	pisabench -fhe             # generic-FHE baseline (DGHV)
 //	pisabench -ablation        # bit-wise comparison vs blinded sign test
-//	pisabench -all             # everything
+//	pisabench -sweep           # homomorphic-kernel worker-count sweep
+//	pisabench -all             # everything (except the sweep)
 //
 // By default the end-to-end pipeline is measured at a reduced matrix
 // scale and extrapolated (the pipeline is exactly linear in matrix
 // cells); -paper runs the full 100x600 grid with 2048-bit keys, which
 // takes minutes per stage — the very cost the paper reports.
+//
+// -parallel N bounds the worker pool of every homomorphic kernel
+// (0 serial, -1 one worker per CPU); -sweep re-measures the request
+// pipeline at doubling worker counts up to the CPU count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"pisa/internal/bench"
@@ -34,9 +40,11 @@ func main() {
 
 type options struct {
 	table1, table2, figure6, tradeoff, sizes, fhe, ablation bool
+	sweep                                                   bool
 	paper                                                   bool
 	bits                                                    int
 	iters                                                   int
+	parallel                                                int
 }
 
 func run(args []string) error {
@@ -50,9 +58,12 @@ func run(args []string) error {
 	fs.BoolVar(&opt.sizes, "sizes", false, "print message sizes at paper scale")
 	fs.BoolVar(&opt.fhe, "fhe", false, "run the generic-FHE (DGHV) baseline")
 	fs.BoolVar(&opt.ablation, "ablation", false, "run the secure-comparison ablation")
+	fs.BoolVar(&opt.sweep, "sweep", false, "sweep homomorphic worker counts over the request pipeline")
 	fs.BoolVar(&opt.paper, "paper", false, "measure at full paper scale (very slow)")
 	fs.IntVar(&opt.bits, "bits", 2048, "Paillier modulus bits for Table II")
 	fs.IntVar(&opt.iters, "iters", 30, "iterations per Table II measurement (paper uses 30)")
+	fs.IntVar(&opt.parallel, "parallel", 0,
+		"homomorphic kernel workers: 0 serial, -1 one per CPU, N literal")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,7 +71,7 @@ func run(args []string) error {
 		opt.table1, opt.table2, opt.figure6 = true, true, true
 		opt.tradeoff, opt.sizes, opt.fhe, opt.ablation = true, true, true, true
 	}
-	if !(opt.table1 || opt.table2 || opt.figure6 || opt.tradeoff || opt.sizes || opt.fhe || opt.ablation) {
+	if !(opt.table1 || opt.table2 || opt.figure6 || opt.tradeoff || opt.sizes || opt.fhe || opt.ablation || opt.sweep) {
 		fs.Usage()
 		return fmt.Errorf("select at least one experiment (or -all)")
 	}
@@ -92,6 +103,11 @@ func run(args []string) error {
 	}
 	if opt.ablation {
 		if err := runAblation(); err != nil {
+			return err
+		}
+	}
+	if opt.sweep {
+		if err := runParallelSweep(opt); err != nil {
 			return err
 		}
 	}
@@ -163,6 +179,7 @@ func runFigure6(opt options) error {
 	if err != nil {
 		return err
 	}
+	params.Parallelism = opt.parallel
 	fmt.Println("  setting up deployment (keys + initial budget encryption)...")
 	u, err := bench.NewUniverse(params)
 	if err != nil {
@@ -202,6 +219,7 @@ func runTradeoff(opt options) error {
 	if err != nil {
 		return err
 	}
+	params.Parallelism = opt.parallel
 	u, err := bench.NewUniverse(params)
 	if err != nil {
 		return err
@@ -276,6 +294,64 @@ func runAblation() error {
 		stats.PISATime.Round(time.Microsecond), stats.PISARounds)
 	fmt.Printf("  speedup: %.1fx per comparison, and PISA batches all cells into one round trip\n",
 		float64(stats.BitwiseTime)/float64(stats.PISATime))
+	fmt.Println()
+	return nil
+}
+
+// sweepWorkerCounts doubles from 1 up to the CPU count (always
+// including both endpoints).
+func sweepWorkerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	for w := 2; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	if max > 1 {
+		counts = append(counts, max)
+	}
+	return counts
+}
+
+// runParallelSweep re-measures the request pipeline (fresh prepare,
+// SDC processing, PU update) on one deployment at each worker count,
+// reporting the speedup over the serial baseline. On a single-CPU
+// machine the sweep degenerates to the serial row.
+func runParallelSweep(opt options) error {
+	channels, cols, rows, bits := figureScale(opt)
+	fmt.Printf("Worker-count sweep (C=%d, B=%d, n=%d-bit, %d CPUs):\n",
+		channels, cols*rows, bits, runtime.GOMAXPROCS(0))
+	params, err := bench.SmallParams(channels, cols, rows, bits)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  setting up deployment (keys + initial budget encryption)...")
+	u, err := bench.NewUniverse(params)
+	if err != nil {
+		return err
+	}
+	var serial bench.Figure6Stats
+	for i, w := range sweepWorkerCounts() {
+		u.SetParallelism(w)
+		stats, err := u.MeasureFigure6()
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			serial = stats
+		}
+		speedup := func(base, cur time.Duration) float64 {
+			if cur <= 0 {
+				return 0
+			}
+			return float64(base) / float64(cur)
+		}
+		fmt.Printf("  workers=%-3d prepare %-12v (%.2fx)  process %-12v (%.2fx)  update %-12v (%.2fx)\n",
+			w,
+			stats.Prepare.Round(time.Microsecond), speedup(serial.Prepare, stats.Prepare),
+			stats.Process.Round(time.Microsecond), speedup(serial.Process, stats.Process),
+			stats.PUUpdate.Round(time.Microsecond), speedup(serial.PUUpdate, stats.PUUpdate))
+	}
+	fmt.Println("  (speedups are relative to workers=1 on this machine)")
 	fmt.Println()
 	return nil
 }

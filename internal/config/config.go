@@ -86,6 +86,12 @@ type File struct {
 	EtaBits       int `json:"etaBits"`
 	SignerBits    int `json:"signerBits"`
 
+	// Parallelism bounds the worker pool the homomorphic kernels fan
+	// out over: > 0 is a literal worker count, 0 (the default) runs
+	// serially, < 0 uses one worker per CPU. A local runtime knob —
+	// processes in one deployment may disagree on it freely.
+	Parallelism int `json:"parallelism,omitempty"`
+
 	// Network addresses.
 	SDCAddr string `json:"sdcAddr"`
 	STPAddr string `json:"stpAddr"`
@@ -203,6 +209,7 @@ func (f File) PisaParams() (pisa.Params, error) {
 		BetaBits:      f.BetaBits,
 		EtaBits:       f.EtaBits,
 		SignerBits:    f.SignerBits,
+		Parallelism:   f.Parallelism,
 	}
 	return p, p.Validate()
 }

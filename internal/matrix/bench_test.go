@@ -2,8 +2,13 @@ package matrix
 
 import (
 	"crypto/rand"
+	"fmt"
 	"math/big"
+	"runtime"
+	"sync"
 	"testing"
+
+	"pisa/internal/paillier"
 )
 
 // benchEnc builds a 4x4 encrypted matrix fixture.
@@ -60,6 +65,123 @@ func BenchmarkEncScalarMul(b *testing.B) {
 		if _, err := x.ScalarMul(k); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// parallelFixture builds a larger matrix (8x16 cells) under a 512-bit
+// key so the parallel kernels have enough work per cell to show their
+// speedup over scheduling overhead.
+var parallelFixtureKey = sync.OnceValue(func() *paillier.PrivateKey {
+	sk, err := paillier.GenerateKey(rand.Reader, 512)
+	if err != nil {
+		panic(err)
+	}
+	return sk
+})
+
+func parallelFixture(b *testing.B) (*Enc, *Enc) {
+	b.Helper()
+	sk := parallelFixtureKey()
+	m, err := NewInt(8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < 8; c++ {
+		for bl := 0; bl < 16; bl++ {
+			if err := m.Set(c, bl, int64(c*31-bl*5)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	x, err := EncryptInts(rand.Reader, &sk.PublicKey, m, runtime.GOMAXPROCS(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := EncryptInts(rand.Reader, &sk.PublicKey, m, runtime.GOMAXPROCS(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return x, y
+}
+
+// workerCounts sweeps serial vs pooled: 1 worker is the exact legacy
+// loop, GOMAXPROCS is the full pool.
+func workerCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func BenchmarkParallelEncAdd(b *testing.B) {
+	x, y := parallelFixture(b)
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			x.SetWorkers(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := x.Add(y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelEncScalarMul(b *testing.B) {
+	x, _ := parallelFixture(b)
+	k, err := paillier.RandomSigned(rand.Reader, 100, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			x.SetWorkers(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := x.ScalarMul(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelEncRerandomize(b *testing.B) {
+	x, _ := parallelFixture(b)
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			x.SetWorkers(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := x.Rerandomize(rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelEncryptInts(b *testing.B) {
+	sk := parallelFixtureKey()
+	m, err := NewInt(8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := EncryptInts(rand.Reader, &sk.PublicKey, m, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

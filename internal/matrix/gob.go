@@ -70,8 +70,12 @@ func (e *Enc) GobDecode(data []byte) error {
 		if payload.Cts[k] == nil || payload.Cts[k].C == nil {
 			return fmt.Errorf("matrix: decoded ciphertext %d is nil", k)
 		}
+		if fresh.data[idx] == nil {
+			fresh.populated++
+		}
 		fresh.data[idx] = payload.Cts[k]
 	}
+	fresh.workers = e.workers // the parallelism knob is local, not wire state
 	*e = *fresh
 	return nil
 }

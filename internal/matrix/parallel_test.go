@@ -1,0 +1,223 @@
+package matrix
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"testing"
+
+	"pisa/internal/paillier"
+)
+
+// encFixture builds a partially-populated C x B encrypted matrix with
+// the given worker count.
+func encFixture(t *testing.T, channels, blocks, workers int) (*Enc, *Int) {
+	t.Helper()
+	sk := testKey()
+	m := mustInt(t, channels, blocks)
+	fill(t, m, func(c, b int) int64 { return int64(c*29 - b*7) })
+	e, err := EncryptInts(rand.Reader, &sk.PublicKey, m, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetWorkers(workers)
+	return e, m
+}
+
+// TestParallelOpsMatchSerial checks positional determinism: the
+// deterministic kernels (Add, Sub, ScalarMul) must produce bit-for-bit
+// the same ciphertexts at any worker count, because each cell's result
+// depends only on its own inputs.
+func TestParallelOpsMatchSerial(t *testing.T) {
+	serialA, _ := encFixture(t, 4, 6, 1)
+	serialB, _ := encFixture(t, 4, 6, 1)
+	k := big.NewInt(-57)
+
+	wantAdd, err := serialA.Add(serialB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSub, err := serialA.Sub(serialB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMul, err := serialA.ScalarMul(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			serialA.SetWorkers(workers)
+			defer serialA.SetWorkers(1)
+			gotAdd, err := serialA.Add(serialB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSub, err := serialA.Sub(serialB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMul, err := serialA.ScalarMul(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, pair := range map[string][2]*Enc{
+				"Add":       {wantAdd, gotAdd},
+				"Sub":       {wantSub, gotSub},
+				"ScalarMul": {wantMul, gotMul},
+			} {
+				want, got := pair[0], pair[1]
+				if got.Workers() != workers {
+					t.Errorf("%s: result workers = %d, want %d (inherit)", name, got.Workers(), workers)
+				}
+				if got.Populated() != want.Populated() {
+					t.Errorf("%s: populated = %d, want %d", name, got.Populated(), want.Populated())
+				}
+				err := want.ForEach(func(c, b int, ct *paillier.Ciphertext) error {
+					other, err := got.At(c, b)
+					if err != nil {
+						return err
+					}
+					if !ct.Equal(other) {
+						return fmt.Errorf("%s: cell (%d, %d) differs between serial and parallel", name, c, b)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRerandomizeAndDecrypt checks the randomised kernels:
+// ciphertexts differ but every decryption must agree with the
+// plaintext at any worker count.
+func TestParallelRerandomizeAndDecrypt(t *testing.T) {
+	sk := testKey()
+	e, m := encFixture(t, 5, 5, 4)
+	rr, err := e.Rerandomize(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Populated() != e.Populated() {
+		t.Fatalf("rerandomized populated = %d, want %d", rr.Populated(), e.Populated())
+	}
+	dec, err := Decrypt(sk, rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(m) {
+		t.Fatal("parallel rerandomize+decrypt does not round-trip")
+	}
+}
+
+// TestEncryptIntsMatchesSerialDecryption checks the batch encryptor at
+// several worker counts.
+func TestEncryptIntsMatchesSerialDecryption(t *testing.T) {
+	sk := testKey()
+	m := mustInt(t, 3, 7)
+	fill(t, m, func(c, b int) int64 { return int64(b*100 - c) })
+	for _, workers := range []int{1, 2, 5} {
+		e, err := EncryptInts(rand.Reader, &sk.PublicKey, m, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if e.Populated() != 21 {
+			t.Fatalf("workers=%d: populated = %d, want 21", workers, e.Populated())
+		}
+		dec, err := Decrypt(sk, e)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !dec.Equal(m) {
+			t.Fatalf("workers=%d: decryption mismatch", workers)
+		}
+	}
+}
+
+// TestPopulatedCounterTransitions exercises every Set transition the
+// incremental counter must track.
+func TestPopulatedCounterTransitions(t *testing.T) {
+	sk := testKey()
+	e, err := NewEnc(&sk.PublicKey, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := sk.PublicKey.EncryptInt(rand.Reader, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Populated() != 0 {
+		t.Fatalf("fresh populated = %d", e.Populated())
+	}
+	if err := e.Set(0, 0, ct); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Set(0, 1, ct); err != nil {
+		t.Fatal(err)
+	}
+	if e.Populated() != 2 || e.SizeBytes() != 2*sk.PublicKey.CiphertextBytes() {
+		t.Fatalf("populated = %d, size = %d", e.Populated(), e.SizeBytes())
+	}
+	// Overwriting non-nil with non-nil: no change.
+	if err := e.Set(0, 0, ct.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if e.Populated() != 2 {
+		t.Fatalf("populated after overwrite = %d, want 2", e.Populated())
+	}
+	// Clearing decrements.
+	if err := e.Set(0, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Populated() != 1 {
+		t.Fatalf("populated after clear = %d, want 1", e.Populated())
+	}
+	// Clearing an already-nil cell: no change.
+	if err := e.Set(1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Populated() != 1 {
+		t.Fatalf("populated after no-op clear = %d, want 1", e.Populated())
+	}
+}
+
+// TestPopulatedCounterSurvivesGob checks the counter is rebuilt on
+// decode (the wire format only carries the sparse entries).
+func TestPopulatedCounterSurvivesGob(t *testing.T) {
+	sk := testKey()
+	e, err := NewEnc(&sk.PublicKey, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ct, err := sk.PublicKey.EncryptInt(rand.Reader, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Set(i, i, ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := e.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Enc
+	back.SetWorkers(4)
+	if err := back.GobDecode(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.Populated() != 3 {
+		t.Fatalf("decoded populated = %d, want 3", back.Populated())
+	}
+	if back.Workers() != 4 {
+		t.Fatalf("decode clobbered the local workers knob: %d", back.Workers())
+	}
+	if back.SizeBytes() != e.SizeBytes() {
+		t.Fatalf("decoded size = %d, want %d", back.SizeBytes(), e.SizeBytes())
+	}
+}

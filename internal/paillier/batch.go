@@ -1,0 +1,117 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"pisa/internal/parallel"
+)
+
+// This file holds the batch variants of the expensive primitives. Each
+// element of a batch is an independent modular exponentiation, so the
+// batches fan out over the shared worker pool (internal/parallel);
+// workers <= 1 degenerates to the exact serial loop, preserving the
+// order of randomness draws and therefore producing bit-for-bit the
+// same ciphertexts as element-at-a-time calls.
+
+// syncReader serialises Read calls so a caller-injected randomness
+// source (deterministic test readers are usually not concurrency-safe)
+// can be shared by a worker pool.
+type syncReader struct {
+	mu sync.Mutex
+	r  io.Reader
+}
+
+func (s *syncReader) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Read(p)
+}
+
+// SharedReader wraps random for concurrent use by multiple goroutines.
+// crypto/rand.Reader (and nil, which means crypto/rand.Reader) is
+// already safe and returned as-is; anything else is wrapped in a
+// mutex.
+func SharedReader(random io.Reader) io.Reader {
+	if random == nil || random == rand.Reader {
+		return rand.Reader
+	}
+	if _, ok := random.(*syncReader); ok {
+		return random
+	}
+	return &syncReader{r: random}
+}
+
+// EncryptBatch encrypts every message in ms with up to workers
+// goroutines. Output slot i corresponds to ms[i].
+func (pk *PublicKey) EncryptBatch(random io.Reader, ms []*big.Int, workers int) ([]*Ciphertext, error) {
+	random = orDefaultRand(random)
+	if workers > 1 {
+		random = SharedReader(random)
+	}
+	out := make([]*Ciphertext, len(ms))
+	err := parallel.For(workers, len(ms), func(i int) error {
+		ct, err := pk.Encrypt(random, ms[i])
+		if err != nil {
+			return fmt.Errorf("paillier: encrypt batch element %d: %w", i, err)
+		}
+		out[i] = ct
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncryptIntBatch is EncryptBatch for int64 messages.
+func (pk *PublicKey) EncryptIntBatch(random io.Reader, ms []int64, workers int) ([]*Ciphertext, error) {
+	msBig := make([]*big.Int, len(ms))
+	for i, m := range ms {
+		msBig[i] = big.NewInt(m)
+	}
+	return pk.EncryptBatch(random, msBig, workers)
+}
+
+// DecryptBatch decrypts every ciphertext with up to workers
+// goroutines. Output slot i corresponds to cts[i].
+func (sk *PrivateKey) DecryptBatch(cts []*Ciphertext, workers int) ([]*big.Int, error) {
+	out := make([]*big.Int, len(cts))
+	err := parallel.For(workers, len(cts), func(i int) error {
+		m, err := sk.Decrypt(cts[i])
+		if err != nil {
+			return fmt.Errorf("paillier: decrypt batch element %d: %w", i, err)
+		}
+		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NewNonceBatch precomputes count re-randomisation factors with up to
+// workers goroutines — the bulk producer behind NoncePool refills.
+func (pk *PublicKey) NewNonceBatch(random io.Reader, count, workers int) ([]*Nonce, error) {
+	random = orDefaultRand(random)
+	if workers > 1 {
+		random = SharedReader(random)
+	}
+	out := make([]*Nonce, count)
+	err := parallel.For(workers, count, func(i int) error {
+		n, err := pk.NewNonce(random)
+		if err != nil {
+			return fmt.Errorf("paillier: nonce batch element %d: %w", i, err)
+		}
+		out[i] = n
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

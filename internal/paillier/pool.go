@@ -1,0 +1,150 @@
+package paillier
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// NoncePool amortises the expensive r^n mod n^2 exponentiation behind
+// Rerandomize off the request path. It extends the Nonce type with a
+// concurrency-safe pool that can be filled synchronously (offline
+// precomputation, §VI-A) or refilled by a background goroutine when a
+// low-water mark is crossed, so sustained traffic keeps paying only
+// one modular multiplication per refresh instead of a full
+// exponentiation.
+//
+// Get never fails for lack of stock: a dry pool falls back to
+// generating a nonce online, exactly like the pre-pool code path.
+type NoncePool struct {
+	pk      *PublicKey
+	random  io.Reader
+	workers int
+
+	mu        sync.Mutex
+	nonces    []*Nonce
+	target    int // auto-refill high-water mark; 0 disables refills
+	low       int // refill trigger: len < low starts a background refill
+	refilling bool
+	refillErr error // first background refill failure, surfaced by Get
+
+	wg sync.WaitGroup // outstanding background refills
+}
+
+// NewNoncePool builds an empty pool. workers bounds the parallelism of
+// fills and background refills (values <= 1 generate serially); random
+// follows the usual nil-means-crypto/rand convention.
+func NewNoncePool(pk *PublicKey, random io.Reader, workers int) *NoncePool {
+	// Background refills and online Get fallbacks can read the source
+	// concurrently, so it is always wrapped for sharing.
+	return &NoncePool{
+		pk:      pk,
+		random:  SharedReader(random),
+		workers: workers,
+	}
+}
+
+// SetAutoRefill arms (target > 0) or disarms (target == 0) background
+// refilling: whenever a Get leaves fewer than target/4 (at least 1)
+// nonces pooled, a background goroutine tops the pool back up to
+// target. Refill failures are remembered and returned by the next Get.
+func (p *NoncePool) SetAutoRefill(target int) error {
+	if target < 0 {
+		return fmt.Errorf("paillier: negative refill target %d", target)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.target = target
+	p.low = target / 4
+	if p.low < 1 {
+		p.low = 1
+	}
+	return nil
+}
+
+// Fill synchronously adds count nonces to the pool, generating them
+// with the pool's worker parallelism.
+func (p *NoncePool) Fill(count int) error {
+	if count < 0 {
+		return fmt.Errorf("paillier: negative nonce count %d", count)
+	}
+	p.mu.Lock()
+	workers := p.workers
+	p.mu.Unlock()
+	fresh, err := p.pk.NewNonceBatch(p.random, count, workers)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.nonces = append(p.nonces, fresh...)
+	p.mu.Unlock()
+	return nil
+}
+
+// SetWorkers resizes the parallelism of later fills and refills.
+func (p *NoncePool) SetWorkers(workers int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.workers = workers
+}
+
+// Len reports the pooled nonce count.
+func (p *NoncePool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.nonces)
+}
+
+// Get pops one nonce, generating online when the pool is dry. When
+// auto-refill is armed and stock dips below the low-water mark, a
+// background refill starts (at most one at a time).
+func (p *NoncePool) Get() (*Nonce, error) {
+	p.mu.Lock()
+	if err := p.refillErr; err != nil {
+		p.refillErr = nil
+		p.mu.Unlock()
+		return nil, err
+	}
+	var n *Nonce
+	if last := len(p.nonces) - 1; last >= 0 {
+		n = p.nonces[last]
+		p.nonces[last] = nil
+		p.nonces = p.nonces[:last]
+	}
+	p.maybeRefillLocked()
+	p.mu.Unlock()
+	if n != nil {
+		return n, nil
+	}
+	return p.pk.NewNonce(p.random)
+}
+
+// maybeRefillLocked starts one background refill when armed and below
+// the low-water mark. Caller holds p.mu.
+func (p *NoncePool) maybeRefillLocked() {
+	if p.target == 0 || p.refilling || len(p.nonces) >= p.low {
+		return
+	}
+	need := p.target - len(p.nonces)
+	workers := p.workers
+	p.refilling = true
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		fresh, err := p.pk.NewNonceBatch(p.random, need, workers)
+		p.mu.Lock()
+		p.refilling = false
+		if err != nil {
+			p.refillErr = err
+		} else {
+			p.nonces = append(p.nonces, fresh...)
+		}
+		p.mu.Unlock()
+	}()
+}
+
+// Wait blocks until any in-flight background refill finishes — used by
+// tests and by shutdown paths that want deterministic accounting.
+func (p *NoncePool) Wait() {
+	p.wg.Wait()
+}

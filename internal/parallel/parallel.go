@@ -1,0 +1,119 @@
+// Package parallel is the shared compute layer behind every
+// embarrassingly-parallel cryptographic kernel in the repository: the
+// element-wise homomorphic matrix operations, Paillier batch
+// encryption/decryption, and the precomputation pools. It provides a
+// bounded worker pool sized from GOMAXPROCS with chunked index-range
+// scheduling and first-error cancellation.
+//
+// The scheduling contract matters for reproducibility: with workers
+// <= 1 the loop runs on the calling goroutine in strict index order,
+// so a serial configuration performs exactly the same sequence of
+// operations (including randomness draws) as the pre-parallel code —
+// bit-for-bit identical ciphertexts. With workers > 1 the index space
+// is split into contiguous chunks handed out to worker goroutines;
+// each index still writes only its own output slot, so results are
+// positionally deterministic even though execution order is not.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Auto reports the default worker count for this process: GOMAXPROCS,
+// i.e. "as many workers as the hardware allows".
+func Auto() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// Resolve maps a configuration knob to a concrete worker count:
+// n > 0 is taken literally, n == 0 means serial (the backwards
+// compatible default), and n < 0 means Auto().
+func Resolve(n int) int {
+	switch {
+	case n > 0:
+		return n
+	case n < 0:
+		return Auto()
+	default:
+		return 1
+	}
+}
+
+// minChunk bounds scheduling overhead: a worker claims at least this
+// many indices per pull. Homomorphic operations cost tens of
+// microseconds to milliseconds each, so even tiny chunks amortise the
+// atomic increment, but batching a few indices keeps the counter cool
+// under many workers.
+const minChunk = 1
+
+// For runs fn(i) for every i in [0, n) using at most workers
+// goroutines and returns the first error any invocation produced.
+//
+// workers is clamped to [1, n]; workers <= 1 runs serially on the
+// calling goroutine in index order and returns at the first error.
+// With workers > 1, an error stops the scheduling of further chunks
+// (in-flight chunks finish their current index and exit), so the
+// cancellation is prompt but individual fn calls are never
+// interrupted. fn must be safe for concurrent invocation when
+// workers > 1.
+func For(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Chunk size targets ~4 pulls per worker for load balancing while
+	// never dropping below minChunk.
+	chunk := n / (workers * 4)
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					if failed.Load() {
+						return
+					}
+					if err := fn(i); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						failed.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -161,6 +161,111 @@ func TestBlindingPoolAccounting(t *testing.T) {
 	}
 }
 
+// TestConcurrentPoolsUnderMixedLoad hammers one SDC with parallel
+// workers enabled and BOTH precomputation pools armed for background
+// auto-refill, mixing PU updates, fresh SU requests, and pooled
+// refreshes. Run with -race: this is the path where pool refill
+// goroutines, the worker pools, and the SDC state lock all interleave.
+func TestConcurrentPoolsUnderMixedLoad(t *testing.T) {
+	d := newDeployment(t)
+	const (
+		workers    = 3
+		rounds     = 2
+		poolTarget = 8
+	)
+	// Parallel kernels plus armed pools on every role.
+	d.sdc.SetParallelism(workers)
+	if err := d.sdc.EnableBlindingAutoRefill(poolTarget); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.sdc.PrecomputeBlinding(poolTarget); err != nil {
+		t.Fatal(err)
+	}
+	sus := make([]*SU, workers)
+	for i := range sus {
+		sus[i] = d.newSU(t, fmt.Sprintf("su-pool-%d", i), geo.BlockID(i))
+		sus[i].SetParallelism(workers)
+		if err := sus[i].EnableNonceAutoRefill(poolTarget); err != nil {
+			t.Fatal(err)
+		}
+		if err := sus[i].PrecomputeNonces(poolTarget); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pu := d.newPU(t, "tv-pool", 8)
+	pu.SetParallelism(workers)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds*2; r++ {
+			u, err := pu.Tune(r%d.params.Watch.Channels, 10_000)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := d.sdc.HandlePUUpdate(u); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	for i := range sus {
+		wg.Add(1)
+		go func(su *SU) {
+			defer wg.Done()
+			req, err := su.PrepareRequest(map[int]int64{0: 1000}, geo.Disclosure{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				// Refresh drains the nonce pool below its low-water
+				// mark, racing the background refill it triggers.
+				fresh, err := su.RefreshRequest(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := d.sdc.ProcessRequest(fresh)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := su.OpenResponse(resp, fresh, d.sdc.VerifyKey()); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(sus[i])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("mixed-load worker: %v", err)
+	}
+
+	// After the storm settles, background refills must have restocked
+	// both pools (the traffic drained them to empty every round, so a
+	// non-empty pool proves a refill ran). The exact level is not
+	// deterministic — a refill snapshots its need before concurrent
+	// drains finish — so only restocking is asserted.
+	d.sdc.WaitBlindingRefill()
+	if got := d.sdc.PooledBlinding(); got == 0 {
+		t.Error("blinding auto-refill never restocked the pool")
+	}
+	for i, su := range sus {
+		su.WaitNonceRefill()
+		if got := su.PooledNonces(); got == 0 {
+			t.Errorf("su %d nonce auto-refill never restocked the pool", i)
+		}
+	}
+}
+
 // TestMultiChannelRequest exercises requests spanning several
 // channels with distinct powers.
 func TestMultiChannelRequest(t *testing.T) {

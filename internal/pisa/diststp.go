@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"pisa/internal/paillier"
+	"pisa/internal/parallel"
 )
 
 // This file implements the paper's stated future work (§VII): "we
@@ -29,25 +30,37 @@ type ShareService interface {
 
 // LocalShare wraps a key share as an in-process ShareService.
 type LocalShare struct {
-	share *paillier.KeyShare
+	share   *paillier.KeyShare
+	workers int
 }
 
 var _ ShareService = (*LocalShare)(nil)
 
 // NewLocalShare wraps one key share.
 func NewLocalShare(share *paillier.KeyShare) *LocalShare {
-	return &LocalShare{share: share}
+	return &LocalShare{share: share, workers: 1}
 }
 
-// PartialDecryptBatch implements ShareService.
+// SetParallelism resizes the worker pool batch partial decryption
+// fans out over (see Params.Parallelism for the encoding).
+func (l *LocalShare) SetParallelism(n int) {
+	l.workers = parallel.Resolve(n)
+}
+
+// PartialDecryptBatch implements ShareService. Partial decryptions
+// are pure modular exponentiations, so they fan out freely.
 func (l *LocalShare) PartialDecryptBatch(cts []*paillier.Ciphertext) ([]*paillier.Partial, error) {
 	out := make([]*paillier.Partial, len(cts))
-	for i, ct := range cts {
-		p, err := l.share.PartialDecrypt(ct)
+	err := parallel.For(l.workers, len(cts), func(i int) error {
+		p, err := l.share.PartialDecrypt(cts[i])
 		if err != nil {
-			return nil, fmt.Errorf("pisa: partial decrypt %d: %w", i, err)
+			return fmt.Errorf("pisa: partial decrypt %d: %w", i, err)
 		}
 		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -59,6 +72,7 @@ type DistSTP struct {
 	group   *paillier.PublicKey
 	holders []ShareService
 	random  io.Reader
+	workers int
 
 	mu     sync.RWMutex
 	suKeys map[string]*paillier.PublicKey
@@ -111,9 +125,27 @@ func NewDistSTPWithShares(random io.Reader, group *paillier.PublicKey, holders [
 	return &DistSTP{
 		group:   group,
 		holders: holders,
-		random:  random,
+		// The combine loop fans out over a worker pool, so the source
+		// is shared-reader wrapped up front (crypto/rand passes
+		// through unchanged).
+		random:  paillier.SharedReader(random),
+		workers: 1,
 		suKeys:  make(map[string]*paillier.PublicKey),
 	}, nil
+}
+
+// SetParallelism resizes the combiner's worker pool (see
+// Params.Parallelism for the encoding; the constructor default is
+// serial) and propagates it to every in-process LocalShare holder.
+// Remote holders manage their own parallelism. Not safe to call
+// concurrently with ConvertSigns.
+func (d *DistSTP) SetParallelism(n int) {
+	d.workers = parallel.Resolve(n)
+	for _, h := range d.holders {
+		if local, ok := h.(*LocalShare); ok {
+			local.SetParallelism(n)
+		}
+	}
 }
 
 // GroupKey implements STPService.
@@ -159,27 +191,36 @@ func (d *DistSTP) ConvertSigns(req *SignRequest) (*SignResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Gather each holder's batch of partials.
+	// Fan out to the co-STPs concurrently — in a network deployment
+	// the holders are independent servers, so issuing the batches in
+	// parallel mirrors the real latency profile (the slowest holder
+	// gates the round, not the sum of all of them).
 	batches := make([][]*paillier.Partial, len(d.holders))
-	for h, holder := range d.holders {
-		batch, err := holder.PartialDecryptBatch(req.V)
+	err = parallel.For(d.workers, len(d.holders), func(h int) error {
+		batch, err := d.holders[h].PartialDecryptBatch(req.V)
 		if err != nil {
-			return nil, fmt.Errorf("pisa: co-STP %d: %w", h, err)
+			return fmt.Errorf("pisa: co-STP %d: %w", h, err)
 		}
 		if len(batch) != len(req.V) {
-			return nil, fmt.Errorf("pisa: co-STP %d returned %d partials, want %d", h, len(batch), len(req.V))
+			return fmt.Errorf("pisa: co-STP %d returned %d partials, want %d", h, len(batch), len(req.V))
 		}
 		batches[h] = batch
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	// Combine + re-encrypt per value on the worker pool; positional
+	// writes keep the response in request order.
 	out := make([]*paillier.Ciphertext, len(req.V))
-	perValue := make([]*paillier.Partial, len(d.holders))
-	for i := range req.V {
+	err = parallel.For(d.workers, len(req.V), func(i int) error {
+		perValue := make([]*paillier.Partial, len(d.holders))
 		for h := range d.holders {
 			perValue[h] = batches[h][i]
 		}
 		v, err := paillier.CombinePartials(d.group, perValue)
 		if err != nil {
-			return nil, fmt.Errorf("pisa: combine V[%d]: %w", i, err)
+			return fmt.Errorf("pisa: combine V[%d]: %w", i, err)
 		}
 		x := int64(-1)
 		if v.Sign() > 0 {
@@ -187,9 +228,13 @@ func (d *DistSTP) ConvertSigns(req *SignRequest) (*SignResponse, error) {
 		}
 		enc, err := suKey.EncryptInt(d.random, x)
 		if err != nil {
-			return nil, fmt.Errorf("pisa: encrypt X[%d]: %w", i, err)
+			return fmt.Errorf("pisa: encrypt X[%d]: %w", i, err)
 		}
 		out[i] = enc
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &SignResponse{X: out}, nil
 }

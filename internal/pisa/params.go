@@ -57,6 +57,14 @@ type Params struct {
 	// the signature integer inside the Paillier plaintext domain
 	// (<= dsig.MaxSignerBits(PaillierBits)).
 	SignerBits int
+
+	// Parallelism bounds the worker pool every embarrassingly-parallel
+	// crypto kernel (matrix operations, batch encryption, sign
+	// conversion, pool refills) fans out over: > 0 is a literal worker
+	// count, 0 means serial (the reproducible default — identical
+	// ciphertext streams to the pre-parallel implementation), and < 0
+	// means one worker per CPU (parallel.Auto).
+	Parallelism int
 }
 
 // DefaultParams returns the paper's Table I configuration on top of
@@ -75,6 +83,7 @@ func DefaultParams(w watch.Params) Params {
 		BetaBits:      80,
 		EtaBits:       256,
 		SignerBits:    dsig.MaxSignerBits(2048),
+		Parallelism:   -1, // production default: one worker per CPU
 	}
 }
 

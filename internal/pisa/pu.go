@@ -8,6 +8,7 @@ import (
 
 	"pisa/internal/geo"
 	"pisa/internal/paillier"
+	"pisa/internal/parallel"
 	"pisa/internal/watch"
 )
 
@@ -23,6 +24,7 @@ type PU struct {
 	eColumn []int64 // public E(:, block)
 	group   *paillier.PublicKey
 	random  io.Reader
+	workers int
 }
 
 // NewPU creates a primary user at the given block. eColumn is the
@@ -48,8 +50,18 @@ func NewPU(random io.Reader, id watch.PUID, block geo.BlockID, eColumn []int64, 
 		block:   block,
 		eColumn: col,
 		group:   group,
-		random:  random,
+		// Update encryption can fan out, so the source is
+		// shared-reader wrapped up front (crypto/rand passes through).
+		random:  paillier.SharedReader(random),
+		workers: 1,
 	}, nil
+}
+
+// SetParallelism resizes the worker pool update encryption fans out
+// over (see Params.Parallelism for the encoding; the constructor
+// default is serial).
+func (p *PU) SetParallelism(n int) {
+	p.workers = parallel.Resolve(n)
 }
 
 // ID returns the PU identifier.
@@ -83,15 +95,19 @@ func (p *PU) Off() (*PUUpdate, error) {
 	return p.update(func(int) int64 { return 0 })
 }
 
-// update encrypts the W column defined by w.
+// update encrypts the W column defined by w on the worker pool.
 func (p *PU) update(w func(c int) int64) (*PUUpdate, error) {
 	cts := make([]*paillier.Ciphertext, len(p.eColumn))
-	for c := range cts {
+	err := parallel.For(p.workers, len(cts), func(c int) error {
 		ct, err := p.group.Encrypt(p.random, big.NewInt(w(c)))
 		if err != nil {
-			return nil, fmt.Errorf("pisa: encrypt W(%d): %w", c, err)
+			return fmt.Errorf("pisa: encrypt W(%d): %w", c, err)
 		}
 		cts[c] = ct
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &PUUpdate{PUID: p.id, Block: p.block, Cts: cts}, nil
 }

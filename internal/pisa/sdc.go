@@ -13,6 +13,7 @@ import (
 	"pisa/internal/geo"
 	"pisa/internal/matrix"
 	"pisa/internal/paillier"
+	"pisa/internal/parallel"
 	"pisa/internal/watch"
 )
 
@@ -21,24 +22,40 @@ import (
 // (eqs. 8-10) and SU requests (eqs. 11-17) homomorphically. The SDC
 // never holds the group secret key, so it learns neither the PU
 // channel receptions, nor the SU parameters, nor the decisions.
+//
+// Concurrency model: s.mu protects only the mutable protocol state
+// (N~, the PU registry, the blinding pool, the serial counter). The
+// expensive homomorphic work runs outside the lock over an immutable
+// snapshot — ciphertexts are never mutated in place, so a snapshot of
+// entry pointers stays valid — which lets concurrent SU requests and
+// PU updates overlap. Per-block version counters detect when a column
+// rebuild raced a newer update and must recompute.
 type SDC struct {
-	params Params
-	issuer string
-	group  *paillier.PublicKey
-	stp    STPService
-	signer *dsig.Signer
-	public *watch.System // public-data precomputation only: E, d^c
-	ePlain *matrix.Int   // plaintext E (public)
-	random io.Reader
-	now    func() time.Time
-	licTTL time.Duration
+	params  Params
+	workers int // resolved worker-pool size (>= 1)
+	issuer  string
+	group   *paillier.PublicKey
+	stp     STPService
+	signer  *dsig.Signer
+	public  *watch.System // public-data precomputation only: E, d^c
+	ePlain  *matrix.Int   // plaintext E (public)
+	random  io.Reader
+	now     func() time.Time
+	licTTL  time.Duration
 
 	mu        sync.Mutex
 	nEnc      *matrix.Enc                // N~: encrypted budgets
 	puUpdates map[watch.PUID]*PUUpdate   // latest update per PU
 	puBlocks  map[watch.PUID]geo.BlockID // fixed registered locations
+	colVer    map[geo.BlockID]uint64     // bumped on every update registration
 	serial    uint64
-	blindPool []blindFactors // offline-precomputed blinding tuples
+
+	blindPool      []blindFactors // offline-precomputed blinding tuples
+	blindTarget    int            // auto-refill high-water mark; 0 disarms
+	blindLow       int            // refill trigger
+	blindRefilling bool
+	blindErr       error          // first background refill failure
+	blindWG        sync.WaitGroup // outstanding background refills
 }
 
 // blindFactors is one precomputed (alpha, E(beta), epsilon) tuple for
@@ -92,6 +109,7 @@ func NewSDC(issuer string, params Params, transmitters []watch.TVTransmitter, st
 	}
 	s := &SDC{
 		params:    params,
+		workers:   parallel.Resolve(params.Parallelism),
 		issuer:    issuer,
 		group:     stp.GroupKey(),
 		stp:       stp,
@@ -102,19 +120,36 @@ func NewSDC(issuer string, params Params, transmitters []watch.TVTransmitter, st
 		licTTL:    24 * time.Hour,
 		puUpdates: make(map[watch.PUID]*PUUpdate),
 		puBlocks:  make(map[watch.PUID]geo.BlockID),
+		colVer:    make(map[geo.BlockID]uint64),
 	}
 	for _, opt := range opts {
 		opt.apply(s)
 	}
+	// Worker goroutines and background refills share the randomness
+	// source; SharedReader serialises injected readers (crypto/rand is
+	// passed through) without changing the byte stream.
+	s.random = paillier.SharedReader(s.random)
 	s.signer, err = dsig.NewSigner(s.random, params.SignerBits)
 	if err != nil {
 		return nil, err
 	}
-	if s.nEnc, err = matrix.EncryptInt(s.random, s.group, s.ePlain); err != nil {
+	if s.nEnc, err = matrix.EncryptInts(s.random, s.group, s.ePlain, s.workers); err != nil {
 		return nil, fmt.Errorf("pisa: encrypt initial budgets: %w", err)
 	}
 	return s, nil
 }
+
+// SetParallelism resizes the SDC's worker pool (see
+// Params.Parallelism for the encoding). Intended for benchmarks and
+// operator tooling; not safe to call concurrently with request or
+// update processing.
+func (s *SDC) SetParallelism(n int) {
+	s.workers = parallel.Resolve(n)
+	s.nEnc.SetWorkers(s.workers)
+}
+
+// Parallelism reports the resolved worker-pool size.
+func (s *SDC) Parallelism() int { return s.workers }
 
 // VerifyKey returns the public key SUs use to check license
 // signatures.
@@ -146,7 +181,9 @@ func (s *SDC) EColumn(b geo.BlockID) ([]int64, error) {
 // budget column N~(:, b) = E~(:, b) (+) sum of W~ columns at b
 // (eqs. 9-10). The E column is re-encrypted fresh on every rebuild,
 // matching the paper's measured update cost (about C encryptions plus
-// C homomorphic additions, about 2.6 s at paper scale).
+// C homomorphic additions, about 2.6 s at paper scale). The
+// encryptions and folds run outside the state lock on the worker
+// pool, so updates overlap with concurrent SU requests.
 func (s *SDC) HandlePUUpdate(u *PUUpdate) error {
 	if u == nil {
 		return fmt.Errorf("pisa: nil PU update")
@@ -167,54 +204,98 @@ func (s *SDC) HandlePUUpdate(u *PUUpdate) error {
 		}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if prev, ok := s.puBlocks[u.PUID]; ok && prev != u.Block {
+		s.mu.Unlock()
 		return fmt.Errorf("pisa: PU %q registered at block %d, update claims %d (TV receiver locations are fixed)",
 			u.PUID, prev, u.Block)
 	}
 	s.puBlocks[u.PUID] = u.Block
 	s.puUpdates[u.PUID] = u
-	return s.rebuildColumnLocked(u.Block)
+	s.colVer[u.Block]++
+	s.mu.Unlock()
+	return s.rebuildColumn(u.Block)
 }
 
-// rebuildColumnLocked recomputes N~(:, b) from a fresh encryption of
-// the public E column plus every stored W~ column at block b.
-func (s *SDC) rebuildColumnLocked(b geo.BlockID) error {
+// rebuildColumn recomputes N~(:, b) from a fresh encryption of the
+// public E column plus every stored W~ column at block b. Only the
+// snapshot and the write-back hold s.mu; the C encryptions and
+// homomorphic folds run on the worker pool. If a concurrent update
+// registered at the same block while we were computing (detected via
+// the column version), the stale column is discarded and recomputed
+// from a fresh snapshot.
+func (s *SDC) rebuildColumn(b geo.BlockID) error {
 	channels := s.params.Watch.Channels
-	for c := 0; c < channels; c++ {
-		ev, err := s.ePlain.At(c, int(b))
-		if err != nil {
-			return err
-		}
-		acc, err := s.group.Encrypt(s.random, big.NewInt(ev))
-		if err != nil {
-			return fmt.Errorf("pisa: encrypt E(%d, %d): %w", c, b, err)
-		}
-		for id, u := range s.puUpdates {
-			if u.Block != b {
-				continue
+	for {
+		s.mu.Lock()
+		ver := s.colVer[b]
+		// Ciphertexts are immutable once stored, so snapshotting the
+		// slice pointers is enough.
+		var updates []*PUUpdate
+		for _, u := range s.puUpdates {
+			if u.Block == b {
+				updates = append(updates, u)
 			}
-			acc, err = s.group.Add(acc, u.Cts[c])
+		}
+		s.mu.Unlock()
+
+		col := make([]*paillier.Ciphertext, channels)
+		err := parallel.For(s.workers, channels, func(c int) error {
+			ev, err := s.ePlain.At(c, int(b))
 			if err != nil {
-				return fmt.Errorf("pisa: fold update from %q: %w", id, err)
+				return err
 			}
-		}
-		if err := s.nEnc.Set(c, int(b), acc); err != nil {
+			acc, err := s.group.Encrypt(s.random, big.NewInt(ev))
+			if err != nil {
+				return fmt.Errorf("pisa: encrypt E(%d, %d): %w", c, b, err)
+			}
+			for _, u := range updates {
+				acc, err = s.group.Add(acc, u.Cts[c])
+				if err != nil {
+					return fmt.Errorf("pisa: fold update from %q: %w", u.PUID, err)
+				}
+			}
+			col[c] = acc
+			return nil
+		})
+		if err != nil {
 			return err
 		}
+
+		s.mu.Lock()
+		if s.colVer[b] != ver {
+			// A newer update landed while we computed; retry with a
+			// fresh snapshot so its ciphertexts are folded in.
+			s.mu.Unlock()
+			continue
+		}
+		for c, ct := range col {
+			if err := s.nEnc.Set(c, int(b), ct); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.mu.Unlock()
+		return nil
 	}
-	return nil
 }
 
-// requestEntry tracks one (c, b) cell through the blinded sign test.
-type requestEntry struct {
+// requestCell tracks one (c, b) cell through the blinded sign test:
+// the request ciphertext, the budget snapshot, and the blinding tuple
+// (popped from the pool or generated on the fly).
+type requestCell struct {
 	c, b int
-	eps  int64 // epsilon in {-1, +1}, secret to the SDC
+	f, n *paillier.Ciphertext
+	bf   blindFactors
 }
 
 // ProcessRequest executes Figure 5 steps 3-11 for one SU request and
 // returns the response to forward to the SU. The SDC cannot tell from
 // anything it computes whether the request was granted.
+//
+// The critical section is the snapshot only: the per-cell homomorphic
+// work (eqs. 11, 12, 14), the STP round-trip, and the unblinding
+// (eq. 16) all run without holding s.mu, so concurrent SU requests
+// genuinely overlap.
 func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
 	if req == nil || req.F == nil {
 		return nil, fmt.Errorf("pisa: nil request")
@@ -238,35 +319,68 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
 		return nil, err
 	}
 
-	// Steps 3-5: R~ = X (x) F~, I~ = N~ (-) R~, blind into V~.
-	deltaX := big.NewInt(w.DeltaInt)
-	var (
-		entries []requestEntry
-		vs      []*paillier.Ciphertext
-	)
+	// Snapshot phase (the only part under s.mu): collect the budget
+	// entries for every populated request cell and pop as many pooled
+	// blinding tuples as available, newest first — the same
+	// consumption order as the pre-parallel per-cell pops.
 	s.mu.Lock()
+	if err := s.blindErr; err != nil {
+		s.blindErr = nil
+		s.mu.Unlock()
+		return nil, fmt.Errorf("pisa: background blinding refill: %w", err)
+	}
+	cells := make([]requestCell, 0, req.F.Populated())
 	err = req.F.ForEach(func(c, b int, f *paillier.Ciphertext) error {
-		r, err := s.group.ScalarMul(deltaX, f) // eq. 11
-		if err != nil {
-			return fmt.Errorf("scale F(%d, %d): %w", c, b, err)
-		}
 		n, err := s.nEnc.At(c, b)
 		if err != nil {
 			return err
 		}
-		i, err := s.group.Sub(n, r) // eq. 12
-		if err != nil {
-			return fmt.Errorf("budget at (%d, %d): %w", c, b, err)
+		cell := requestCell{c: c, b: b, f: f, n: n}
+		if last := len(s.blindPool) - 1; last >= 0 {
+			cell.bf = s.blindPool[last]
+			s.blindPool[last] = blindFactors{}
+			s.blindPool = s.blindPool[:last]
 		}
-		v, eps, err := s.blind(i) // eq. 14
-		if err != nil {
-			return fmt.Errorf("blind (%d, %d): %w", c, b, err)
-		}
-		entries = append(entries, requestEntry{c: c, b: b, eps: eps})
-		vs = append(vs, v)
+		cells = append(cells, cell)
 		return nil
 	})
+	if err == nil {
+		s.maybeRefillBlindingLocked()
+	}
 	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 3-5 on the worker pool: R~ = X (x) F~, I~ = N~ (-) R~,
+	// blind into V~ (eqs. 11, 12, 14). Cells without a pooled tuple
+	// generate blinding factors on the fly (one extra encryption).
+	deltaX := big.NewInt(w.DeltaInt)
+	vs := make([]*paillier.Ciphertext, len(cells))
+	err = parallel.For(s.workers, len(cells), func(k int) error {
+		cell := &cells[k]
+		if cell.bf.alpha == nil {
+			bf, err := s.newBlindFactors()
+			if err != nil {
+				return fmt.Errorf("blind (%d, %d): %w", cell.c, cell.b, err)
+			}
+			cell.bf = bf
+		}
+		r, err := s.group.ScalarMul(deltaX, cell.f) // eq. 11
+		if err != nil {
+			return fmt.Errorf("scale F(%d, %d): %w", cell.c, cell.b, err)
+		}
+		i, err := s.group.Sub(cell.n, r) // eq. 12
+		if err != nil {
+			return fmt.Errorf("budget at (%d, %d): %w", cell.c, cell.b, err)
+		}
+		v, err := s.blindWith(i, cell.bf) // eq. 14
+		if err != nil {
+			return fmt.Errorf("blind (%d, %d): %w", cell.c, cell.b, err)
+		}
+		vs[k] = v
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -276,27 +390,37 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pisa: STP conversion: %w", err)
 	}
-	if len(signResp.X) != len(entries) {
-		return nil, fmt.Errorf("pisa: STP returned %d signs, want %d", len(signResp.X), len(entries))
+	if len(signResp.X) != len(cells) {
+		return nil, fmt.Errorf("pisa: STP returned %d signs, want %d", len(signResp.X), len(cells))
 	}
 
 	// Step 9: Q~ = eps (x) X~ (-) 1~ under the SU key (eq. 16).
-	// Summed directly: sum(Q) = sum(eps*X) - count.
-	var sumQ *paillier.Ciphertext
-	for k, x := range signResp.X {
-		unblinded, err := suKey.ScalarMul(big.NewInt(entries[k].eps), x)
+	// The epsilon scalar-muls are independent and fan out; the final
+	// sum is a cheap modular-multiplication fold (commutative, so the
+	// fold order cannot change the result): sum(Q) = sum(eps*X) - count.
+	unblinded := make([]*paillier.Ciphertext, len(cells))
+	err = parallel.For(s.workers, len(cells), func(k int) error {
+		u, err := suKey.ScalarMul(big.NewInt(cells[k].bf.eps), signResp.X[k])
 		if err != nil {
-			return nil, fmt.Errorf("pisa: unblind sign %d: %w", k, err)
+			return fmt.Errorf("pisa: unblind sign %d: %w", k, err)
 		}
+		unblinded[k] = u
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sumQ *paillier.Ciphertext
+	for _, u := range unblinded {
 		if sumQ == nil {
-			sumQ = unblinded
+			sumQ = u
 			continue
 		}
-		if sumQ, err = suKey.Add(sumQ, unblinded); err != nil {
+		if sumQ, err = suKey.Add(sumQ, u); err != nil {
 			return nil, fmt.Errorf("pisa: accumulate Q: %w", err)
 		}
 	}
-	sumQ, err = suKey.AddPlain(sumQ, big.NewInt(-int64(len(entries))))
+	sumQ, err = suKey.AddPlain(sumQ, big.NewInt(-int64(len(cells))))
 	if err != nil {
 		return nil, fmt.Errorf("pisa: offset Q sum: %w", err)
 	}
@@ -346,7 +470,8 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
 }
 
 // newBlindFactors draws one (alpha, E(beta), epsilon) tuple — the
-// offline-precomputable part of eq. 14.
+// offline-precomputable part of eq. 14. Safe for concurrent use (the
+// randomness source is shared-reader wrapped at construction).
 func (s *SDC) newBlindFactors() (blindFactors, error) {
 	alphaLo := new(big.Int).Lsh(big.NewInt(1), uint(s.params.AlphaBits-1))
 	alphaHi := new(big.Int).Lsh(big.NewInt(1), uint(s.params.AlphaBits))
@@ -374,6 +499,23 @@ func (s *SDC) newBlindFactors() (blindFactors, error) {
 	return blindFactors{alpha: alpha, betaEnc: betaEnc, eps: eps}, nil
 }
 
+// newBlindFactorsBatch generates count tuples on the worker pool.
+func (s *SDC) newBlindFactorsBatch(count int) ([]blindFactors, error) {
+	fresh := make([]blindFactors, count)
+	err := parallel.For(s.workers, count, func(i int) error {
+		bf, err := s.newBlindFactors()
+		if err != nil {
+			return err
+		}
+		fresh[i] = bf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fresh, nil
+}
+
 // PrecomputeBlinding extends the offline pool of blinding tuples.
 // Each processed matrix cell consumes one tuple; a dry pool falls
 // back to on-the-fly generation (one extra encryption per cell).
@@ -381,18 +523,65 @@ func (s *SDC) PrecomputeBlinding(count int) error {
 	if count < 0 {
 		return fmt.Errorf("pisa: negative blinding count %d", count)
 	}
-	fresh := make([]blindFactors, 0, count)
-	for i := 0; i < count; i++ {
-		bf, err := s.newBlindFactors()
-		if err != nil {
-			return err
-		}
-		fresh = append(fresh, bf)
+	fresh, err := s.newBlindFactorsBatch(count)
+	if err != nil {
+		return err
 	}
 	s.mu.Lock()
 	s.blindPool = append(s.blindPool, fresh...)
 	s.mu.Unlock()
 	return nil
+}
+
+// EnableBlindingAutoRefill arms (target > 0) or disarms (target == 0)
+// background refilling of the blinding pool: whenever request
+// processing leaves fewer than target/4 (at least 1) tuples, a
+// background goroutine tops the pool back up to target instead of
+// letting later requests fall back to online generation. A refill
+// failure disarms auto-refill and is reported by the next
+// ProcessRequest.
+func (s *SDC) EnableBlindingAutoRefill(target int) error {
+	if target < 0 {
+		return fmt.Errorf("pisa: negative blinding target %d", target)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blindTarget = target
+	s.blindLow = target / 4
+	if s.blindLow < 1 {
+		s.blindLow = 1
+	}
+	return nil
+}
+
+// maybeRefillBlindingLocked starts one background refill when armed
+// and below the low-water mark. Caller holds s.mu.
+func (s *SDC) maybeRefillBlindingLocked() {
+	if s.blindTarget == 0 || s.blindRefilling || len(s.blindPool) >= s.blindLow {
+		return
+	}
+	need := s.blindTarget - len(s.blindPool)
+	s.blindRefilling = true
+	s.blindWG.Add(1)
+	go func() {
+		defer s.blindWG.Done()
+		fresh, err := s.newBlindFactorsBatch(need)
+		s.mu.Lock()
+		s.blindRefilling = false
+		if err != nil {
+			s.blindErr = err
+			s.blindTarget = 0
+		} else {
+			s.blindPool = append(s.blindPool, fresh...)
+		}
+		s.mu.Unlock()
+	}()
+}
+
+// WaitBlindingRefill blocks until any in-flight background refill
+// finishes — deterministic accounting for tests and shutdown.
+func (s *SDC) WaitBlindingRefill() {
+	s.blindWG.Wait()
 }
 
 // PooledBlinding reports the remaining precomputed blinding tuples.
@@ -402,33 +591,18 @@ func (s *SDC) PooledBlinding() int {
 	return len(s.blindPool)
 }
 
-// blind applies eq. 14 to one encrypted budget slack I~: one-time
-// alpha > beta > 0 hide the magnitude, epsilon in {-1, +1} hides the
-// sign from the STP. Returns V~ and the epsilon needed to unblind the
-// converted sign. Must be called with s.mu held (it may pop the
-// blinding pool).
-func (s *SDC) blind(i *paillier.Ciphertext) (*paillier.Ciphertext, int64, error) {
-	var (
-		bf  blindFactors
-		err error
-	)
-	if n := len(s.blindPool); n > 0 {
-		bf = s.blindPool[n-1]
-		s.blindPool = s.blindPool[:n-1]
-	} else if bf, err = s.newBlindFactors(); err != nil {
-		return nil, 0, err
-	}
+// blindWith applies eq. 14 to one encrypted budget slack I~ using the
+// supplied tuple: one-time alpha > beta > 0 hide the magnitude,
+// epsilon in {-1, +1} hides the sign from the STP. Pure function of
+// its inputs — callable concurrently.
+func (s *SDC) blindWith(i *paillier.Ciphertext, bf blindFactors) (*paillier.Ciphertext, error) {
 	scaled, err := s.group.ScalarMul(bf.alpha, i)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	diff, err := s.group.Sub(scaled, bf.betaEnc)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	v, err := s.group.ScalarMul(big.NewInt(bf.eps), diff)
-	if err != nil {
-		return nil, 0, err
-	}
-	return v, bf.eps, nil
+	return s.group.ScalarMul(big.NewInt(bf.eps), diff)
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"pisa/internal/paillier"
+	"pisa/internal/parallel"
 )
 
 // STPService is the interface the SDC uses to reach the semi-trusted
@@ -29,8 +30,9 @@ type STPService interface {
 // whose sign carries no information thanks to the SDC's one-time
 // epsilon flips (eq. 14).
 type STP struct {
-	group  *paillier.PrivateKey
-	random io.Reader
+	group   *paillier.PrivateKey
+	random  io.Reader
+	workers int
 
 	mu     sync.RWMutex
 	suKeys map[string]*paillier.PublicKey
@@ -62,10 +64,21 @@ func NewSTPWithKey(random io.Reader, group *paillier.PrivateKey) *STP {
 		random = rand.Reader
 	}
 	return &STP{
-		group:  group,
-		random: random,
-		suKeys: make(map[string]*paillier.PublicKey),
+		group: group,
+		// Sign conversion fans out over a worker pool, so the source
+		// is shared-reader wrapped up front (crypto/rand passes
+		// through unchanged).
+		random:  paillier.SharedReader(random),
+		workers: 1,
+		suKeys:  make(map[string]*paillier.PublicKey),
 	}
+}
+
+// SetParallelism resizes the worker pool ConvertSigns fans out over
+// (see Params.Parallelism for the encoding; the constructor default
+// is serial). Not safe to call concurrently with ConvertSigns.
+func (s *STP) SetParallelism(n int) {
+	s.workers = parallel.Resolve(n)
 }
 
 // GroupKey returns pk_G. Anyone may retrieve it (§III-C).
@@ -115,13 +128,19 @@ func (s *STP) ConvertSigns(req *SignRequest) (*SignResponse, error) {
 	}
 	out := make([]*paillier.Ciphertext, len(req.V))
 	var observed []*big.Int
-	for i, ct := range req.V {
-		v, err := s.group.Decrypt(ct)
+	if s.observer != nil {
+		observed = make([]*big.Int, len(req.V))
+	}
+	// Each element is decrypt + sign test + re-encrypt, independent of
+	// every other; positional writes keep the response (and the
+	// observer trace) in request order at any worker count.
+	err = parallel.For(s.workers, len(req.V), func(i int) error {
+		v, err := s.group.Decrypt(req.V[i])
 		if err != nil {
-			return nil, fmt.Errorf("pisa: decrypt V[%d]: %w", i, err)
+			return fmt.Errorf("pisa: decrypt V[%d]: %w", i, err)
 		}
-		if s.observer != nil {
-			observed = append(observed, new(big.Int).Set(v))
+		if observed != nil {
+			observed[i] = new(big.Int).Set(v)
 		}
 		x := int64(-1)
 		if v.Sign() > 0 {
@@ -129,9 +148,13 @@ func (s *STP) ConvertSigns(req *SignRequest) (*SignResponse, error) {
 		}
 		enc, err := suKey.EncryptInt(s.random, x)
 		if err != nil {
-			return nil, fmt.Errorf("pisa: encrypt X[%d]: %w", i, err)
+			return fmt.Errorf("pisa: encrypt X[%d]: %w", i, err)
 		}
 		out[i] = enc
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if s.observer != nil {
 		s.observer(req.SUID, observed)

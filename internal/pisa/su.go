@@ -12,6 +12,7 @@ import (
 	"pisa/internal/geo"
 	"pisa/internal/matrix"
 	"pisa/internal/paillier"
+	"pisa/internal/parallel"
 	"pisa/internal/watch"
 )
 
@@ -24,9 +25,10 @@ type SU struct {
 	group   *paillier.PublicKey
 	planner *watch.Planner
 	random  io.Reader
+	workers int
 	// nonces is the precomputed r^n pool for cheap request refreshes
 	// (§VI-A's ~11 s reuse path versus ~221 s fresh preparation).
-	nonces []*paillier.Nonce
+	nonces *paillier.NoncePool
 }
 
 // NewSU creates a secondary user at the given block with a fresh
@@ -49,6 +51,10 @@ func NewSU(random io.Reader, id string, block geo.BlockID, params Params, planne
 	if err != nil {
 		return nil, fmt.Errorf("pisa: generate SU key: %w", err)
 	}
+	// Worker goroutines and background refills share the randomness
+	// source (SharedReader passes crypto/rand through unchanged).
+	random = paillier.SharedReader(random)
+	workers := parallel.Resolve(params.Parallelism)
 	return &SU{
 		id:      id,
 		block:   block,
@@ -56,6 +62,8 @@ func NewSU(random io.Reader, id string, block geo.BlockID, params Params, planne
 		group:   group,
 		planner: planner,
 		random:  random,
+		workers: workers,
+		nonces:  paillier.NewNoncePool(group, random, workers),
 	}, nil
 }
 
@@ -68,6 +76,14 @@ func (u *SU) Block() geo.BlockID { return u.block }
 // PublicKey returns pk_j for registration with the STP.
 func (u *SU) PublicKey() *paillier.PublicKey { return u.key.Public() }
 
+// SetParallelism resizes the SU's worker pool (see Params.Parallelism
+// for the encoding). Not safe to call concurrently with request
+// preparation.
+func (u *SU) SetParallelism(n int) {
+	u.workers = parallel.Resolve(n)
+	u.nonces.SetWorkers(u.workers)
+}
+
 // PrepareRequest builds and encrypts the F matrix (Figure 5 steps
 // 1-2). eirpUnits maps channel -> requested EIRP in integer units.
 // The disclosure controls the privacy/time trade-off of §VI-A: every
@@ -77,6 +93,9 @@ func (u *SU) PublicKey() *paillier.PublicKey { return u.key.Public() }
 // (maximum privacy). The SU's own block must lie inside the
 // disclosure, and every F value outside it must be zero, otherwise
 // interference constraints would be silently dropped.
+//
+// The |disclosure| x C encryptions dominate the paper's ~221 s fresh
+// preparation cost; they fan out over the SU's worker pool.
 func (u *SU) PrepareRequest(eirpUnits map[int]int64, disclosure geo.Disclosure) (*TransmissionRequest, error) {
 	p := u.planner.Params()
 	if len(disclosure.Blocks) == 0 {
@@ -104,19 +123,39 @@ func (u *SU) PrepareRequest(eirpUnits map[int]int64, disclosure geo.Disclosure) 
 	if err != nil {
 		return nil, err
 	}
+	// Flatten the disclosure into one work list, block-major then
+	// channel — the same enumeration order as the serial loop, so
+	// workers=1 draws randomness in the identical sequence.
+	type cellRef struct {
+		c int
+		b geo.BlockID
+	}
+	work := make([]cellRef, 0, len(disclosure.Blocks)*p.Channels)
 	for _, b := range disclosure.Blocks {
 		for c := 0; c < p.Channels; c++ {
-			v, err := f.At(c, int(b))
-			if err != nil {
-				return nil, err
-			}
-			ct, err := u.group.Encrypt(u.random, big.NewInt(v))
-			if err != nil {
-				return nil, fmt.Errorf("pisa: encrypt F(%d, %d): %w", c, b, err)
-			}
-			if err := enc.Set(c, int(b), ct); err != nil {
-				return nil, err
-			}
+			work = append(work, cellRef{c: c, b: b})
+		}
+	}
+	cts := make([]*paillier.Ciphertext, len(work))
+	err = parallel.For(u.workers, len(work), func(k int) error {
+		c, b := work[k].c, work[k].b
+		v, err := f.At(c, int(b))
+		if err != nil {
+			return err
+		}
+		ct, err := u.group.Encrypt(u.random, big.NewInt(v))
+		if err != nil {
+			return fmt.Errorf("pisa: encrypt F(%d, %d): %w", c, b, err)
+		}
+		cts[k] = ct
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, ct := range cts {
+		if err := enc.Set(work[k].c, int(work[k].b), ct); err != nil {
+			return nil, err
 		}
 	}
 	return &TransmissionRequest{
@@ -134,18 +173,31 @@ func (u *SU) PrecomputeNonces(count int) error {
 	if count < 0 {
 		return fmt.Errorf("pisa: negative nonce count %d", count)
 	}
-	for i := 0; i < count; i++ {
-		n, err := u.group.NewNonce(u.random)
-		if err != nil {
-			return fmt.Errorf("pisa: precompute nonce: %w", err)
-		}
-		u.nonces = append(u.nonces, n)
+	if err := u.nonces.Fill(count); err != nil {
+		return fmt.Errorf("pisa: precompute nonce: %w", err)
 	}
 	return nil
 }
 
+// EnableNonceAutoRefill arms (target > 0) or disarms (target == 0)
+// background refilling of the nonce pool: whenever a refresh leaves
+// fewer than target/4 (at least 1) nonces pooled, a background
+// goroutine tops the pool back up to target, keeping sustained
+// refresh traffic on the cheap path without an operator calling
+// PrecomputeNonces between requests.
+func (u *SU) EnableNonceAutoRefill(target int) error {
+	if target < 0 {
+		return fmt.Errorf("pisa: negative nonce target %d", target)
+	}
+	return u.nonces.SetAutoRefill(target)
+}
+
+// WaitNonceRefill blocks until any in-flight background nonce refill
+// finishes — deterministic accounting for tests and shutdown.
+func (u *SU) WaitNonceRefill() { u.nonces.Wait() }
+
 // PooledNonces reports how many precomputed nonces remain.
-func (u *SU) PooledNonces() int { return len(u.nonces) }
+func (u *SU) PooledNonces() int { return u.nonces.Len() }
 
 // RefreshRequest re-randomises a previously prepared request so the
 // same operating parameters produce an unlinkable ciphertext — the
@@ -164,25 +216,38 @@ func (u *SU) RefreshRequest(req *TransmissionRequest) (*TransmissionRequest, err
 	if err != nil {
 		return nil, err
 	}
+	type cellRef struct {
+		c, b int
+		ct   *paillier.Ciphertext
+	}
+	var work []cellRef
 	err = req.F.ForEach(func(c, b int, ct *paillier.Ciphertext) error {
-		var (
-			rr  *paillier.Ciphertext
-			err error
-		)
-		if len(u.nonces) > 0 {
-			nonce := u.nonces[len(u.nonces)-1]
-			u.nonces = u.nonces[:len(u.nonces)-1]
-			rr, err = u.group.RerandomizeWith(ct, nonce)
-		} else {
-			rr, err = u.group.Rerandomize(u.random, ct)
-		}
-		if err != nil {
-			return fmt.Errorf("pisa: refresh F(%d, %d): %w", c, b, err)
-		}
-		return fresh.Set(c, b, rr)
+		work = append(work, cellRef{c: c, b: b, ct: ct})
+		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	out := make([]*paillier.Ciphertext, len(work))
+	err = parallel.For(u.workers, len(work), func(k int) error {
+		nonce, err := u.nonces.Get()
+		if err != nil {
+			return fmt.Errorf("pisa: refresh F(%d, %d): %w", work[k].c, work[k].b, err)
+		}
+		rr, err := u.group.RerandomizeWith(work[k].ct, nonce)
+		if err != nil {
+			return fmt.Errorf("pisa: refresh F(%d, %d): %w", work[k].c, work[k].b, err)
+		}
+		out[k] = rr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, rr := range out {
+		if err := fresh.Set(work[k].c, work[k].b, rr); err != nil {
+			return nil, err
+		}
 	}
 	return &TransmissionRequest{
 		SUID:       req.SUID,
