@@ -3,9 +3,15 @@
 // protection distances, encrypts the initial budgets, and serves PU
 // updates and SU transmission requests.
 //
+// With -store (or a store.dir in the config) the SDC is durable:
+// every accepted PU update is journalled to a write-ahead log before
+// it is acknowledged, periodic snapshots compact the log, and a
+// restart recovers the exact pre-crash state from snapshot + WAL tail.
+//
 // Usage:
 //
-//	sdcd [-config pisa.json] [-listen host:port] [-stp host:port] [-issuer name]
+//	sdcd [-config pisa.json] [-listen host:port] [-stp host:port]
+//	     [-issuer name] [-store dir] [-snapshot-on-exit=true]
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"pisa/internal/config"
 	"pisa/internal/node"
 	"pisa/internal/pisa"
+	"pisa/internal/store"
 )
 
 func main() {
@@ -36,6 +43,8 @@ func run(args []string) error {
 	listen := fs.String("listen", "", "listen address (overrides config sdcAddr)")
 	stpAddr := fs.String("stp", "", "STP address (overrides config stpAddr)")
 	issuer := fs.String("issuer", "pisa-sdc", "license issuer name")
+	storeDir := fs.String("store", "", "state directory for WAL + snapshots (overrides config store.dir; empty = in-memory)")
+	snapOnExit := fs.Bool("snapshot-on-exit", true, "take a final snapshot during graceful shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +60,9 @@ func run(args []string) error {
 	if *stpAddr != "" {
 		stpTarget = *stpAddr
 	}
+	if *storeDir != "" {
+		cfg.Store.Dir = *storeDir
+	}
 	params, err := cfg.PisaParams()
 	if err != nil {
 		return err
@@ -64,14 +76,55 @@ func run(args []string) error {
 	}
 	defer stp.Close()
 
-	log.Info("initialising SDC (encrypting budget matrix)",
-		"channels", params.Watch.Channels, "blocks", params.Watch.Grid.Blocks())
+	var (
+		sdc    *pisa.SDC
+		st     *store.Store
+		keeper *store.Keeper
+		source = "fresh (in-memory)"
+	)
 	start := time.Now()
-	sdc, err := pisa.NewSDC(*issuer, params, nil, stp)
-	if err != nil {
-		return err
+	if cfg.Store.Enabled() {
+		opts, err := cfg.Store.Options()
+		if err != nil {
+			return err
+		}
+		st, err = store.Open(cfg.Store.Dir, opts)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		rec := st.Recovery()
+		source = rec.Source
+		log.Info("recovering SDC state", "dir", st.Dir(), "source", rec.Source,
+			"snapshotIndex", rec.SnapshotIndex, "tailRecords", rec.TailRecords,
+			"tornBytes", rec.TornBytes)
+		sdc, err = pisa.RestoreSDC(*issuer, params, nil, stp, st.SnapshotData(), st.Tail())
+		if err != nil {
+			return err
+		}
+		keeper = store.NewKeeper(st, sdc.ExportState,
+			cfg.Store.SnapshotInterval(), cfg.Store.SnapshotThreshold())
+		// Journal armed only now, after replay: recovered updates are
+		// already on disk and must not be re-appended.
+		sdc.SetUpdateJournal(func(u *pisa.PUUpdate) error {
+			payload, err := pisa.EncodePUUpdate(u)
+			if err != nil {
+				return err
+			}
+			_, err = keeper.Append(pisa.RecordPUUpdate, payload)
+			return err
+		})
+		keeper.Start(func(err error) { log.Error("background snapshot failed", "err", err) })
+		defer keeper.Stop()
+	} else {
+		log.Info("initialising SDC (encrypting budget matrix)",
+			"channels", params.Watch.Channels, "blocks", params.Watch.Grid.Blocks())
+		sdc, err = pisa.NewSDC(*issuer, params, nil, stp)
+		if err != nil {
+			return err
+		}
 	}
-	log.Info("initialisation complete", "took", time.Since(start).String())
+	log.Info("initialisation complete", "took", time.Since(start).String(), "source", source)
 
 	srv := node.NewSDCServer(sdc, log, 0)
 	ln, err := net.Listen("tcp", addr)
@@ -87,8 +140,45 @@ func run(args []string) error {
 	select {
 	case s := <-sig:
 		log.Info("shutting down", "signal", s.String())
-		return srv.Close()
+		logSummary(log, sdc, st, source)
+		err := srv.Close()
+		if keeper != nil {
+			keeper.Stop()
+			if *snapOnExit {
+				if snapErr := keeper.Snapshot(); snapErr != nil {
+					log.Error("final snapshot failed", "err", snapErr)
+					if err == nil {
+						err = snapErr
+					}
+				} else {
+					log.Info("final snapshot written", "dir", st.Dir())
+				}
+			}
+		}
+		return err
 	case err := <-errCh:
 		return err
 	}
+}
+
+// logSummary emits the shutdown state digest: protocol counters, and
+// (when durable) WAL pressure plus where this process booted from.
+func logSummary(log *slog.Logger, sdc *pisa.SDC, st *store.Store, source string) {
+	sum := sdc.Summary()
+	attrs := []any{
+		"pus", sum.PUs,
+		"blocksWithPUs", sum.BlocksWithPUs,
+		"populatedCells", sum.PopulatedCells,
+		"serial", sum.Serial,
+		"bootSource", source,
+	}
+	if st != nil {
+		stats := st.Stats()
+		attrs = append(attrs,
+			"walRecordsSinceSnapshot", stats.RecordsSinceSnapshot,
+			"walSegments", stats.Segments,
+			"lastIndex", stats.LastIndex,
+			"snapshotIndex", stats.SnapshotIndex)
+	}
+	log.Info("state summary", attrs...)
 }

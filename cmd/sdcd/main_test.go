@@ -2,12 +2,16 @@ package main
 
 import (
 	"net"
+	"path/filepath"
+	"syscall"
 	"testing"
 	"time"
 
 	"pisa/internal/config"
+	"pisa/internal/geo"
 	"pisa/internal/node"
 	"pisa/internal/pisa"
+	"pisa/internal/watch"
 	"pisa/internal/wire"
 )
 
@@ -102,4 +106,153 @@ func TestRunServesAgainstRealSTP(t *testing.T) {
 	}
 	// The daemon keeps running; the test process exiting tears it
 	// down (goroutines die with the process).
+}
+
+// waitReady polls an sdcd address until it answers public-data
+// requests.
+func waitReady(t *testing.T, addr string, done chan error) *node.SDCClient {
+	t.Helper()
+	cli := node.DialSDC(addr, 5*time.Second)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := cli.EColumn(0); err == nil {
+			return cli
+		} else if time.Now().After(deadline) {
+			t.Fatalf("sdcd never became ready: %v", err)
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("sdcd exited during startup: %v", err)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// TestRunRecoversFromStore boots a durable sdcd, feeds it a PU update,
+// shuts it down gracefully, and restarts it against the same state
+// directory: the recovered daemon must still deny a max-power SU next
+// to the active PU.
+func TestRunRecoversFromStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins real servers twice")
+	}
+	cfg := config.Default()
+	cfg.Channels = 3
+	cfg.GridCols = 5
+	cfg.GridRows = 4
+	params, err := cfg.PisaParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stp, err := pisa.NewSTP(nil, params.PaillierBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stpSrv := node.NewSTPServer(stp, nil, time.Minute)
+	stpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = stpSrv.Serve(stpLn) }()
+	t.Cleanup(func() { stpSrv.Close() })
+
+	dir := t.TempDir()
+	cfgPath := dir + "/pisa.json"
+	storeDir := dir + "/state"
+	cfg.STPAddr = stpLn.Addr().String()
+	if err := cfg.Save(cfgPath); err != nil {
+		t.Fatal(err)
+	}
+	boot := func(addr string) chan error {
+		done := make(chan error, 1)
+		go func() {
+			done <- run([]string{"-config", cfgPath, "-listen", addr, "-store", storeDir})
+		}()
+		return done
+	}
+
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr1 := probe.Addr().String()
+	probe.Close()
+	done := boot(addr1)
+	cli := waitReady(t, addr1, done)
+
+	// Activate a weak PU, then shut the daemon down gracefully: the
+	// -snapshot-on-exit default must leave a recoverable snapshot.
+	col, err := cli.EColumn(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pu, err := pisa.NewPU(nil, "tv-1", 8, col, stp.GroupKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := pu.Tune(1, params.Watch.Quantize(params.Watch.SMinPUmW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.SendUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("sdcd did not exit on SIGTERM")
+	}
+	snaps, err := filepath.Glob(storeDir + "/snap-*.snap")
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshot after graceful exit (err %v)", err)
+	}
+
+	// Second boot recovers from the state directory.
+	probe, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2 := probe.Addr().String()
+	probe.Close()
+	done = boot(addr2)
+	cli = waitReady(t, addr2, done)
+	defer cli.Close()
+
+	planner, err := watch.NewSystem(params.Watch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := pisa.NewSU(nil, "su-1", 7, params, planner.Planner(), stp.GroupKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stp.RegisterSU("su-1", su.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	req, err := su.PrepareRequest(map[int]int64{1: params.Watch.Quantize(params.Watch.SUMaxEIRPmW)}, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cli.SendRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vk, err := cli.VerifyKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, err := su.OpenResponse(resp, req, vk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grant.Granted {
+		t.Fatal("recovered SDC forgot the active PU next door")
+	}
 }

@@ -2,9 +2,15 @@
 // holds) the group Paillier key, registers SU public keys, and
 // performs the blinded sign-test key conversion for the SDC.
 //
+// The group key persists via -key (its own restricted file — losing
+// it invalidates every ciphertext in the deployment). With -store the
+// SU key registry is durable too: registrations are journalled to a
+// WAL and compacted into snapshots, so a restart keeps every SU
+// enrolled.
+//
 // Usage:
 //
-//	stpd [-config pisa.json] [-listen host:port] [-key group.key]
+//	stpd [-config pisa.json] [-listen host:port] [-key group.key] [-store dir]
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"pisa/internal/node"
 	"pisa/internal/paillier"
 	"pisa/internal/pisa"
+	"pisa/internal/store"
 )
 
 func main() {
@@ -37,6 +44,7 @@ func run(args []string) error {
 	configPath := fs.String("config", "", "deployment config JSON (defaults built in)")
 	listen := fs.String("listen", "", "listen address (overrides config stpAddr)")
 	keyPath := fs.String("key", "", "group key file; loaded if present, created otherwise (restart-safe)")
+	storeDir := fs.String("store", "", "state directory for the SU registry WAL + snapshots (empty = in-memory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +66,42 @@ func run(args []string) error {
 		return err
 	}
 	stp := pisa.NewSTPWithKey(nil, group)
+	if *storeDir != "" {
+		opts, err := cfg.Store.Options()
+		if err != nil {
+			return err
+		}
+		st, err := store.Open(*storeDir, opts)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		rec := st.Recovery()
+		log.Info("recovering SU registry", "dir", st.Dir(), "source", rec.Source,
+			"tailRecords", rec.TailRecords, "tornBytes", rec.TornBytes)
+		if err := stp.RestoreRegistry(st.SnapshotData(), st.Tail()); err != nil {
+			return err
+		}
+		log.Info("SU registry recovered", "sus", stp.RegisteredSUs())
+		keeper := store.NewKeeper(st, stp.ExportRegistry,
+			cfg.Store.SnapshotInterval(), cfg.Store.SnapshotThreshold())
+		stp.SetRegistrationJournal(func(id string, pk *paillier.PublicKey) error {
+			payload, err := pisa.EncodeSURegistration(id, pk)
+			if err != nil {
+				return err
+			}
+			_, err = keeper.Append(pisa.RecordSURegistration, payload)
+			return err
+		})
+		keeper.Start(func(err error) { log.Error("background snapshot failed", "err", err) })
+		defer keeper.Stop()
+		defer func() {
+			keeper.Stop()
+			if err := keeper.Snapshot(); err != nil {
+				log.Error("final snapshot failed", "err", err)
+			}
+		}()
+	}
 	srv := node.NewSTPServer(stp, log, 0)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

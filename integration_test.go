@@ -7,13 +7,19 @@ package repro
 
 import (
 	"net"
+	"os"
+	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 
 	"pisa/internal/config"
 	"pisa/internal/geo"
+	"pisa/internal/matrix"
 	"pisa/internal/node"
+	"pisa/internal/paillier"
 	"pisa/internal/pisa"
+	"pisa/internal/store"
 	"pisa/internal/trace"
 	"pisa/internal/watch"
 )
@@ -172,4 +178,212 @@ func TestSystemIntegration(t *testing.T) {
 		t.Fatal("workload produced no decisions; fixture broken")
 	}
 	t.Logf("%d networked decisions, all matching the plaintext oracle", decisions)
+}
+
+// TestRestartRecovery drives a durable SDC and an identical
+// uninterrupted control through the same update stream, crashes the
+// durable one (including a torn final WAL record, as after kill -9
+// mid-write), recovers it from snapshot + WAL tail, and requires the
+// recovered controller to be indistinguishable from the control:
+// identical public E columns, identical decrypted budget matrix, and
+// identical SU decisions.
+func TestRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full recovery cycle with real crypto")
+	}
+	cfg := config.Default()
+	cfg.Channels = 3
+	cfg.GridCols = 5
+	cfg.GridRows = 4
+	params, err := cfg.PisaParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := paillier.GenerateKey(nil, params.PaillierBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stp := pisa.NewSTPWithKey(nil, sk)
+
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable, err := pisa.RestoreSDC("it-sdc", params, nil, stp, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable.SetUpdateJournal(func(u *pisa.PUUpdate) error {
+		payload, err := pisa.EncodePUUpdate(u)
+		if err != nil {
+			return err
+		}
+		_, err = st.Append(pisa.RecordPUUpdate, payload)
+		return err
+	})
+	control, err := pisa.NewSDC("it-sdc", params, nil, stp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// apply sends one update through both worlds.
+	newPU := func(id watch.PUID, block geo.BlockID) *pisa.PU {
+		eCol, err := durable.EColumn(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pu, err := pisa.NewPU(nil, id, block, eCol, stp.GroupKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pu
+	}
+	apply := func(u *pisa.PUUpdate) {
+		t.Helper()
+		if err := durable.HandlePUUpdate(u); err != nil {
+			t.Fatal(err)
+		}
+		if err := control.HandlePUUpdate(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tune := func(pu *pisa.PU, channel int, signal int64) *pisa.PUUpdate {
+		t.Helper()
+		u, err := pu.Tune(channel, signal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	sigMin := params.Watch.Quantize(params.Watch.SMinPUmW)
+
+	// Decision helper: the same prepared request against both
+	// controllers must open to the same grant either side of the crash.
+	su, err := pisa.NewSU(nil, "su-1", 7, params, durable.Planner(), stp.GroupKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stp.RegisterSU("su-1", su.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	decide := func(s *pisa.SDC, eirp map[int]int64) bool {
+		t.Helper()
+		req, err := su.PrepareRequest(eirp, geo.Disclosure{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := s.ProcessRequest(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grant, err := su.OpenResponse(resp, req, s.VerifyKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return grant.Granted
+	}
+	maxPower := map[int]int64{1: params.Watch.Quantize(params.Watch.SUMaxEIRPmW)}
+
+	// Phase 1: updates, a decision, then a snapshot.
+	pu1 := newPU("tv-1", 8)
+	pu2 := newPU("tv-2", 3)
+	apply(tune(pu1, 1, sigMin))
+	apply(tune(pu2, 0, 16*sigMin))
+	if d, c := decide(durable, maxPower), decide(control, maxPower); d != c {
+		t.Fatalf("pre-snapshot decisions diverge: durable=%v control=%v", d, c)
+	}
+	state, err := durable.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSnapshot(state); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: more updates land in the WAL after the snapshot.
+	pu3 := newPU("tv-3", 12)
+	apply(tune(pu3, 2, 4*sigMin))
+	apply(tune(pu1, 0, 2*sigMin)) // retune: replay must supersede the snapshot's column
+
+	// Phase 3: crash. The process dies mid-append: a frame prefix of a
+	// never-acknowledged update reaches the segment, so neither world
+	// applied it.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segment to tear (err %v)", err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad} // header prefix + 2 stray bytes
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 4: recover.
+	st2, err := store.Open(dir, store.Options{Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := st2.Recovery()
+	if rec.Source != "snapshot+wal" {
+		t.Fatalf("recovery source %q, want snapshot+wal", rec.Source)
+	}
+	if rec.TailRecords != 2 {
+		t.Fatalf("recovered %d tail records, want 2", rec.TailRecords)
+	}
+	if rec.TornBytes != int64(len(torn)) {
+		t.Fatalf("torn bytes %d, want %d", rec.TornBytes, len(torn))
+	}
+	restored, err := pisa.RestoreSDC("it-sdc", params, nil, stp, st2.SnapshotData(), st2.Tail())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovered controller is indistinguishable from the control.
+	for b := 0; b < params.Watch.Grid.Blocks(); b++ {
+		want, err := control.EColumn(geo.BlockID(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.EColumn(geo.BlockID(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("EColumn(%d)[%d] = %d, want %d", b, c, got[c], want[c])
+			}
+		}
+	}
+	wantBudgets, err := matrix.Decrypt(sk, control.BudgetSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBudgets, err := matrix.Decrypt(sk, restored.BudgetSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotBudgets.Equal(wantBudgets) {
+		t.Fatal("recovered budget matrix decrypts differently from the uninterrupted control")
+	}
+	for name, eirp := range map[string]map[int]int64{
+		"max power ch1": maxPower,
+		"max power ch0": {0: params.Watch.Quantize(params.Watch.SUMaxEIRPmW)},
+		"modest ch2":    {2: params.Watch.Quantize(params.Watch.SUMaxEIRPmW) / 1000},
+	} {
+		if d, c := decide(restored, eirp), decide(control, eirp); d != c {
+			t.Fatalf("post-recovery decision %q diverges: restored=%v control=%v", name, d, c)
+		}
+	}
 }

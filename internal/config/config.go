@@ -8,10 +8,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"pisa/internal/geo"
 	"pisa/internal/pisa"
 	"pisa/internal/propagation"
+	"pisa/internal/store"
 	"pisa/internal/watch"
 )
 
@@ -95,6 +97,69 @@ type File struct {
 	// Network addresses.
 	SDCAddr string `json:"sdcAddr"`
 	STPAddr string `json:"stpAddr"`
+
+	// Store configures WAL + snapshot durability for the daemons. An
+	// empty Dir (the default) runs in-memory only.
+	Store StoreSpec `json:"store,omitempty"`
+}
+
+// StoreSpec configures the internal/store durability layer. A daemon
+// with an empty Dir keeps all state in memory and loses it on exit.
+type StoreSpec struct {
+	// Dir is the state directory (WAL segments + snapshots). The SDC
+	// and STP must use distinct directories.
+	Dir string `json:"dir,omitempty"`
+	// Fsync is "always", "interval" or "never" (store.ParseFsyncPolicy).
+	Fsync string `json:"fsync,omitempty"`
+	// FsyncIntervalMS is the background sync cadence under the
+	// "interval" policy; 0 uses the store default (100 ms).
+	FsyncIntervalMS int `json:"fsyncIntervalMS,omitempty"`
+	// SegmentBytes rotates WAL segments past this size; 0 uses the
+	// store default (64 MiB).
+	SegmentBytes int64 `json:"segmentBytes,omitempty"`
+	// SnapshotIntervalSec snapshots after this much time has passed
+	// with unsnapshotted records; 0 means 300 s.
+	SnapshotIntervalSec int `json:"snapshotIntervalSec,omitempty"`
+	// SnapshotEveryRecords snapshots once this many records accumulate
+	// since the last snapshot; 0 means 256.
+	SnapshotEveryRecords int `json:"snapshotEveryRecords,omitempty"`
+}
+
+// Enabled reports whether durability was requested.
+func (s StoreSpec) Enabled() bool { return s.Dir != "" }
+
+// Options translates the spec into store open options.
+func (s StoreSpec) Options() (store.Options, error) {
+	var opts store.Options
+	if s.Fsync != "" {
+		policy, err := store.ParseFsyncPolicy(s.Fsync)
+		if err != nil {
+			return store.Options{}, fmt.Errorf("config: store.fsync: %w", err)
+		}
+		opts.Fsync = policy
+	}
+	if s.FsyncIntervalMS < 0 || s.SegmentBytes < 0 || s.SnapshotIntervalSec < 0 || s.SnapshotEveryRecords < 0 {
+		return store.Options{}, fmt.Errorf("config: store intervals must be non-negative")
+	}
+	opts.FsyncEvery = time.Duration(s.FsyncIntervalMS) * time.Millisecond
+	opts.SegmentBytes = s.SegmentBytes
+	return opts, nil
+}
+
+// SnapshotInterval returns the time-based snapshot trigger.
+func (s StoreSpec) SnapshotInterval() time.Duration {
+	if s.SnapshotIntervalSec > 0 {
+		return time.Duration(s.SnapshotIntervalSec) * time.Second
+	}
+	return 5 * time.Minute
+}
+
+// SnapshotThreshold returns the record-count snapshot trigger.
+func (s StoreSpec) SnapshotThreshold() uint64 {
+	if s.SnapshotEveryRecords > 0 {
+		return uint64(s.SnapshotEveryRecords)
+	}
+	return 256
 }
 
 // Default returns a laptop-scale deployment: the paper's Table I
@@ -121,6 +186,10 @@ func Default() File {
 		SignerBits:      512,
 		SDCAddr:         "127.0.0.1:7410",
 		STPAddr:         "127.0.0.1:7411",
+		// Durability stays off until a state directory is configured
+		// (or -store is passed to a daemon); these are the defaults
+		// that kick in when it is.
+		Store: StoreSpec{Fsync: "interval", FsyncIntervalMS: 100, SnapshotIntervalSec: 300, SnapshotEveryRecords: 256},
 	}
 }
 

@@ -40,7 +40,18 @@ func (e *Enc) GobEncode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// GobDecode implements gob.GobDecoder.
+// maxGobCells caps the matrix size a decoded message may declare.
+// Without it a hostile peer could claim 2^31 x 2^31 dimensions and
+// drive the pre-allocation below into an overflowed or multi-terabyte
+// make(). Paper-scale deployments are ~100 channels x ~10^4 blocks;
+// 1<<26 cells leaves three orders of magnitude of headroom.
+const maxGobCells = 1 << 26
+
+// GobDecode implements gob.GobDecoder. It treats the payload as
+// untrusted wire input: structural damage (bad dimensions, oversized
+// claims, out-of-range or duplicate-conflicting indices, nil or
+// non-positive ciphertexts) surfaces as an error, never a panic, and
+// the receiver is left unmodified on failure.
 func (e *Enc) GobDecode(data []byte) error {
 	var payload encGob
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&payload); err != nil {
@@ -48,6 +59,12 @@ func (e *Enc) GobDecode(data []byte) error {
 	}
 	if payload.Channels <= 0 || payload.Blocks <= 0 {
 		return fmt.Errorf("matrix: decoded dimensions %dx%d invalid", payload.Channels, payload.Blocks)
+	}
+	// Per-dimension caps first so the product below cannot overflow.
+	if payload.Channels > maxGobCells || payload.Blocks > maxGobCells ||
+		payload.Channels > maxGobCells/payload.Blocks {
+		return fmt.Errorf("matrix: decoded dimensions %dx%d exceed %d cells",
+			payload.Channels, payload.Blocks, maxGobCells)
 	}
 	if payload.KeyN == nil || payload.KeyN.Sign() <= 0 {
 		return fmt.Errorf("matrix: decoded key modulus missing")
@@ -57,6 +74,9 @@ func (e *Enc) GobDecode(data []byte) error {
 			len(payload.Index), len(payload.Cts))
 	}
 	total := payload.Channels * payload.Blocks
+	if len(payload.Cts) > total {
+		return fmt.Errorf("matrix: decoded %d entries for %d cells", len(payload.Cts), total)
+	}
 	fresh := &Enc{
 		channels: payload.Channels,
 		blocks:   payload.Blocks,
@@ -69,6 +89,9 @@ func (e *Enc) GobDecode(data []byte) error {
 		}
 		if payload.Cts[k] == nil || payload.Cts[k].C == nil {
 			return fmt.Errorf("matrix: decoded ciphertext %d is nil", k)
+		}
+		if payload.Cts[k].C.Sign() <= 0 {
+			return fmt.Errorf("matrix: decoded ciphertext %d not positive", k)
 		}
 		if fresh.data[idx] == nil {
 			fresh.populated++

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"crypto/rand"
 	"encoding/gob"
+	"math/big"
 	"testing"
+
+	"pisa/internal/paillier"
 )
 
 func TestEncGobRoundTrip(t *testing.T) {
@@ -76,27 +79,137 @@ func TestEncGobSparse(t *testing.T) {
 	}
 }
 
+// encodePayload gob-encodes a hand-crafted wire struct, letting tests
+// feed GobDecode structurally valid gob that violates the matrix
+// invariants.
+func encodePayload(t *testing.T, p encGob) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 func TestEncGobRejectsCorrupt(t *testing.T) {
+	sk := testKey()
+	n := sk.PublicKey.N
+	okCt := func() *paillier.Ciphertext {
+		ct, err := sk.PublicKey.EncryptInt(rand.Reader, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ct
+	}
+	cases := []struct {
+		name    string
+		payload encGob
+	}{
+		{"zero dimensions", encGob{Channels: 0, Blocks: 4, KeyN: n}},
+		{"negative dimensions", encGob{Channels: 2, Blocks: -1, KeyN: n}},
+		{"oversized dimensions", encGob{Channels: 1 << 20, Blocks: 1 << 20, KeyN: n}},
+		{"overflowing dimensions", encGob{Channels: 1 << 62, Blocks: 1 << 3, KeyN: n}},
+		{"missing modulus", encGob{Channels: 2, Blocks: 2}},
+		{"negative modulus", encGob{Channels: 2, Blocks: 2, KeyN: big.NewInt(-17)}},
+		{"index/ct count mismatch", encGob{Channels: 2, Blocks: 2, KeyN: n,
+			Index: []int32{0, 1}, Cts: []*paillier.Ciphertext{okCt()}}},
+		{"more entries than cells", encGob{Channels: 1, Blocks: 1, KeyN: n,
+			Index: []int32{0, 0}, Cts: []*paillier.Ciphertext{okCt(), okCt()}}},
+		{"out-of-range index", encGob{Channels: 2, Blocks: 2, KeyN: n,
+			Index: []int32{4}, Cts: []*paillier.Ciphertext{okCt()}}},
+		{"negative index", encGob{Channels: 2, Blocks: 2, KeyN: n,
+			Index: []int32{-1}, Cts: []*paillier.Ciphertext{okCt()}}},
+		{"nil ciphertext value", encGob{Channels: 2, Blocks: 2, KeyN: n,
+			Index: []int32{0}, Cts: []*paillier.Ciphertext{{}}}},
+		{"non-positive ciphertext", encGob{Channels: 2, Blocks: 2, KeyN: n,
+			Index: []int32{0}, Cts: []*paillier.Ciphertext{{C: big.NewInt(-5)}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e Enc
+			if err := e.GobDecode(encodePayload(t, tc.payload)); err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			// A failed decode must leave the receiver untouched.
+			if e.channels != 0 || e.data != nil {
+				t.Fatal("receiver modified by rejected decode")
+			}
+		})
+	}
 	var e Enc
 	if err := e.GobDecode([]byte("not gob")); err == nil {
 		t.Error("garbage accepted")
 	}
-	// Craft a payload with an out-of-range index.
+}
+
+// TestEncGobByteFlips walks a valid encoding and flips bytes one at a
+// time: every mutation must either decode to a structurally sound
+// matrix or return an error — never panic.
+func TestEncGobByteFlips(t *testing.T) {
 	sk := testKey()
-	enc, err := NewEnc(&sk.PublicKey, 1, 1)
+	m := mustInt(t, 2, 3)
+	fill(t, m, func(c, b int) int64 { return int64(c + b) })
+	enc, err := EncryptInt(rand.Reader, &sk.PublicKey, m)
 	if err != nil {
-		t.Fatal(err)
-	}
-	ct, err := sk.PublicKey.EncryptInt(rand.Reader, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := enc.Set(0, 0, ct); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := enc.GobEncode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = blob // structural corruption is covered by the garbage case above
+	for i := range blob {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mutated := append([]byte(nil), blob...)
+			mutated[i] ^= flip
+			var e Enc
+			if err := e.GobDecode(mutated); err != nil {
+				continue
+			}
+			// Accepted mutations must still satisfy the invariants the
+			// rest of the package relies on.
+			if e.channels <= 0 || e.blocks <= 0 || len(e.data) != e.channels*e.blocks {
+				t.Fatalf("byte %d flip %#x decoded inconsistent matrix %dx%d/%d",
+					i, flip, e.channels, e.blocks, len(e.data))
+			}
+			for _, ct := range e.data {
+				if ct != nil && (ct.C == nil || ct.C.Sign() <= 0) {
+					t.Fatalf("byte %d flip %#x decoded invalid ciphertext", i, flip)
+				}
+			}
+		}
+	}
+}
+
+// FuzzEncGobDecode drives GobDecode with arbitrary bytes; the seeds
+// cover a valid encoding and known corruption shapes. Run with
+// `go test -fuzz=FuzzEncGobDecode ./internal/matrix/`.
+func FuzzEncGobDecode(f *testing.F) {
+	sk := testKey()
+	enc, err := NewEnc(&sk.PublicKey, 2, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ct, err := sk.PublicKey.EncryptInt(rand.Reader, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := enc.Set(1, 1, ct); err != nil {
+		f.Fatal(err)
+	}
+	blob, err := enc.GobEncode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte("not gob"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e Enc
+		if err := e.GobDecode(data); err != nil {
+			return
+		}
+		if e.channels <= 0 || e.blocks <= 0 || len(e.data) != e.channels*e.blocks {
+			t.Fatalf("decoded inconsistent matrix %dx%d/%d", e.channels, e.blocks, len(e.data))
+		}
+	})
 }

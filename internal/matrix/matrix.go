@@ -238,6 +238,24 @@ func EncryptInts(random io.Reader, key *paillier.PublicKey, m *Int, workers int)
 	return out, nil
 }
 
+// Clone returns a copy of the matrix sharing the ciphertext entries.
+// Ciphertexts are immutable by convention throughout the codebase
+// (every operation allocates fresh ones), so the clone can be read,
+// encoded or persisted while the original keeps swapping which
+// ciphertexts its cells point at.
+func (e *Enc) Clone() *Enc {
+	out := &Enc{
+		channels:  e.channels,
+		blocks:    e.blocks,
+		key:       e.key,
+		data:      make([]*paillier.Ciphertext, len(e.data)),
+		populated: e.populated,
+		workers:   e.workers,
+	}
+	copy(out.data, e.data)
+	return out
+}
+
 // Channels returns C.
 func (e *Enc) Channels() int { return e.channels }
 

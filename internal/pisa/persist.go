@@ -1,0 +1,331 @@
+package pisa
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"pisa/internal/geo"
+	"pisa/internal/matrix"
+	"pisa/internal/paillier"
+	"pisa/internal/store"
+	"pisa/internal/watch"
+)
+
+// WAL record types for the durable deployment (internal/store). The
+// SDC's log holds RecordPUUpdate entries; the STP's registry log holds
+// RecordSURegistration entries. Values are part of the on-disk format
+// — never renumber.
+const (
+	RecordPUUpdate       store.RecordType = 1
+	RecordSURegistration store.RecordType = 2
+)
+
+// sdcStateV1 is the serialised form of the SDC's complete mutable
+// protocol state: the encrypted budget matrix N~, every PU's latest
+// submitted column (from which the PU location registry is derived),
+// and the license serial counter. Everything else the SDC holds —
+// the public E matrix, protection distances, blinding pools — is
+// either recomputed from public data or regenerable randomness.
+type sdcStateV1 struct {
+	Version int
+	Serial  uint64
+	NEnc    *matrix.Enc
+	Updates []*PUUpdate
+}
+
+const sdcStateVersion = 1
+
+// ExportState serialises the SDC's mutable protocol state for a
+// snapshot. The encrypted entries are immutable, so only the brief
+// pointer copy runs under the state lock; the expensive gob encoding
+// overlaps with live updates and requests. Call it after the last
+// acknowledged append when pairing with store.SaveSnapshot.
+func (s *SDC) ExportState() ([]byte, error) {
+	s.mu.Lock()
+	st := sdcStateV1{
+		Version: sdcStateVersion,
+		Serial:  s.serial,
+		NEnc:    s.nEnc.Clone(),
+		Updates: make([]*PUUpdate, 0, len(s.puUpdates)),
+	}
+	for _, u := range s.puUpdates {
+		st.Updates = append(st.Updates, u)
+	}
+	s.mu.Unlock()
+	sort.Slice(st.Updates, func(i, j int) bool { return st.Updates[i].PUID < st.Updates[j].PUID })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("pisa: export SDC state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreSDC rebuilds a controller from durable state: the snapshot
+// payload (nil for a first boot) plus the WAL tail of updates accepted
+// after the snapshot was taken. Replay registers every tail update and
+// then rebuilds each touched budget column once, so recovery cost is
+// O(tail) decodes plus O(distinct blocks) column rebuilds rather than
+// one rebuild per record. The STP must serve the same group key the
+// snapshot was encrypted under; a key mismatch is detected and
+// refused, because foreign-key ciphertexts would silently decrypt to
+// garbage.
+//
+// The license signing key is generated fresh on every boot — licenses
+// are short-lived and SUs fetch the verification key per session — so
+// restored responses are re-signed but decision-identical.
+func RestoreSDC(issuer string, params Params, transmitters []watch.TVTransmitter, stp STPService, snapshot []byte, tail []store.Record, opts ...SDCOption) (*SDC, error) {
+	s, err := newSDCBase(issuer, params, transmitters, stp, opts)
+	if err != nil {
+		return nil, err
+	}
+	if snapshot == nil {
+		if s.nEnc, err = matrix.EncryptInts(s.random, s.group, s.ePlain, s.workers); err != nil {
+			return nil, fmt.Errorf("pisa: encrypt initial budgets: %w", err)
+		}
+	} else {
+		var st sdcStateV1
+		if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&st); err != nil {
+			return nil, fmt.Errorf("pisa: decode SDC snapshot: %w", err)
+		}
+		if st.Version != sdcStateVersion {
+			return nil, fmt.Errorf("pisa: SDC snapshot version %d, this build reads %d", st.Version, sdcStateVersion)
+		}
+		if st.NEnc == nil {
+			return nil, fmt.Errorf("pisa: SDC snapshot has no budget matrix")
+		}
+		if st.NEnc.Channels() != params.Watch.Channels || st.NEnc.Blocks() != params.Watch.Grid.Blocks() {
+			return nil, fmt.Errorf("pisa: snapshot budgets are %dx%d, deployment is %dx%d",
+				st.NEnc.Channels(), st.NEnc.Blocks(), params.Watch.Channels, params.Watch.Grid.Blocks())
+		}
+		if !st.NEnc.Key().Equal(s.group) {
+			return nil, fmt.Errorf("pisa: snapshot encrypted under a different group key than the STP serves")
+		}
+		st.NEnc.SetWorkers(s.workers)
+		s.nEnc = st.NEnc
+		s.serial = st.Serial
+		for _, u := range st.Updates {
+			if err := s.registerRestored(u); err != nil {
+				return nil, fmt.Errorf("pisa: snapshot update: %w", err)
+			}
+		}
+	}
+	// Replay the WAL tail in append order; later records for the same
+	// PU supersede earlier ones exactly as live handling would.
+	dirty := make(map[geo.BlockID]bool)
+	for _, rec := range tail {
+		if rec.Type != RecordPUUpdate {
+			return nil, fmt.Errorf("pisa: SDC WAL record %d has unexpected type %d", rec.Index, rec.Type)
+		}
+		u, err := DecodePUUpdate(rec.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: SDC WAL record %d: %w", rec.Index, err)
+		}
+		if err := s.registerRestored(u); err != nil {
+			return nil, fmt.Errorf("pisa: SDC WAL record %d: %w", rec.Index, err)
+		}
+		dirty[u.Block] = true
+	}
+	blocks := make([]geo.BlockID, 0, len(dirty))
+	for b := range dirty {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, b := range blocks {
+		if err := s.rebuildColumn(b); err != nil {
+			return nil, fmt.Errorf("pisa: replay rebuild of block %d: %w", b, err)
+		}
+	}
+	return s, nil
+}
+
+// registerRestored validates and registers one recovered update
+// without journaling or rebuilding (recovery defers the rebuilds).
+func (s *SDC) registerRestored(u *PUUpdate) error {
+	if err := s.validateUpdate(u); err != nil {
+		return err
+	}
+	if prev, ok := s.puBlocks[u.PUID]; ok && prev != u.Block {
+		return fmt.Errorf("pisa: restored PU %q moves from block %d to %d", u.PUID, prev, u.Block)
+	}
+	s.puBlocks[u.PUID] = u.Block
+	s.puUpdates[u.PUID] = u
+	return nil
+}
+
+// EncodePUUpdate serialises one update for a WAL record.
+func EncodePUUpdate(u *PUUpdate) ([]byte, error) {
+	if u == nil {
+		return nil, fmt.Errorf("pisa: nil PU update")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(u); err != nil {
+		return nil, fmt.Errorf("pisa: encode PU update: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePUUpdate reverses EncodePUUpdate. Structural validation
+// (channel count, nil ciphertexts, block bounds) happens when the
+// update is applied, where the deployment parameters are known.
+func DecodePUUpdate(data []byte) (*PUUpdate, error) {
+	var u PUUpdate
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&u); err != nil {
+		return nil, fmt.Errorf("pisa: decode PU update: %w", err)
+	}
+	return &u, nil
+}
+
+// SDCSummary is the operator-facing digest of the mutable SDC state,
+// logged at shutdown and after recovery.
+type SDCSummary struct {
+	// PUs counts registered primary users (stored update columns).
+	PUs int
+	// BlocksWithPUs counts grid blocks with at least one PU.
+	BlocksWithPUs int
+	// PopulatedCells counts non-nil budget matrix entries.
+	PopulatedCells int
+	// Serial is the last issued license serial.
+	Serial uint64
+}
+
+// Summary snapshots the counters.
+func (s *SDC) Summary() SDCSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blocks := make(map[geo.BlockID]bool, len(s.puBlocks))
+	for _, b := range s.puBlocks {
+		blocks[b] = true
+	}
+	return SDCSummary{
+		PUs:            len(s.puUpdates),
+		BlocksWithPUs:  len(blocks),
+		PopulatedCells: s.nEnc.Populated(),
+		Serial:         s.serial,
+	}
+}
+
+// BudgetSnapshot returns a point-in-time copy of the encrypted budget
+// matrix N~ (sharing the immutable ciphertexts). The entries are
+// ciphertexts under the group key, so handing them out reveals nothing
+// the SDC itself could not already see; tests use this to check a
+// restored controller decrypts to the same plaintext budgets.
+func (s *SDC) BudgetSnapshot() *matrix.Enc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nEnc.Clone()
+}
+
+// stpRegistryV1 is the serialised SU key registry (snapshot payload
+// for the STP's store). Only the public moduli are persisted — the
+// group secret key lives in its own restricted file (see cmd/stpd).
+type stpRegistryV1 struct {
+	Version int
+	IDs     []string
+	Moduli  []*big.Int
+}
+
+const stpRegistryVersion = 1
+
+// ExportRegistry serialises the SU key registry for a snapshot.
+func (s *STP) ExportRegistry() ([]byte, error) {
+	s.mu.RLock()
+	reg := stpRegistryV1{Version: stpRegistryVersion}
+	for id := range s.suKeys {
+		reg.IDs = append(reg.IDs, id)
+	}
+	sort.Strings(reg.IDs)
+	for _, id := range reg.IDs {
+		reg.Moduli = append(reg.Moduli, s.suKeys[id].N)
+	}
+	s.mu.RUnlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&reg); err != nil {
+		return nil, fmt.Errorf("pisa: export SU registry: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreRegistry rebuilds the SU key registry from durable state: the
+// registry snapshot (nil for a first boot) plus the WAL tail of
+// registrations accepted after it. Call before serving and before
+// arming SetRegistrationJournal.
+func (s *STP) RestoreRegistry(snapshot []byte, tail []store.Record) error {
+	keys := make(map[string]*paillier.PublicKey)
+	if snapshot != nil {
+		var reg stpRegistryV1
+		if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&reg); err != nil {
+			return fmt.Errorf("pisa: decode SU registry snapshot: %w", err)
+		}
+		if reg.Version != stpRegistryVersion {
+			return fmt.Errorf("pisa: SU registry snapshot version %d, this build reads %d", reg.Version, stpRegistryVersion)
+		}
+		if len(reg.IDs) != len(reg.Moduli) {
+			return fmt.Errorf("pisa: SU registry snapshot has %d ids but %d keys", len(reg.IDs), len(reg.Moduli))
+		}
+		for i, id := range reg.IDs {
+			if id == "" || reg.Moduli[i] == nil || reg.Moduli[i].Sign() <= 0 {
+				return fmt.Errorf("pisa: SU registry snapshot entry %d malformed", i)
+			}
+			keys[id] = &paillier.PublicKey{N: reg.Moduli[i]}
+		}
+	}
+	for _, rec := range tail {
+		if rec.Type != RecordSURegistration {
+			return fmt.Errorf("pisa: STP WAL record %d has unexpected type %d", rec.Index, rec.Type)
+		}
+		id, pk, err := DecodeSURegistration(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("pisa: STP WAL record %d: %w", rec.Index, err)
+		}
+		if existing, ok := keys[id]; ok && !existing.Equal(pk) {
+			return fmt.Errorf("pisa: STP WAL record %d re-registers SU %q with a different key", rec.Index, id)
+		}
+		keys[id] = pk
+	}
+	s.mu.Lock()
+	for id, pk := range keys {
+		s.suKeys[id] = pk
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// suRegistrationV1 is one WAL record of the STP registry log.
+type suRegistrationV1 struct {
+	ID      string
+	Modulus *big.Int
+}
+
+// EncodeSURegistration serialises one SU key registration.
+func EncodeSURegistration(id string, pk *paillier.PublicKey) ([]byte, error) {
+	if id == "" || pk == nil || pk.N == nil {
+		return nil, fmt.Errorf("pisa: incomplete SU registration")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&suRegistrationV1{ID: id, Modulus: pk.N}); err != nil {
+		return nil, fmt.Errorf("pisa: encode SU registration: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSURegistration reverses EncodeSURegistration.
+func DecodeSURegistration(data []byte) (string, *paillier.PublicKey, error) {
+	var reg suRegistrationV1
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&reg); err != nil {
+		return "", nil, fmt.Errorf("pisa: decode SU registration: %w", err)
+	}
+	if reg.ID == "" || reg.Modulus == nil || reg.Modulus.Sign() <= 0 {
+		return "", nil, fmt.Errorf("pisa: decoded SU registration malformed")
+	}
+	return reg.ID, &paillier.PublicKey{N: reg.Modulus}, nil
+}
+
+// RegisteredSUs reports the registry size, for shutdown summaries.
+func (s *STP) RegisteredSUs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.suKeys)
+}

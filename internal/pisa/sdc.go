@@ -49,6 +49,7 @@ type SDC struct {
 	puBlocks  map[watch.PUID]geo.BlockID // fixed registered locations
 	colVer    map[geo.BlockID]uint64     // bumped on every update registration
 	serial    uint64
+	journal   func(*PUUpdate) error // WAL hook; called outside the lock
 
 	blindPool      []blindFactors // offline-precomputed blinding tuples
 	blindTarget    int            // auto-refill high-water mark; 0 disarms
@@ -92,11 +93,35 @@ func WithRandom(r io.Reader) SDCOption {
 	return sdcOptionFunc(func(s *SDC) { s.random = r })
 }
 
+// WithUpdateJournal installs a write-ahead hook: every accepted PU
+// update is passed to fn before it is acknowledged, so a durable
+// deployment can append it to a log (internal/store). fn runs outside
+// the SDC's state lock and must be safe for concurrent calls. A fn
+// error rejects the update towards the PU; re-sending is idempotent.
+func WithUpdateJournal(fn func(*PUUpdate) error) SDCOption {
+	return sdcOptionFunc(func(s *SDC) { s.journal = fn })
+}
+
 // NewSDC builds the controller: performs the plaintext initialisation
 // step of §IV-A1 (E matrix and protection distances from public data
 // only), generates the license-signing key, and encrypts the initial
 // budget matrix N~ = E~ under the group key fetched from the STP.
 func NewSDC(issuer string, params Params, transmitters []watch.TVTransmitter, stp STPService, opts ...SDCOption) (*SDC, error) {
+	s, err := newSDCBase(issuer, params, transmitters, stp, opts)
+	if err != nil {
+		return nil, err
+	}
+	if s.nEnc, err = matrix.EncryptInts(s.random, s.group, s.ePlain, s.workers); err != nil {
+		return nil, fmt.Errorf("pisa: encrypt initial budgets: %w", err)
+	}
+	return s, nil
+}
+
+// newSDCBase performs every construction step except populating the
+// encrypted budget matrix: NewSDC encrypts a fresh N~ = E~, while
+// RestoreSDC (persist.go) installs the matrix recovered from a
+// snapshot instead.
+func newSDCBase(issuer string, params Params, transmitters []watch.TVTransmitter, stp STPService, opts []SDCOption) (*SDC, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,9 +157,6 @@ func NewSDC(issuer string, params Params, transmitters []watch.TVTransmitter, st
 	s.signer, err = dsig.NewSigner(s.random, params.SignerBits)
 	if err != nil {
 		return nil, err
-	}
-	if s.nEnc, err = matrix.EncryptInts(s.random, s.group, s.ePlain, s.workers); err != nil {
-		return nil, fmt.Errorf("pisa: encrypt initial budgets: %w", err)
 	}
 	return s, nil
 }
@@ -185,6 +207,38 @@ func (s *SDC) EColumn(b geo.BlockID) ([]int64, error) {
 // encryptions and folds run outside the state lock on the worker
 // pool, so updates overlap with concurrent SU requests.
 func (s *SDC) HandlePUUpdate(u *PUUpdate) error {
+	if err := s.validateUpdate(u); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if prev, ok := s.puBlocks[u.PUID]; ok && prev != u.Block {
+		s.mu.Unlock()
+		return fmt.Errorf("pisa: PU %q registered at block %d, update claims %d (TV receiver locations are fixed)",
+			u.PUID, prev, u.Block)
+	}
+	s.puBlocks[u.PUID] = u.Block
+	s.puUpdates[u.PUID] = u
+	s.colVer[u.Block]++
+	journal := s.journal
+	s.mu.Unlock()
+	// The WAL append runs outside the lock-shrunk critical section so
+	// durable deployments keep the update/request concurrency. The
+	// update is acknowledged only after it is journaled; on a journal
+	// error the PU sees a failure and re-sends (idempotent). Two
+	// concurrent updates from the *same* PU may reach the log in the
+	// opposite of their registration order — a sequential PU client
+	// never does that, and cross-PU interleavings are independent.
+	if journal != nil {
+		if err := journal(u); err != nil {
+			return fmt.Errorf("pisa: journal PU update: %w", err)
+		}
+	}
+	return s.rebuildColumn(u.Block)
+}
+
+// validateUpdate performs the stateless admission checks shared by the
+// live update path and recovery replay.
+func (s *SDC) validateUpdate(u *PUUpdate) error {
 	if u == nil {
 		return fmt.Errorf("pisa: nil PU update")
 	}
@@ -203,17 +257,16 @@ func (s *SDC) HandlePUUpdate(u *PUUpdate) error {
 			return fmt.Errorf("pisa: PU update ciphertext %d is nil", c)
 		}
 	}
+	return nil
+}
+
+// SetUpdateJournal attaches (or replaces) the write-ahead hook after
+// construction. A durable daemon arms it only after recovery replay,
+// so replayed updates are not appended to the log a second time.
+func (s *SDC) SetUpdateJournal(fn func(*PUUpdate) error) {
 	s.mu.Lock()
-	if prev, ok := s.puBlocks[u.PUID]; ok && prev != u.Block {
-		s.mu.Unlock()
-		return fmt.Errorf("pisa: PU %q registered at block %d, update claims %d (TV receiver locations are fixed)",
-			u.PUID, prev, u.Block)
-	}
-	s.puBlocks[u.PUID] = u.Block
-	s.puUpdates[u.PUID] = u
-	s.colVer[u.Block]++
+	s.journal = fn
 	s.mu.Unlock()
-	return s.rebuildColumn(u.Block)
 }
 
 // rebuildColumn recomputes N~(:, b) from a fresh encryption of the

@@ -34,8 +34,9 @@ type STP struct {
 	random  io.Reader
 	workers int
 
-	mu     sync.RWMutex
-	suKeys map[string]*paillier.PublicKey
+	mu      sync.RWMutex
+	suKeys  map[string]*paillier.PublicKey
+	journal func(id string, pk *paillier.PublicKey) error // WAL hook for registrations
 
 	// observer, when set (tests only), receives the plaintext V
 	// values the STP decrypts, enabling the leakage analysis of
@@ -98,12 +99,33 @@ func (s *STP) RegisterSU(id string, pk *paillier.PublicKey) error {
 		return fmt.Errorf("pisa: nil public key for SU %q", id)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if existing, ok := s.suKeys[id]; ok && !existing.Equal(pk) {
-		return fmt.Errorf("pisa: SU %q already registered with a different key", id)
+	if existing, ok := s.suKeys[id]; ok {
+		s.mu.Unlock()
+		if !existing.Equal(pk) {
+			return fmt.Errorf("pisa: SU %q already registered with a different key", id)
+		}
+		return nil // idempotent re-registration: no state change, nothing to journal
 	}
 	s.suKeys[id] = pk
+	journal := s.journal
+	s.mu.Unlock()
+	// As with SDC updates, the WAL append happens outside the lock and
+	// gates the acknowledgement: a journal failure surfaces to the SU,
+	// which retries.
+	if journal != nil {
+		if err := journal(id, pk); err != nil {
+			return fmt.Errorf("pisa: journal SU registration: %w", err)
+		}
+	}
 	return nil
+}
+
+// SetRegistrationJournal attaches the write-ahead hook for SU key
+// registrations. A durable STP arms it only after recovery replay.
+func (s *STP) SetRegistrationJournal(fn func(id string, pk *paillier.PublicKey) error) {
+	s.mu.Lock()
+	s.journal = fn
+	s.mu.Unlock()
 }
 
 // SUKey implements STPService.

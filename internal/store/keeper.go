@@ -1,0 +1,115 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Keeper ties a Store to an application export function and runs the
+// snapshot policy: capture a snapshot once enough records accumulate
+// or enough time passes with unsnapshotted records.
+//
+// It also closes the one correctness gap between the two layers:
+// exporting application state and persisting it as a snapshot are two
+// separate steps, and a WAL append slipping between them would be
+// compacted away without being part of the exported state — silent
+// data loss on the next recovery. Keeper.Append and Keeper.Snapshot
+// share a mutex so an append lands either before the export (included
+// in the snapshot; its late WAL record replays idempotently) or after
+// the compaction (captured by the fresh WAL).
+type Keeper struct {
+	store     *Store
+	export    func() ([]byte, error)
+	interval  time.Duration
+	threshold uint64
+
+	mu       sync.Mutex // serialises appends against export+save
+	lastSnap time.Time
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewKeeper wires a store to a state exporter. interval and threshold
+// of zero disable the respective trigger; Start is a no-op when both
+// are disabled.
+func NewKeeper(st *Store, export func() ([]byte, error), interval time.Duration, threshold uint64) *Keeper {
+	return &Keeper{store: st, export: export, interval: interval, threshold: threshold, lastSnap: time.Now()}
+}
+
+// Append journals one record through the snapshot-consistency lock.
+// Use this, not Store.Append, for every record the exporter's state
+// reflects.
+func (k *Keeper) Append(t RecordType, payload []byte) (uint64, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.store.Append(t, payload)
+}
+
+// Snapshot exports the application state and persists it, compacting
+// the WAL. Appends block for the duration, so the export function
+// should capture cheaply (copy pointers, encode outside locks).
+func (k *Keeper) Snapshot() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	state, err := k.export()
+	if err != nil {
+		return fmt.Errorf("store: export state for snapshot: %w", err)
+	}
+	if err := k.store.SaveSnapshot(state); err != nil {
+		return err
+	}
+	k.lastSnap = time.Now()
+	return nil
+}
+
+// Start launches the background snapshot loop. Call Stop to halt it.
+// Snapshot errors are reported through the errs callback (nil to
+// discard) and retried at the next trigger.
+func (k *Keeper) Start(errs func(error)) {
+	if k.stop != nil || (k.interval <= 0 && k.threshold == 0) {
+		return
+	}
+	k.stop = make(chan struct{})
+	k.done = make(chan struct{})
+	go k.loop(errs)
+}
+
+func (k *Keeper) loop(errs func(error)) {
+	defer close(k.done)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-k.stop:
+			return
+		case <-tick.C:
+		}
+		pending := k.store.Stats().RecordsSinceSnapshot
+		if pending == 0 {
+			continue
+		}
+		due := k.threshold > 0 && pending >= k.threshold
+		k.mu.Lock()
+		elapsed := time.Since(k.lastSnap)
+		k.mu.Unlock()
+		if !due && (k.interval <= 0 || elapsed < k.interval) {
+			continue
+		}
+		if err := k.Snapshot(); err != nil && errs != nil {
+			errs(err)
+		}
+	}
+}
+
+// Stop halts the background loop and waits for it to exit. Safe to
+// call when Start never ran.
+func (k *Keeper) Stop() {
+	if k.stop == nil {
+		return
+	}
+	close(k.stop)
+	<-k.done
+	k.stop = nil
+}

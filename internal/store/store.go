@@ -1,0 +1,528 @@
+// Package store is the durability subsystem for the PISA daemons: an
+// append-only write-ahead log (WAL) of state-mutating events plus
+// periodic atomic snapshots of the full serialised state.
+//
+// The paper's SDC is described as a database service, but the
+// reproduction originally held the entire encrypted system state — the
+// budget matrix N~, every PU's submitted signal column, the PU/SU
+// registries — only in memory, so a crash silently discarded all
+// spectrum state. This package makes that state survive restarts:
+//
+//   - every accepted mutation is appended to the WAL before the caller
+//     acknowledges it (framing: length + CRC32-C per record, single
+//     write(2) per append, so a kill -9 tears at most the final record);
+//   - a snapshot of the whole state is persisted atomically (temp file
+//     + rename + directory fsync) and supersedes the log prefix it
+//     covers, after which older segments and snapshots are deleted
+//     (compaction);
+//   - recovery is snapshot-load + replay of the WAL tail, tolerating a
+//     torn final record but refusing to guess past mid-log corruption.
+//
+// The package knows nothing about PISA message types: records are
+// (type byte, payload) pairs and snapshots are opaque byte slices.
+// internal/pisa supplies the encodings; cmd/sdcd and cmd/stpd wire the
+// policies.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FsyncPolicy selects when appended records are forced to disk.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval (the default) syncs the active segment from a
+	// background ticker every Options.FsyncEvery. A crash loses at
+	// most the last interval's worth of acknowledged records — the
+	// usual production trade-off.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways syncs after every append: nothing acknowledged is
+	// ever lost, at the price of one fsync per mutation.
+	FsyncAlways
+	// FsyncNever leaves write-back entirely to the OS page cache.
+	// Process crashes (kill -9) still lose nothing — the cache
+	// survives the process — but power loss may. Fastest.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the config strings to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "interval":
+		return FsyncInterval, nil
+	case "always":
+		return FsyncAlways, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// String names the policy for logs.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// Options tunes one Store.
+type Options struct {
+	// Fsync selects the append durability policy.
+	Fsync FsyncPolicy
+	// FsyncEvery is the background sync period under FsyncInterval
+	// (default 100ms).
+	FsyncEvery time.Duration
+	// SegmentBytes rotates the active segment once it grows past this
+	// size (default 64 MiB).
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// RecordType discriminates WAL record payloads. The values are owned
+// by the caller (internal/pisa defines the PISA record set); the store
+// only round-trips them.
+type RecordType uint8
+
+// Record is one WAL entry. Index is the global, gapless,
+// monotonically increasing position assigned at append time.
+type Record struct {
+	Index   uint64
+	Type    RecordType
+	Payload []byte
+}
+
+// Recovery describes what Open reconstructed, for boot-time logging.
+type Recovery struct {
+	// Source is "empty", "snapshot", "wal" or "snapshot+wal".
+	Source string
+	// SnapshotIndex is the last record index the loaded snapshot
+	// covers (0 when none).
+	SnapshotIndex uint64
+	// TailRecords counts WAL records newer than the snapshot that the
+	// caller must replay.
+	TailRecords int
+	// TornBytes is the size of the torn final append that was
+	// truncated away (0 for a clean shutdown).
+	TornBytes int64
+}
+
+// Stats is a point-in-time view of the store, for operational logging
+// and snapshot scheduling.
+type Stats struct {
+	LastIndex            uint64
+	SnapshotIndex        uint64
+	RecordsSinceSnapshot uint64
+	Segments             int
+	ActiveSegmentBytes   int64
+}
+
+// Store is one open WAL + snapshot directory. Append and SaveSnapshot
+// are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	f           *os.File // active segment
+	activeFirst uint64
+	activeBytes int64
+	segments    int // segment files on disk, including the active one
+	lastIndex   uint64
+	snapIndex   uint64
+	snapshot    []byte
+	tail        []Record
+	recovery    Recovery
+	dirty       bool // unsynced appends outstanding
+	syncErr     error
+	closed      bool
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// Open recovers (or initialises) the store rooted at dir: loads the
+// newest snapshot, replays every intact WAL record past it into the
+// tail, truncates a torn final append, and positions the log for new
+// appends. Mid-log corruption — a record that fails its checksum with
+// valid data behind it, or an impossible length field — is an error;
+// the store never silently drops acknowledged interior records.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts}
+
+	// Leftover temp files are failed snapshot publications; the rename
+	// never happened, so they supersede nothing.
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+
+	// Newest snapshot wins. A corrupt newest snapshot is fatal rather
+	// than a silent fallback: compaction deleted the WAL prefix it
+	// covered, so older state cannot reproduce it.
+	snaps := listSnapshots(entries)
+	if len(snaps) > 0 {
+		payload, idx, err := readSnapshot(filepath.Join(dir, snaps[0].name))
+		if err != nil {
+			return nil, err
+		}
+		if idx != snaps[0].first {
+			return nil, fmt.Errorf("store: snapshot %s header index %d disagrees with its name", snaps[0].name, idx)
+		}
+		s.snapshot = payload
+		s.snapIndex = idx
+		s.lastIndex = idx
+		// Older snapshots are superseded; a crash may have left them.
+		for _, old := range snaps[1:] {
+			os.Remove(filepath.Join(dir, old.name))
+		}
+	}
+
+	segs := listSegments(entries)
+	if len(segs) > 0 && segs[0].first > s.snapIndex+1 {
+		return nil, fmt.Errorf("store: WAL gap: first segment starts at record %d but snapshot covers only %d",
+			segs[0].first, s.snapIndex)
+	}
+	var (
+		activeScan segScan
+		activeRef  segmentRef
+	)
+	next := uint64(0) // expected first index of the next segment; 0 = unchecked
+	for i, seg := range segs {
+		if next != 0 && seg.first != next {
+			return nil, fmt.Errorf("store: WAL gap: segment %s starts at record %d, want %d",
+				seg.name, seg.first, next)
+		}
+		scan, err := scanSegment(filepath.Join(dir, seg.name), seg.first)
+		if err != nil {
+			return nil, err
+		}
+		if scan.torn && i != len(segs)-1 {
+			return nil, fmt.Errorf("store: segment %s is torn mid-log: %v", seg.name, scan.tornErr)
+		}
+		for _, rec := range scan.records {
+			if rec.Index > s.lastIndex {
+				s.lastIndex = rec.Index
+			}
+			if rec.Index > s.snapIndex {
+				s.tail = append(s.tail, rec)
+			}
+		}
+		next = seg.first + uint64(len(scan.records))
+		if i == len(segs)-1 {
+			activeScan = scan
+			activeRef = seg
+		}
+	}
+	s.segments = len(segs)
+
+	// Open (or create) the active segment for appending, truncating a
+	// torn tail first so the next append starts on a frame boundary.
+	if len(segs) == 0 {
+		if err := s.createSegmentLocked(s.lastIndex + 1); err != nil {
+			return nil, err
+		}
+	} else {
+		f, err := os.OpenFile(filepath.Join(dir, activeRef.name), os.O_RDWR, 0)
+		if err != nil {
+			return nil, fmt.Errorf("store: open active segment: %w", err)
+		}
+		if activeScan.torn {
+			size, serr := f.Seek(0, 2)
+			if serr == nil {
+				s.recovery.TornBytes = size - activeScan.goodBytes
+			}
+			if err := f.Truncate(activeScan.goodBytes); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: truncate torn tail: %w", err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: sync truncated segment: %w", err)
+			}
+		}
+		if _, err := f.Seek(activeScan.goodBytes, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: seek active segment: %w", err)
+		}
+		s.f = f
+		s.activeFirst = activeRef.first
+		s.activeBytes = activeScan.goodBytes
+	}
+
+	s.recovery.SnapshotIndex = s.snapIndex
+	s.recovery.TailRecords = len(s.tail)
+	switch {
+	case s.snapshot != nil && len(s.tail) > 0:
+		s.recovery.Source = "snapshot+wal"
+	case s.snapshot != nil:
+		s.recovery.Source = "snapshot"
+	case len(s.tail) > 0:
+		s.recovery.Source = "wal"
+	default:
+		s.recovery.Source = "empty"
+	}
+
+	if s.opts.Fsync == FsyncInterval {
+		s.stopSync = make(chan struct{})
+		s.syncDone = make(chan struct{})
+		go s.syncLoop()
+	}
+	return s, nil
+}
+
+// createSegmentLocked starts a fresh segment whose first record will
+// have the given index. Caller holds s.mu (or is still constructing).
+func (s *Store) createSegmentLocked(first uint64) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, segmentName(first)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	s.f = f
+	s.activeFirst = first
+	s.activeBytes = 0
+	s.segments++
+	return nil
+}
+
+// Recovery reports what Open reconstructed.
+func (s *Store) Recovery() Recovery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// SnapshotData returns the payload of the snapshot loaded at Open (nil
+// when the directory held none). The caller restores state from it,
+// then replays Tail.
+func (s *Store) SnapshotData() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshot
+}
+
+// Tail returns the WAL records newer than the loaded snapshot, in
+// append order. Records appended after Open are not included — the
+// tail is recovery state, not a live view.
+func (s *Store) Tail() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tail
+}
+
+// Append writes one record, returning its assigned index. Under
+// FsyncAlways the record is durable when Append returns; under the
+// other policies durability lags by at most the sync interval (or the
+// life of the page cache).
+func (s *Store) Append(t RecordType, payload []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("store: append on closed store")
+	}
+	if s.syncErr != nil {
+		return 0, fmt.Errorf("store: background sync failed: %w", s.syncErr)
+	}
+	if len(payload) >= maxRecordBytes {
+		return 0, fmt.Errorf("store: record payload %d bytes exceeds limit", len(payload))
+	}
+	if s.f == nil {
+		return 0, fmt.Errorf("store: no active segment (previous compaction failed)")
+	}
+	if s.activeBytes >= s.opts.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	frame := appendFrame(nil, t, payload)
+	if _, err := s.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("store: append: %w", err)
+	}
+	s.lastIndex++
+	s.activeBytes += int64(len(frame))
+	if s.opts.Fsync == FsyncAlways {
+		if err := s.f.Sync(); err != nil {
+			return 0, fmt.Errorf("store: fsync: %w", err)
+		}
+	} else {
+		s.dirty = true
+	}
+	return s.lastIndex, nil
+}
+
+// rotateLocked closes the active segment and starts the next one.
+func (s *Store) rotateLocked() error {
+	if s.opts.Fsync != FsyncNever {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync before rotate: %w", err)
+		}
+		s.dirty = false
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("store: close segment: %w", err)
+	}
+	return s.createSegmentLocked(s.lastIndex + 1)
+}
+
+// SaveSnapshot atomically persists state as covering every record
+// appended so far, then compacts: all WAL segments and older snapshots
+// are superseded and deleted, and a fresh segment is started. The
+// caller must pass state that reflects at least every acknowledged
+// append (ExportState called after the last Append does).
+func (s *Store) SaveSnapshot(state []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: snapshot on closed store")
+	}
+	index := s.lastIndex
+	// Make the WAL prefix durable first: if the snapshot write crashes
+	// midway, recovery still has snapshot[old] + complete log.
+	if s.opts.Fsync != FsyncNever && s.f != nil {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync before snapshot: %w", err)
+		}
+		s.dirty = false
+	}
+	if _, err := writeSnapshot(s.dir, index, state); err != nil {
+		return err
+	}
+	// The snapshot is durable; everything it covers is garbage now.
+	// Crash anywhere below and recovery skips the stale records.
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, snap := range listSnapshots(entries) {
+		if snap.first != index {
+			os.Remove(filepath.Join(s.dir, snap.name))
+		}
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("store: close segment: %w", err)
+	}
+	s.f = nil
+	for _, seg := range listSegments(entries) {
+		os.Remove(filepath.Join(s.dir, seg.name))
+	}
+	s.segments = 0
+	if err := s.createSegmentLocked(index + 1); err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	s.snapIndex = index
+	s.snapshot = nil // recovery payload only; do not pin post-boot
+	s.tail = nil
+	return nil
+}
+
+// Sync forces outstanding appends to disk regardless of policy.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if s.closed || s.f == nil || !s.dirty {
+		return s.syncErr
+	}
+	if err := s.f.Sync(); err != nil {
+		s.syncErr = err
+		return err
+	}
+	s.dirty = false
+	return nil
+}
+
+// syncLoop is the FsyncInterval background ticker.
+func (s *Store) syncLoop() {
+	defer close(s.syncDone)
+	t := time.NewTicker(s.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.Sync()
+		case <-s.stopSync:
+			return
+		}
+	}
+}
+
+// Stats returns the current counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		LastIndex:            s.lastIndex,
+		SnapshotIndex:        s.snapIndex,
+		RecordsSinceSnapshot: s.lastIndex - s.snapIndex,
+		Segments:             s.segments,
+		ActiveSegmentBytes:   s.activeBytes,
+	}
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close flushes and releases the store. Records already appended
+// remain on disk for the next Open.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.stopSync != nil {
+		close(s.stopSync)
+	}
+	s.mu.Unlock()
+	if s.syncDone != nil {
+		<-s.syncDone
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.f != nil {
+		if s.opts.Fsync != FsyncNever && s.dirty {
+			err = s.f.Sync()
+		}
+		if cerr := s.f.Close(); err == nil {
+			err = cerr
+		}
+		s.f = nil
+	}
+	s.closed = true
+	return err
+}

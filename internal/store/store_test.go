@@ -1,0 +1,443 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func appendN(t *testing.T, s *Store, typ RecordType, n int, tag string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := s.Append(typ, []byte(fmt.Sprintf("%s-%d", tag, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// lastSegmentPath finds the newest WAL segment file.
+func lastSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := listSegments(entries)
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	return filepath.Join(dir, segs[len(segs)-1].name)
+}
+
+func countFiles(t *testing.T, dir, prefix string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestStoreEmptyDir(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{Fsync: FsyncNever})
+	defer s.Close()
+	rec := s.Recovery()
+	if rec.Source != "empty" || rec.TailRecords != 0 || rec.TornBytes != 0 {
+		t.Fatalf("recovery = %+v, want empty", rec)
+	}
+	if s.SnapshotData() != nil {
+		t.Fatal("snapshot data from empty dir")
+	}
+}
+
+func TestStoreAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	appendN(t, s, 7, 5, "rec")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.Source != "wal" {
+		t.Fatalf("source = %q, want wal", rec.Source)
+	}
+	tail := s2.Tail()
+	if len(tail) != 5 {
+		t.Fatalf("tail has %d records, want 5", len(tail))
+	}
+	for i, r := range tail {
+		want := fmt.Sprintf("rec-%d", i)
+		if r.Type != 7 || string(r.Payload) != want || r.Index != uint64(i+1) {
+			t.Fatalf("record %d = {%d %d %q}, want {%d 7 %q}", i, r.Index, r.Type, r.Payload, i+1, want)
+		}
+	}
+	// Appends continue the index sequence.
+	idx, err := s2.Append(7, []byte("more"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 6 {
+		t.Fatalf("next index = %d, want 6", idx)
+	}
+}
+
+func TestStoreSnapshotSupersedesAndCompacts(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Fsync: FsyncAlways, SegmentBytes: 64})
+	appendN(t, s, 1, 10, "old") // tiny SegmentBytes forces several segments
+	if countFiles(t, dir, "wal-") < 2 {
+		t.Fatal("rotation did not produce multiple segments")
+	}
+	if err := s.SaveSnapshot([]byte("STATE-A")); err != nil {
+		t.Fatal(err)
+	}
+	if got := countFiles(t, dir, "wal-"); got != 1 {
+		t.Fatalf("%d segments after compaction, want 1 fresh one", got)
+	}
+	if got := countFiles(t, dir, "snap-"); got != 1 {
+		t.Fatalf("%d snapshots, want 1", got)
+	}
+	appendN(t, s, 2, 3, "new")
+	st := s.Stats()
+	if st.RecordsSinceSnapshot != 3 || st.SnapshotIndex != 10 || st.LastIndex != 13 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A second snapshot deletes the first.
+	if err := s.SaveSnapshot([]byte("STATE-B")); err != nil {
+		t.Fatal(err)
+	}
+	if got := countFiles(t, dir, "snap-"); got != 1 {
+		t.Fatalf("%d snapshots after second save, want 1", got)
+	}
+	appendN(t, s, 2, 2, "tail")
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.Source != "snapshot+wal" || rec.SnapshotIndex != 13 || rec.TailRecords != 2 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if !bytes.Equal(s2.SnapshotData(), []byte("STATE-B")) {
+		t.Fatalf("snapshot payload = %q", s2.SnapshotData())
+	}
+	tail := s2.Tail()
+	if len(tail) != 2 || string(tail[0].Payload) != "tail-0" || tail[0].Index != 14 {
+		t.Fatalf("tail = %+v", tail)
+	}
+}
+
+func TestStoreSnapshotOnly(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Fsync: FsyncNever})
+	appendN(t, s, 1, 4, "x")
+	if err := s.SaveSnapshot([]byte("S")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if rec := s2.Recovery(); rec.Source != "snapshot" || rec.TailRecords != 0 {
+		t.Fatalf("recovery = %+v, want snapshot only", rec)
+	}
+}
+
+// TestStoreTornTail simulates kill -9 mid-append: the final record is
+// cut at several byte positions; every fully written record must
+// survive and the torn bytes must be dropped cleanly.
+func TestStoreTornTail(t *testing.T) {
+	frame := len(appendFrame(nil, 3, []byte("payload-0")))
+	for _, cut := range []int{1, frameHeaderLen - 1, frameHeaderLen, frameHeaderLen + 3, frame - 1} {
+		t.Run(fmt.Sprintf("cut-%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+			appendN(t, s, 3, 4, "payload")
+			s.Close()
+
+			seg := lastSegmentPath(t, dir)
+			info, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Keep 3 full records plus `cut` bytes of the fourth.
+			keep := info.Size() - int64(frame) + int64(cut)
+			if err := os.Truncate(seg, keep); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := mustOpen(t, dir, Options{})
+			defer s2.Close()
+			rec := s2.Recovery()
+			if rec.TornBytes != int64(cut) {
+				t.Fatalf("torn bytes = %d, want %d", rec.TornBytes, cut)
+			}
+			tail := s2.Tail()
+			if len(tail) != 3 {
+				t.Fatalf("%d records survived, want 3", len(tail))
+			}
+			for i, r := range tail {
+				if string(r.Payload) != fmt.Sprintf("payload-%d", i) {
+					t.Fatalf("record %d corrupted: %q", i, r.Payload)
+				}
+			}
+			// The log must keep working: append and re-open once more.
+			if idx, err := s2.Append(3, []byte("after-crash")); err != nil || idx != 4 {
+				t.Fatalf("append after torn recovery: idx=%d err=%v", idx, err)
+			}
+			s2.Close()
+			s3 := mustOpen(t, dir, Options{})
+			defer s3.Close()
+			if got := len(s3.Tail()); got != 4 {
+				t.Fatalf("after reopen, tail = %d records, want 4", got)
+			}
+		})
+	}
+}
+
+// TestStoreTornChecksumTail flips a byte inside the final record's
+// payload: a complete-but-corrupt final frame also counts as torn.
+func TestStoreTornChecksumTail(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	appendN(t, s, 3, 3, "v")
+	s.Close()
+	seg := lastSegmentPath(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if got := len(s2.Tail()); got != 2 {
+		t.Fatalf("%d records survived, want 2", got)
+	}
+	if s2.Recovery().TornBytes == 0 {
+		t.Fatal("corrupt final record not reported as torn")
+	}
+}
+
+// TestStoreRejectsMidLogCorruption flips a byte in the FIRST record
+// while later records are intact: that is disk corruption, not a torn
+// append, and recovery must refuse rather than drop acknowledged data.
+func TestStoreRejectsMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	appendN(t, s, 3, 3, "v")
+	s.Close()
+	seg := lastSegmentPath(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeaderLen+1] ^= 0xff // inside record 1's payload
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("mid-log corruption accepted")
+	}
+}
+
+// TestStoreRejectsCorruptSnapshot: the newest snapshot failing its
+// checksum is fatal — its WAL prefix was compacted away, so falling
+// back silently would lose state.
+func TestStoreRejectsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Fsync: FsyncNever})
+	appendN(t, s, 1, 2, "x")
+	if err := s.SaveSnapshot([]byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := listSnapshots(entries)
+	path := filepath.Join(dir, snaps[0].name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+// TestStoreLeftoverTmpIgnored: a crash during snapshot publication
+// leaves a .tmp file; recovery must ignore and remove it.
+func TestStoreLeftoverTmpIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Fsync: FsyncNever})
+	appendN(t, s, 1, 2, "x")
+	s.Close()
+	tmp := filepath.Join(dir, snapshotName(99)+".tmp")
+	if err := os.WriteFile(tmp, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if rec := s2.Recovery(); rec.Source != "wal" || rec.TailRecords != 2 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("leftover .tmp not cleaned")
+	}
+}
+
+func TestStoreRotationAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Fsync: FsyncNever, SegmentBytes: 48})
+	appendN(t, s, 9, 20, "r")
+	if s.Stats().Segments < 3 {
+		t.Fatalf("segments = %d, want several", s.Stats().Segments)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, Options{SegmentBytes: 48})
+	defer s2.Close()
+	tail := s2.Tail()
+	if len(tail) != 20 {
+		t.Fatalf("replayed %d records across segments, want 20", len(tail))
+	}
+	for i, r := range tail {
+		if r.Index != uint64(i+1) || string(r.Payload) != fmt.Sprintf("r-%d", i) {
+			t.Fatalf("record %d = {%d %q}", i, r.Index, r.Payload)
+		}
+	}
+}
+
+func TestStoreFsyncPolicies(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(p.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{Fsync: p, FsyncEvery: time.Millisecond})
+			appendN(t, s, 1, 10, "p")
+			if err := s.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2 := mustOpen(t, dir, Options{})
+			defer s2.Close()
+			if got := len(s2.Tail()); got != 10 {
+				t.Fatalf("%d records, want 10", got)
+			}
+		})
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	cases := map[string]FsyncPolicy{
+		"": FsyncInterval, "interval": FsyncInterval,
+		"always": FsyncAlways, "ALWAYS": FsyncAlways, "never": FsyncNever,
+	}
+	for in, want := range cases {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+// TestStoreConcurrentAppend exercises the append path under -race and
+// checks the indices come back gapless.
+func TestStoreConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Fsync: FsyncInterval, FsyncEvery: time.Millisecond, SegmentBytes: 256})
+	const goroutines, each = 8, 25
+	var wg sync.WaitGroup
+	seen := make([]map[uint64]bool, goroutines)
+	for g := 0; g < goroutines; g++ {
+		seen[g] = make(map[uint64]bool)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				idx, err := s.Append(RecordType(g), []byte("concurrent"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				seen[g][idx] = true
+			}
+		}(g)
+	}
+	wg.Wait()
+	all := make(map[uint64]bool)
+	for _, m := range seen {
+		for idx := range m {
+			if all[idx] {
+				t.Fatalf("index %d assigned twice", idx)
+			}
+			all[idx] = true
+		}
+	}
+	if len(all) != goroutines*each {
+		t.Fatalf("%d distinct indices, want %d", len(all), goroutines*each)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if got := len(s2.Tail()); got != goroutines*each {
+		t.Fatalf("replayed %d, want %d", got, goroutines*each)
+	}
+}
+
+// TestStoreCrashBetweenSnapshotAndCompaction simulates a crash after
+// the snapshot rename but before the old segments are deleted: stale
+// segments whose records the snapshot covers must be skipped.
+func TestStoreCrashBetweenSnapshotAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Fsync: FsyncNever})
+	appendN(t, s, 1, 5, "pre")
+	s.Close()
+	// Write the snapshot by hand (as SaveSnapshot would) without
+	// compacting, mimicking the crash window.
+	if _, err := writeSnapshot(dir, 5, []byte("covers-5")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.Source != "snapshot" || rec.SnapshotIndex != 5 || rec.TailRecords != 0 {
+		t.Fatalf("recovery = %+v, want snapshot covering the stale segment", rec)
+	}
+	if idx, err := s2.Append(1, []byte("next")); err != nil || idx != 6 {
+		t.Fatalf("append after partial compaction: idx=%d err=%v", idx, err)
+	}
+}

@@ -1,0 +1,158 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record framing inside a WAL segment:
+//
+//	[4 bytes LE length][4 bytes LE CRC32-C][1 byte type][payload]
+//
+// The length counts the body (type byte plus payload); the checksum
+// covers the body. Each frame is written with a single write(2), so a
+// crash mid-append leaves a *prefix* of the frame on disk: either a
+// partial header, or an intact header whose body is short. Both shapes
+// are recognised as a torn tail and truncated away on recovery. A
+// frame whose body is fully present but fails its checksum is torn
+// only if it sits at the very end of the final segment (partial sector
+// writes); anywhere else it is corruption and recovery refuses to
+// guess.
+const (
+	frameHeaderLen = 8
+	// maxRecordBytes bounds a single record body. A length field above
+	// this (or zero) cannot come from a torn append of a record we
+	// wrote, so it is reported as corruption rather than silently
+	// truncated.
+	maxRecordBytes = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame serialises one record into buf and returns the extended
+// slice.
+func appendFrame(buf []byte, t RecordType, payload []byte) []byte {
+	body := make([]byte, 1+len(payload))
+	body[0] = byte(t)
+	copy(body[1:], payload)
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, body...)
+}
+
+// segmentName encodes the index of the first record a segment holds.
+func segmentName(first uint64) string {
+	return fmt.Sprintf("wal-%016x.log", first)
+}
+
+// parseSeqName extracts the hex sequence number from names like
+// wal-%016x.log or snap-%016x.snap.
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// segScan is the result of reading one segment file.
+type segScan struct {
+	records   []Record // indices assigned from the segment's first index
+	goodBytes int64    // file offset just past the last valid record
+	torn      bool     // a partial/overwritten frame follows goodBytes
+	tornErr   error    // why the tail was considered torn
+}
+
+// scanSegment reads every intact record of one segment. first is the
+// index of the segment's first record (from its file name). A
+// recognisably torn tail is reported via the torn flag; anything that
+// cannot be a torn single-write append (bogus length field, checksum
+// failure with further data behind it) returns an error.
+func scanSegment(path string, first uint64) (segScan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return segScan{}, fmt.Errorf("store: read segment: %w", err)
+	}
+	var out segScan
+	off := 0
+	idx := first
+	for {
+		rem := len(data) - off
+		if rem == 0 {
+			out.goodBytes = int64(off)
+			return out, nil
+		}
+		if rem < frameHeaderLen {
+			out.goodBytes = int64(off)
+			out.torn = true
+			out.tornErr = fmt.Errorf("store: %d-byte partial frame header at offset %d", rem, off)
+			return out, nil
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > maxRecordBytes {
+			return out, fmt.Errorf("store: segment %s: record %d has impossible length %d (corrupt header)",
+				path, idx, n)
+		}
+		if rem < frameHeaderLen+n {
+			out.goodBytes = int64(off)
+			out.torn = true
+			out.tornErr = fmt.Errorf("store: torn record %d at offset %d (%d of %d body bytes)",
+				idx, off, rem-frameHeaderLen, n)
+			return out, nil
+		}
+		body := data[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.Checksum(body, crcTable) != sum {
+			if rem == frameHeaderLen+n {
+				// Checksum failure on the very last frame: a partially
+				// persisted final append. Treat as torn.
+				out.goodBytes = int64(off)
+				out.torn = true
+				out.tornErr = fmt.Errorf("store: checksum mismatch on final record %d", idx)
+				return out, nil
+			}
+			return out, fmt.Errorf("store: segment %s: record %d fails its checksum with %d bytes of log behind it (corrupt, not torn)",
+				path, idx, rem-frameHeaderLen-n)
+		}
+		payload := make([]byte, n-1)
+		copy(payload, body[1:])
+		out.records = append(out.records, Record{Index: idx, Type: RecordType(body[0]), Payload: payload})
+		off += frameHeaderLen + n
+		idx++
+	}
+}
+
+// listSegments returns the WAL segments in dir ordered by first index.
+func listSegments(entries []os.DirEntry) []segmentRef {
+	var segs []segmentRef
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSeqName(e.Name(), "wal-", ".log"); ok {
+			segs = append(segs, segmentRef{name: e.Name(), first: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs
+}
+
+// segmentRef names one on-disk segment.
+type segmentRef struct {
+	name  string
+	first uint64
+}
