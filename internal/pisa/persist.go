@@ -65,13 +65,19 @@ func (s *SDC) ExportState() ([]byte, error) {
 
 // RestoreSDC rebuilds a controller from durable state: the snapshot
 // payload (nil for a first boot) plus the WAL tail of updates accepted
-// after the snapshot was taken. Replay registers every tail update and
-// then rebuilds each touched budget column once, so recovery cost is
-// O(tail) decodes plus O(distinct blocks) column rebuilds rather than
-// one rebuild per record. The STP must serve the same group key the
-// snapshot was encrypted under; a key mismatch is detected and
-// refused, because foreign-key ciphertexts would silently decrypt to
-// garbage.
+// after the snapshot was taken. Replay registers every update and then
+// rebuilds each budget column with at least one PU once — one rebuild
+// per populated block, not one per record. Rebuilding every populated
+// column (not only the tail-dirty ones) makes recovery self-healing:
+// a snapshot exported while a column rebuild was still in flight
+// stores the update's ciphertexts but a budget column that does not
+// yet fold them, and trusting that column would permanently drop the
+// PU's interference constraints. Registrations always precede column
+// write-backs, so a snapshot's column set can only lag its update set,
+// never lead it — recomputing from the updates is always correct. The
+// STP must serve the same group key the snapshot was encrypted under;
+// a key mismatch is detected and refused, because foreign-key
+// ciphertexts would silently decrypt to garbage.
 //
 // The license signing key is generated fresh on every boot — licenses
 // are short-lived and SUs fetch the verification key per session — so
@@ -114,7 +120,6 @@ func RestoreSDC(issuer string, params Params, transmitters []watch.TVTransmitter
 	}
 	// Replay the WAL tail in append order; later records for the same
 	// PU supersede earlier ones exactly as live handling would.
-	dirty := make(map[geo.BlockID]bool)
 	for _, rec := range tail {
 		if rec.Type != RecordPUUpdate {
 			return nil, fmt.Errorf("pisa: SDC WAL record %d has unexpected type %d", rec.Index, rec.Type)
@@ -126,7 +131,12 @@ func RestoreSDC(issuer string, params Params, transmitters []watch.TVTransmitter
 		if err := s.registerRestored(u); err != nil {
 			return nil, fmt.Errorf("pisa: SDC WAL record %d: %w", rec.Index, err)
 		}
-		dirty[u.Block] = true
+	}
+	// Rebuild every column holding a PU update, snapshot or tail — see
+	// the self-healing note above.
+	dirty := make(map[geo.BlockID]bool)
+	for _, b := range s.puBlocks {
+		dirty[b] = true
 	}
 	blocks := make([]geo.BlockID, 0, len(dirty))
 	for b := range dirty {

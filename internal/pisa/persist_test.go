@@ -2,6 +2,7 @@ package pisa
 
 import (
 	"crypto/rand"
+	"fmt"
 	"testing"
 
 	"pisa/internal/geo"
@@ -321,11 +322,144 @@ func TestJournalHookReceivesUpdates(t *testing.T) {
 		return nil
 	})
 	su := d.newSU(t, "su-1", 7)
-	// Idempotent re-registration must not journal a second record.
+	// Idempotent re-registration journals again: replay tolerates the
+	// duplicate record, and skipping it would let a retry after a failed
+	// append be acknowledged without ever reaching the log.
 	if err := d.stp.RegisterSU("su-1", su.PublicKey()); err != nil {
 		t.Fatal(err)
 	}
-	if len(regs) != 1 || regs[0] != "su-1" {
-		t.Fatalf("registration journal saw %v, want exactly [su-1]", regs)
+	if len(regs) != 2 || regs[0] != "su-1" || regs[1] != "su-1" {
+		t.Fatalf("registration journal saw %v, want [su-1 su-1]", regs)
+	}
+}
+
+// TestSnapshotDuringColumnRebuild exports state from inside the journal
+// hook — after the update is registered and journaled but before its
+// column rebuild has run, exactly the window a Keeper snapshot can land
+// in, since rebuilds run outside every lock. A restore from that
+// snapshot (with the WAL record compacted away, hence the empty tail)
+// must still fold the update's interference into the budgets.
+func TestSnapshotDuringColumnRebuild(t *testing.T) {
+	d := newDurableDeployment(t)
+	var snap []byte
+	d.sdc.SetUpdateJournal(func(u *PUUpdate) error {
+		var err error
+		snap, err = d.sdc.ExportState()
+		return err
+	})
+	sig := d.params.Watch.Quantize(d.params.Watch.SMinPUmW)
+	d.update(t, d.newPU(t, "tv-1", 8), 1, sig)
+
+	restored, err := RestoreSDC("sdc-test", d.params, nil, d.stp, snap, nil)
+	if err != nil {
+		t.Fatalf("RestoreSDC: %v", err)
+	}
+	d.assertSameState(t, d.sdc, restored)
+	if sum := restored.Summary(); sum.PUs != 1 {
+		t.Fatalf("restored summary %+v, want 1 PU", sum)
+	}
+}
+
+// TestUpdateJournalFailureRollsBack: a journal failure must leave no
+// trace of the update — not in the registries, not in the budgets, not
+// in an exported snapshot — and the PU's retry must then land fully.
+func TestUpdateJournalFailureRollsBack(t *testing.T) {
+	d := newDurableDeployment(t)
+	sig := d.params.Watch.Quantize(d.params.Watch.SMinPUmW)
+	pu := d.newPU(t, "tv-1", 8)
+	before := d.budgets(t, d.sdc)
+
+	fail := true
+	var journaled int
+	d.sdc.SetUpdateJournal(func(u *PUUpdate) error {
+		if fail {
+			return fmt.Errorf("disk full")
+		}
+		journaled++
+		return nil
+	})
+	u, err := pu.Tune(1, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.sdc.HandlePUUpdate(u); err == nil {
+		t.Fatal("update acknowledged despite journal failure")
+	}
+	if sum := d.sdc.Summary(); sum.PUs != 0 {
+		t.Fatalf("summary after rollback %+v, want no PUs", sum)
+	}
+	if !before.Equal(d.budgets(t, d.sdc)) {
+		t.Fatal("budgets changed by an update that was never journaled")
+	}
+
+	// A snapshot taken now must restore to the same clean state.
+	snap, err := d.sdc.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSDC("sdc-test", d.params, nil, d.stp, snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.assertSameState(t, d.sdc, restored)
+
+	// The log heals; the retry must register, journal and rebuild.
+	fail = false
+	if err := d.sdc.HandlePUUpdate(u); err != nil {
+		t.Fatalf("retry after journal recovery: %v", err)
+	}
+	if journaled != 1 {
+		t.Fatalf("retry journaled %d records, want 1", journaled)
+	}
+	if sum := d.sdc.Summary(); sum.PUs != 1 {
+		t.Fatalf("summary after retry %+v, want 1 PU", sum)
+	}
+
+	// A retune whose append fails rolls back to the previous update,
+	// not to an empty column.
+	afterFirst := d.budgets(t, d.sdc)
+	u2, err := pu.Tune(2, 4*sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail = true
+	if err := d.sdc.HandlePUUpdate(u2); err == nil {
+		t.Fatal("retune acknowledged despite journal failure")
+	}
+	if sum := d.sdc.Summary(); sum.PUs != 1 {
+		t.Fatalf("summary after retune rollback %+v, want 1 PU", sum)
+	}
+	if !afterFirst.Equal(d.budgets(t, d.sdc)) {
+		t.Fatal("budgets do not match the journaled state after retune rollback")
+	}
+}
+
+// TestRegistrationJournalFailureRetry: an SU whose first registration
+// fails at the WAL keeps retrying until the append succeeds; the retry
+// must produce a record even though the key already sits in the map.
+func TestRegistrationJournalFailureRetry(t *testing.T) {
+	d := newDurableDeployment(t)
+	su, err := NewSU(rand.Reader, "su-9", 4, d.params, d.sdc.Planner(), d.stp.GroupKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := true
+	var regs int
+	d.stp.SetRegistrationJournal(func(id string, pk *paillier.PublicKey) error {
+		if fail {
+			return fmt.Errorf("disk full")
+		}
+		regs++
+		return nil
+	})
+	if err := d.stp.RegisterSU("su-9", su.PublicKey()); err == nil {
+		t.Fatal("registration acknowledged despite journal failure")
+	}
+	fail = false
+	if err := d.stp.RegisterSU("su-9", su.PublicKey()); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if regs != 1 {
+		t.Fatalf("retry journaled %d records, want 1", regs)
 	}
 }

@@ -211,10 +211,11 @@ func (s *SDC) HandlePUUpdate(u *PUUpdate) error {
 		return err
 	}
 	s.mu.Lock()
-	if prev, ok := s.puBlocks[u.PUID]; ok && prev != u.Block {
+	prev, hadPrev := s.puUpdates[u.PUID]
+	if hadPrev && prev.Block != u.Block {
 		s.mu.Unlock()
 		return fmt.Errorf("pisa: PU %q registered at block %d, update claims %d (TV receiver locations are fixed)",
-			u.PUID, prev, u.Block)
+			u.PUID, prev.Block, u.Block)
 	}
 	s.puBlocks[u.PUID] = u.Block
 	s.puUpdates[u.PUID] = u
@@ -224,15 +225,42 @@ func (s *SDC) HandlePUUpdate(u *PUUpdate) error {
 	// The WAL append runs outside the lock-shrunk critical section so
 	// durable deployments keep the update/request concurrency. The
 	// update is acknowledged only after it is journaled; on a journal
-	// error the PU sees a failure and re-sends (idempotent). Two
-	// concurrent updates from the *same* PU may reach the log in the
-	// opposite of their registration order — a sequential PU client
-	// never does that, and cross-PU interleavings are independent.
+	// error the registration is rolled back and the PU sees a failure,
+	// so it re-sends (idempotent). Two concurrent updates from the
+	// *same* PU may reach the log in the opposite of their registration
+	// order — a sequential PU client never does that, and cross-PU
+	// interleavings are independent.
 	if journal != nil {
 		if err := journal(u); err != nil {
+			if rerr := s.unregisterUpdate(u, prev, hadPrev); rerr != nil {
+				return fmt.Errorf("pisa: journal PU update: %w (rollback rebuild also failed: %v)", err, rerr)
+			}
 			return fmt.Errorf("pisa: journal PU update: %w", err)
 		}
 	}
+	return s.rebuildColumn(u.Block)
+}
+
+// unregisterUpdate reverts a registration whose WAL append failed, so
+// in-memory state never runs ahead of the log: the previous update (or
+// absence) is restored and the column is rebuilt in case a concurrent
+// rebuild already folded the rejected ciphertexts in. A newer update
+// from the same PU that registered meanwhile is left in place — its own
+// journal/rebuild path governs it.
+func (s *SDC) unregisterUpdate(u, prev *PUUpdate, hadPrev bool) error {
+	s.mu.Lock()
+	if s.puUpdates[u.PUID] != u {
+		s.mu.Unlock()
+		return nil
+	}
+	if hadPrev {
+		s.puUpdates[u.PUID] = prev
+	} else {
+		delete(s.puUpdates, u.PUID)
+		delete(s.puBlocks, u.PUID)
+	}
+	s.colVer[u.Block]++
+	s.mu.Unlock()
 	return s.rebuildColumn(u.Block)
 }
 

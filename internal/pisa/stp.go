@@ -99,19 +99,20 @@ func (s *STP) RegisterSU(id string, pk *paillier.PublicKey) error {
 		return fmt.Errorf("pisa: nil public key for SU %q", id)
 	}
 	s.mu.Lock()
-	if existing, ok := s.suKeys[id]; ok {
+	if existing, ok := s.suKeys[id]; ok && !existing.Equal(pk) {
 		s.mu.Unlock()
-		if !existing.Equal(pk) {
-			return fmt.Errorf("pisa: SU %q already registered with a different key", id)
-		}
-		return nil // idempotent re-registration: no state change, nothing to journal
+		return fmt.Errorf("pisa: SU %q already registered with a different key", id)
 	}
 	s.suKeys[id] = pk
 	journal := s.journal
 	s.mu.Unlock()
 	// As with SDC updates, the WAL append happens outside the lock and
 	// gates the acknowledgement: a journal failure surfaces to the SU,
-	// which retries.
+	// which retries. The idempotent re-registration path journals too —
+	// replay tolerates duplicate same-key records, and skipping it would
+	// break the retry story: a first attempt whose append failed leaves
+	// the key in the map, so acking the retry without a record would
+	// silently lose the registration at the next crash.
 	if journal != nil {
 		if err := journal(id, pk); err != nil {
 			return fmt.Errorf("pisa: journal SU registration: %w", err)

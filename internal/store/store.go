@@ -154,6 +154,7 @@ type Store struct {
 	recovery    Recovery
 	dirty       bool // unsynced appends outstanding
 	syncErr     error
+	closing     bool // Close in progress: stopSync already closed
 	closed      bool
 
 	stopSync chan struct{}
@@ -426,10 +427,16 @@ func (s *Store) SaveSnapshot(state []byte) error {
 			os.Remove(filepath.Join(s.dir, snap.name))
 		}
 	}
-	if err := s.f.Close(); err != nil {
-		return fmt.Errorf("store: close segment: %w", err)
+	// s.f may already be nil if a previous SaveSnapshot failed at
+	// createSegmentLocked (e.g. transient disk-full); this call then
+	// retries the segment creation instead of wedging on a nil close.
+	if s.f != nil {
+		err := s.f.Close()
+		s.f = nil
+		if err != nil {
+			return fmt.Errorf("store: close segment: %w", err)
+		}
 	}
-	s.f = nil
 	for _, seg := range listSegments(entries) {
 		os.Remove(filepath.Join(s.dir, seg.name))
 	}
@@ -497,18 +504,18 @@ func (s *Store) Stats() Stats {
 func (s *Store) Dir() string { return s.dir }
 
 // Close flushes and releases the store. Records already appended
-// remain on disk for the next Open.
+// remain on disk for the next Open. Safe for concurrent and repeated
+// calls: only the first proceeds, the rest return nil immediately.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.closing {
 		s.mu.Unlock()
 		return nil
 	}
+	s.closing = true
+	s.mu.Unlock()
 	if s.stopSync != nil {
 		close(s.stopSync)
-	}
-	s.mu.Unlock()
-	if s.syncDone != nil {
 		<-s.syncDone
 	}
 	s.mu.Lock()

@@ -418,6 +418,60 @@ func TestStoreConcurrentAppend(t *testing.T) {
 	}
 }
 
+// TestStoreSnapshotRetryAfterFailedCompaction: a SaveSnapshot that
+// fails at fresh-segment creation (e.g. transient disk-full) leaves the
+// store with no active segment. A later SaveSnapshot must recreate one
+// instead of wedging on a nil segment close forever.
+func TestStoreSnapshotRetryAfterFailedCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Fsync: FsyncNever})
+	appendN(t, s, 1, 3, "x")
+	// Put the store in the post-failure state: segment closed and
+	// detached, exactly as a SaveSnapshot aborted mid-compaction does.
+	s.mu.Lock()
+	s.f.Close()
+	s.f = nil
+	s.mu.Unlock()
+	if _, err := s.Append(1, []byte("y")); err == nil {
+		t.Fatal("append with no active segment succeeded")
+	}
+	if err := s.SaveSnapshot([]byte("S")); err != nil {
+		t.Fatalf("snapshot retry with no active segment: %v", err)
+	}
+	if idx, err := s.Append(1, []byte("after")); err != nil || idx != 4 {
+		t.Fatalf("append after retry: idx=%d err=%v", idx, err)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.Source != "snapshot+wal" || rec.SnapshotIndex != 3 || rec.TailRecords != 1 {
+		t.Fatalf("recovery = %+v, want snapshot at 3 plus 1 tail record", rec)
+	}
+}
+
+// TestStoreCloseConcurrent: racing Close calls must not double-close
+// the sync-loop channel (run under -race in CI).
+func TestStoreCloseConcurrent(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncInterval, FsyncNever} {
+		t.Run(p.String(), func(t *testing.T) {
+			s := mustOpen(t, t.TempDir(), Options{Fsync: p, FsyncEvery: time.Millisecond})
+			appendN(t, s, 1, 3, "x")
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := s.Close(); err != nil {
+						t.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
 // TestStoreCrashBetweenSnapshotAndCompaction simulates a crash after
 // the snapshot rename but before the old segments are deleted: stale
 // segments whose records the snapshot covers must be skipped.
