@@ -32,8 +32,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("puctl", flag.ContinueOnError)
 	configPath := fs.String("config", "", "deployment config JSON (defaults built in)")
-	sdcAddr := fs.String("sdc", "", "SDC address (overrides config)")
-	stpAddr := fs.String("stp", "", "STP address (overrides config)")
+	sdcAddr := fs.String("sdc", "", "comma-separated SDC addresses (overrides config)")
+	stpAddr := fs.String("stp", "", "comma-separated STP addresses (overrides config)")
 	id := fs.String("id", "", "PU identifier (required)")
 	block := fs.Int("block", -1, "registered receiver block (required)")
 	channel := fs.Int("channel", -1, "channel to tune to")
@@ -55,23 +55,29 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *sdcAddr == "" {
-		*sdcAddr = cfg.SDCAddr
+	sdcTargets := []string{cfg.SDCAddr}
+	if *sdcAddr != "" {
+		sdcTargets = config.SplitAddrs(*sdcAddr)
 	}
-	if *stpAddr == "" {
-		*stpAddr = cfg.STPAddr
+	stpTargets := cfg.STPTargets()
+	if *stpAddr != "" {
+		stpTargets = config.SplitAddrs(*stpAddr)
 	}
 	params, err := cfg.PisaParams()
 	if err != nil {
 		return err
 	}
+	rpcOpts, err := cfg.RPC.Options()
+	if err != nil {
+		return err
+	}
 
-	stp, err := node.DialSTP(*stpAddr, time.Minute)
+	stp, err := node.DialSTPWith(rpcOpts, stpTargets...)
 	if err != nil {
 		return err
 	}
 	defer stp.Close()
-	sdc := node.DialSDC(*sdcAddr, 5*time.Minute)
+	sdc := node.DialSDCWith(rpcOpts, sdcTargets...)
 	defer sdc.Close()
 
 	eCol, err := sdc.EColumn(geo.BlockID(*block))

@@ -8,9 +8,14 @@
 // it is acknowledged, periodic snapshots compact the log, and a
 // restart recovers the exact pre-crash state from snapshot + WAL tail.
 //
+// The -stp flag (and the config's stpAddr/stpAddrs) may list several
+// comma-separated STP replicas; the client retries transient faults
+// with backoff and fails over between replicas when one stops
+// answering (see the rpc config section for the knobs).
+//
 // Usage:
 //
-//	sdcd [-config pisa.json] [-listen host:port] [-stp host:port]
+//	sdcd [-config pisa.json] [-listen host:port] [-stp host:port,host:port]
 //	     [-issuer name] [-store dir] [-snapshot-on-exit=true]
 package main
 
@@ -41,7 +46,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("sdcd", flag.ContinueOnError)
 	configPath := fs.String("config", "", "deployment config JSON (defaults built in)")
 	listen := fs.String("listen", "", "listen address (overrides config sdcAddr)")
-	stpAddr := fs.String("stp", "", "STP address (overrides config stpAddr)")
+	stpAddr := fs.String("stp", "", "comma-separated STP addresses (overrides config stpAddr/stpAddrs)")
 	issuer := fs.String("issuer", "pisa-sdc", "license issuer name")
 	storeDir := fs.String("store", "", "state directory for WAL + snapshots (overrides config store.dir; empty = in-memory)")
 	snapOnExit := fs.Bool("snapshot-on-exit", true, "take a final snapshot during graceful shutdown")
@@ -56,9 +61,13 @@ func run(args []string) error {
 	if *listen != "" {
 		addr = *listen
 	}
-	stpTarget := cfg.STPAddr
+	stpTargets := cfg.STPTargets()
 	if *stpAddr != "" {
-		stpTarget = *stpAddr
+		stpTargets = config.SplitAddrs(*stpAddr)
+	}
+	rpcOpts, err := cfg.RPC.Options()
+	if err != nil {
+		return err
 	}
 	if *storeDir != "" {
 		cfg.Store.Dir = *storeDir
@@ -69,8 +78,8 @@ func run(args []string) error {
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
-	log.Info("connecting to STP", "addr", stpTarget)
-	stp, err := node.DialSTP(stpTarget, time.Minute)
+	log.Info("connecting to STP", "addrs", stpTargets)
+	stp, err := node.DialSTPWith(rpcOpts, stpTargets...)
 	if err != nil {
 		return err
 	}
@@ -141,6 +150,7 @@ func run(args []string) error {
 	case s := <-sig:
 		log.Info("shutting down", "signal", s.String())
 		logSummary(log, sdc, st, source)
+		logSTPClient(log, stp)
 		err := srv.Close()
 		if keeper != nil {
 			keeper.Stop()
@@ -181,4 +191,21 @@ func logSummary(log *slog.Logger, sdc *pisa.SDC, st *store.Store, source string)
 			"snapshotIndex", stats.SnapshotIndex)
 	}
 	log.Info("state summary", attrs...)
+}
+
+// logSTPClient emits the STP link's resilience counters so operators
+// can see whether the run leaned on retries or failover.
+func logSTPClient(log *slog.Logger, stp *node.STPClient) {
+	stats := stp.Stats()
+	attrs := []any{
+		"calls", stats.Calls,
+		"retries", stats.Retries,
+		"transportFaults", stats.TransportFaults,
+		"failovers", stats.Failovers,
+		"breakerOpens", stats.BreakerOpens,
+	}
+	for _, ep := range stats.Endpoints {
+		attrs = append(attrs, "endpoint."+ep.Addr, ep.BreakerState)
+	}
+	log.Info("stp client summary", attrs...)
 }

@@ -8,6 +8,13 @@
 // WAL and compacted into snapshots, so a restart keeps every SU
 // enrolled.
 //
+// For failover, run several stpd processes with the SAME -key file
+// (so they serve one group key) and list them all in the clients'
+// stpAddrs config or -stp flags: clients register SUs with every
+// replica and rotate to the next address when one stops answering.
+// Replicas with distinct keys are NOT interchangeable — a client that
+// failed over between them would mix ciphertext domains.
+//
 // Usage:
 //
 //	stpd [-config pisa.json] [-listen host:port] [-key group.key] [-store dir]
@@ -116,6 +123,10 @@ func run(args []string) error {
 	select {
 	case s := <-sig:
 		log.Info("shutting down", "signal", s.String())
+		stats := srv.Stats()
+		log.Info("server summary", "connections", stats.Connections,
+			"requests", stats.Requests, "errors", stats.Errors,
+			"sus", stp.RegisteredSUs())
 		return srv.Close()
 	case err := <-errCh:
 		return err

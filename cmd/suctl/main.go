@@ -37,8 +37,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("suctl", flag.ContinueOnError)
 	configPath := fs.String("config", "", "deployment config JSON (defaults built in)")
-	sdcAddr := fs.String("sdc", "", "SDC address (overrides config)")
-	stpAddr := fs.String("stp", "", "STP address (overrides config)")
+	sdcAddr := fs.String("sdc", "", "comma-separated SDC addresses (overrides config)")
+	stpAddr := fs.String("stp", "", "comma-separated STP addresses (overrides config)")
 	id := fs.String("id", "", "SU identifier (required)")
 	block := fs.Int("block", -1, "SU location block (required, stays private)")
 	request := fs.String("request", "", "channel=eirpMW pairs, e.g. \"1=100,2=50\" (required)")
@@ -53,13 +53,19 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *sdcAddr == "" {
-		*sdcAddr = cfg.SDCAddr
+	sdcTargets := []string{cfg.SDCAddr}
+	if *sdcAddr != "" {
+		sdcTargets = config.SplitAddrs(*sdcAddr)
 	}
-	if *stpAddr == "" {
-		*stpAddr = cfg.STPAddr
+	stpTargets := cfg.STPTargets()
+	if *stpAddr != "" {
+		stpTargets = config.SplitAddrs(*stpAddr)
 	}
 	params, err := cfg.PisaParams()
+	if err != nil {
+		return err
+	}
+	rpcOpts, err := cfg.RPC.Options()
 	if err != nil {
 		return err
 	}
@@ -78,12 +84,16 @@ func run(args []string) error {
 		}
 	}
 
-	stp, err := node.DialSTP(*stpAddr, time.Minute)
+	stp, err := node.DialSTPWith(rpcOpts, stpTargets...)
 	if err != nil {
 		return err
 	}
 	defer stp.Close()
-	sdc := node.DialSDC(*sdcAddr, 10*time.Minute)
+	// Paper-scale request processing takes minutes; give the SDC call
+	// at least the historical 10-minute window.
+	sdcOpts := rpcOpts
+	sdcOpts.CallTimeout = max(sdcOpts.CallTimeout, 10*time.Minute)
+	sdc := node.DialSDCWith(sdcOpts, sdcTargets...)
 	defer sdc.Close()
 	planner, err := watch.NewPlanner(params.Watch)
 	if err != nil {

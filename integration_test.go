@@ -180,6 +180,151 @@ func TestSystemIntegration(t *testing.T) {
 	t.Logf("%d networked decisions, all matching the plaintext oracle", decisions)
 }
 
+// TestSTPFailoverUnderLoad is the resilience acceptance test: two STP
+// servers share one STP role instance (one group key, one SU
+// registry), the SDC's client knows both addresses, and the preferred
+// server is killed while an SU request fleet is in flight. Every
+// request must complete with zero client-visible errors — the
+// SDC-to-STP sign conversions are idempotent, so they retry and fail
+// over to the surviving replica.
+func TestSTPFailoverUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full networked system")
+	}
+	cfg := config.Default()
+	cfg.Channels = 3
+	cfg.GridCols = 5
+	cfg.GridRows = 4
+	params, err := cfg.PisaParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stp, err := pisa.NewSTP(nil, params.PaillierBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stpAddrs []string
+	var stpSrvs []*node.STPServer
+	for i := 0; i < 2; i++ {
+		srv := node.NewSTPServer(stp, nil, time.Minute)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		t.Cleanup(func() { srv.Close() })
+		stpAddrs = append(stpAddrs, ln.Addr().String())
+		stpSrvs = append(stpSrvs, srv)
+	}
+
+	// Aggressive failover settings so the dead replica costs the fleet
+	// milliseconds, not the default multi-second breaker cooldown.
+	stpCli, err := node.DialSTPWith(node.Options{
+		CallTimeout: time.Minute,
+		Retry:       node.RetryPolicy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond},
+		Breaker:     node.BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute},
+	}, stpAddrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stpCli.Close() })
+
+	sdc, err := pisa.NewSDC("failover-sdc", params, nil, stpCli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdcSrv := node.NewSDCServer(sdc, nil, time.Minute)
+	sdcLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = sdcSrv.Serve(sdcLn) }()
+	t.Cleanup(func() { sdcSrv.Close() })
+
+	planner, err := watch.NewPlanner(params.Watch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdcCli := node.DialSDC(sdcLn.Addr().String(), time.Minute)
+	t.Cleanup(func() { sdcCli.Close() })
+	verifyKey, err := sdcCli.VerifyKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One PU so the grid has both busy and free channels.
+	eCol, err := sdcCli.EColumn(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pu, err := pisa.NewPU(nil, "tv-fo", 8, eCol, stpCli.GroupKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	update, err := pu.Tune(1, params.Watch.Quantize(params.Watch.SMinPUmW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sdcCli.SendUpdate(update); err != nil {
+		t.Fatal(err)
+	}
+
+	requests, err := trace.SUWorkload(trace.SUConfig{
+		Seed: 31, Blocks: params.Watch.Grid.Blocks(),
+		Channels:        params.Watch.Channels,
+		MaxEIRPUnits:    params.Watch.Quantize(params.Watch.SUMaxEIRPmW),
+		RequestsPerHour: 8, ChannelsPerRequest: 1.5, Horizon: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(requests) < 4 {
+		t.Fatalf("workload produced only %d requests; fixture too small", len(requests))
+	}
+
+	sus := make(map[string]*pisa.SU)
+	for i, req := range requests {
+		if i == len(requests)/2 {
+			// Mid-fleet: the preferred STP goes down hard.
+			if err := stpSrvs[0].Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		su := sus[req.SU]
+		if su == nil {
+			if su, err = pisa.NewSU(nil, req.SU, req.Block, params, planner, stpCli.GroupKey()); err != nil {
+				t.Fatal(err)
+			}
+			// Registration broadcasts to every replica; with one dead
+			// it must still succeed via the survivor.
+			if err := stpCli.RegisterSU(su.ID(), su.PublicKey()); err != nil {
+				t.Fatalf("request %d: RegisterSU: %v", i, err)
+			}
+			sus[req.SU] = su
+		}
+		encReq, err := su.PrepareRequest(req.EIRPUnits, geo.Disclosure{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := sdcCli.SendRequest(encReq)
+		if err != nil {
+			t.Fatalf("request %d (STP 1 %s): %v", i,
+				map[bool]string{true: "down", false: "up"}[i >= len(requests)/2], err)
+		}
+		if _, err := su.OpenResponse(resp, encReq, verifyKey); err != nil {
+			t.Fatalf("request %d: open response: %v", i, err)
+		}
+	}
+	stats := stpCli.Stats()
+	if stats.Failovers < 1 {
+		t.Errorf("failovers = %d, want >= 1 (did the kill land before the fleet finished?)", stats.Failovers)
+	}
+	t.Logf("%d SU requests, zero client-visible errors across the STP kill "+
+		"(%d retries, %d transport faults, %d failovers)",
+		len(requests), stats.Retries, stats.TransportFaults, stats.Failovers)
+}
+
 // TestRestartRecovery drives a durable SDC and an identical
 // uninterrupted control through the same update stream, crashes the
 // durable one (including a torn final WAL record, as after kill -9

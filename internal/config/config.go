@@ -8,9 +8,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"pisa/internal/geo"
+	"pisa/internal/node"
 	"pisa/internal/pisa"
 	"pisa/internal/propagation"
 	"pisa/internal/store"
@@ -94,9 +96,16 @@ type File struct {
 	// processes in one deployment may disagree on it freely.
 	Parallelism int `json:"parallelism,omitempty"`
 
-	// Network addresses.
-	SDCAddr string `json:"sdcAddr"`
-	STPAddr string `json:"stpAddr"`
+	// Network addresses. STPAddrs lists additional equivalent STP
+	// replicas (same group key, shared SU registry) that clients fail
+	// over to when STPAddr stops answering.
+	SDCAddr  string   `json:"sdcAddr"`
+	STPAddr  string   `json:"stpAddr"`
+	STPAddrs []string `json:"stpAddrs,omitempty"`
+
+	// RPC tunes the client resilience layer (internal/node): dial vs
+	// call deadlines, retry budget, pool size, circuit breaker.
+	RPC RPCSpec `json:"rpc,omitempty"`
 
 	// Store configures WAL + snapshot durability for the daemons. An
 	// empty Dir (the default) runs in-memory only.
@@ -123,6 +132,79 @@ type StoreSpec struct {
 	// SnapshotEveryRecords snapshots once this many records accumulate
 	// since the last snapshot; 0 means 256.
 	SnapshotEveryRecords int `json:"snapshotEveryRecords,omitempty"`
+}
+
+// RPCSpec configures the resilient RPC client layer. Zero fields take
+// the internal/node defaults, so the section is entirely optional.
+type RPCSpec struct {
+	// DialTimeoutMS bounds the TCP connect alone (default 10 000).
+	DialTimeoutMS int `json:"dialTimeoutMS,omitempty"`
+	// CallTimeoutMS bounds each attempt's request/reply I/O
+	// (default 300 000 — paper-scale requests take minutes).
+	CallTimeoutMS int `json:"callTimeoutMS,omitempty"`
+	// PoolSize bounds pooled/in-flight connections per client (default 4).
+	PoolSize int `json:"poolSize,omitempty"`
+	// RetryAttempts is the total tries per idempotent call (default 4).
+	RetryAttempts int `json:"retryAttempts,omitempty"`
+	// RetryBaseMS and RetryMaxMS bound the exponential backoff
+	// (defaults 50 and 2 000).
+	RetryBaseMS int `json:"retryBaseMS,omitempty"`
+	RetryMaxMS  int `json:"retryMaxMS,omitempty"`
+	// BreakerFailures is the consecutive-fault threshold that opens an
+	// endpoint's circuit breaker (default 3); BreakerCooldownMS is how
+	// long it stays open before a probe (default 3 000).
+	BreakerFailures   int `json:"breakerFailures,omitempty"`
+	BreakerCooldownMS int `json:"breakerCooldownMS,omitempty"`
+}
+
+// Options translates the spec into node client options.
+func (r RPCSpec) Options() (node.Options, error) {
+	if r.DialTimeoutMS < 0 || r.CallTimeoutMS < 0 || r.PoolSize < 0 ||
+		r.RetryAttempts < 0 || r.RetryBaseMS < 0 || r.RetryMaxMS < 0 ||
+		r.BreakerFailures < 0 || r.BreakerCooldownMS < 0 {
+		return node.Options{}, fmt.Errorf("config: rpc values must be non-negative")
+	}
+	return node.Options{
+		DialTimeout: time.Duration(r.DialTimeoutMS) * time.Millisecond,
+		CallTimeout: time.Duration(r.CallTimeoutMS) * time.Millisecond,
+		PoolSize:    r.PoolSize,
+		Retry: node.RetryPolicy{
+			MaxAttempts: r.RetryAttempts,
+			BaseDelay:   time.Duration(r.RetryBaseMS) * time.Millisecond,
+			MaxDelay:    time.Duration(r.RetryMaxMS) * time.Millisecond,
+		},
+		Breaker: node.BreakerConfig{
+			FailureThreshold: r.BreakerFailures,
+			Cooldown:         time.Duration(r.BreakerCooldownMS) * time.Millisecond,
+		},
+	}, nil
+}
+
+// SplitAddrs parses a comma-separated address list (the form the
+// -stp/-sdc flags accept), trimming whitespace and dropping empties.
+func SplitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// STPTargets returns the full failover list: STPAddr followed by
+// every distinct STPAddrs entry.
+func (f File) STPTargets() []string {
+	targets := []string{}
+	seen := map[string]bool{}
+	for _, a := range append([]string{f.STPAddr}, f.STPAddrs...) {
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		targets = append(targets, a)
+	}
+	return targets
 }
 
 // Enabled reports whether durability was requested.
@@ -190,6 +272,13 @@ func Default() File {
 		// (or -store is passed to a daemon); these are the defaults
 		// that kick in when it is.
 		Store: StoreSpec{Fsync: "interval", FsyncIntervalMS: 100, SnapshotIntervalSec: 300, SnapshotEveryRecords: 256},
+		// The resilience knobs are spelled out so generated configs
+		// document them; they match the internal/node defaults.
+		RPC: RPCSpec{
+			DialTimeoutMS: 10_000, CallTimeoutMS: 300_000, PoolSize: 4,
+			RetryAttempts: 4, RetryBaseMS: 50, RetryMaxMS: 2_000,
+			BreakerFailures: 3, BreakerCooldownMS: 3_000,
+		},
 	}
 }
 

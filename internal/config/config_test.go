@@ -3,7 +3,9 @@ package config
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
+	"time"
 )
 
 func TestDefaultBuilds(t *testing.T) {
@@ -59,8 +61,52 @@ func TestLoadEmptyPathIsDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != Default() {
+	if !reflect.DeepEqual(got, Default()) {
 		t.Error("empty path did not return defaults")
+	}
+}
+
+func TestRPCSpecOptions(t *testing.T) {
+	opts, err := Default().RPC.Options()
+	if err != nil {
+		t.Fatalf("default RPC options: %v", err)
+	}
+	if opts.DialTimeout != 10*time.Second || opts.CallTimeout != 5*time.Minute {
+		t.Errorf("timeouts %v/%v", opts.DialTimeout, opts.CallTimeout)
+	}
+	if opts.PoolSize != 4 || opts.Retry.MaxAttempts != 4 || opts.Breaker.FailureThreshold != 3 {
+		t.Errorf("defaults lost: %+v", opts)
+	}
+	if _, err := (RPCSpec{RetryAttempts: -1}).Options(); err == nil {
+		t.Error("negative retry attempts accepted")
+	}
+	// The zero spec is valid: node fills its own defaults.
+	if _, err := (RPCSpec{}).Options(); err != nil {
+		t.Errorf("zero RPC spec rejected: %v", err)
+	}
+}
+
+func TestSTPTargets(t *testing.T) {
+	f := Default()
+	if got := f.STPTargets(); len(got) != 1 || got[0] != f.STPAddr {
+		t.Errorf("targets = %v", got)
+	}
+	f.STPAddrs = []string{"10.0.0.2:7411", f.STPAddr, "", "10.0.0.2:7411"}
+	got := f.STPTargets()
+	want := []string{f.STPAddr, "10.0.0.2:7411"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("targets = %v, want %v (deduplicated, empties dropped)", got, want)
+	}
+}
+
+func TestSplitAddrs(t *testing.T) {
+	got := SplitAddrs(" 10.0.0.1:7411, ,10.0.0.2:7411 ,")
+	want := []string{"10.0.0.1:7411", "10.0.0.2:7411"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SplitAddrs = %v, want %v", got, want)
+	}
+	if got := SplitAddrs(""); got != nil {
+		t.Errorf("SplitAddrs(\"\") = %v, want nil", got)
 	}
 }
 

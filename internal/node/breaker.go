@@ -1,0 +1,104 @@
+package node
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig parameterises the per-endpoint circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive transport faults
+	// that opens the breaker; values below 1 take the default (3).
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects an endpoint before
+	// letting one half-open probe through. Default 3 s.
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold < 1 {
+		c.FailureThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 3 * time.Second
+	}
+	return c
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a minimal circuit breaker tracking consecutive transport
+// faults against one endpoint. Closed passes traffic; open rejects it
+// until the cooldown elapses; half-open admits a single probe whose
+// outcome either closes or re-opens the circuit.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    int
+	fails    int
+	openedAt time.Time
+}
+
+// allow reports whether the endpoint may be tried now. The transition
+// open → half-open happens here, so exactly one caller per cooldown
+// window gets the probe.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// success resets the breaker to closed.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// failure records one transport fault and reports whether this call
+// opened (or re-opened) the circuit.
+func (b *breaker) failure(now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.fails >= b.cfg.FailureThreshold) {
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	}
+	return false
+}
+
+// snapshot returns the state name and consecutive-failure count for
+// stats reporting.
+func (b *breaker) snapshot() (state string, fails int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		state = "open"
+	case breakerHalfOpen:
+		state = "half-open"
+	default:
+		state = "closed"
+	}
+	return state, b.fails
+}

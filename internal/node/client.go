@@ -1,10 +1,14 @@
 package node
 
 import (
+	"context"
 	"crypto/rsa"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pisa/internal/geo"
@@ -13,60 +17,436 @@ import (
 	"pisa/internal/wire"
 )
 
-// client is a single-connection, mutex-serialised RPC client.
-type client struct {
-	addr    string
-	timeout time.Duration
+// Options configures a resilient client: how connects and calls are
+// bounded, how many connections may run concurrently, and how retries
+// and endpoint failover behave. The zero value takes sensible
+// defaults everywhere.
+type Options struct {
+	// DialTimeout bounds the TCP connect only; it never eats into the
+	// per-call I/O budget. Default 10 s.
+	DialTimeout time.Duration
+	// CallTimeout bounds each attempt's request/reply exchange.
+	// Default 5 min (paper-scale requests take minutes of compute).
+	CallTimeout time.Duration
+	// PoolSize bounds both the idle connections kept per endpoint and
+	// the calls in flight at once, so concurrent callers are neither
+	// serialised on one socket nor free to open unbounded sockets.
+	// Default 4.
+	PoolSize int
+	// Retry governs backoff for idempotent calls and dial failures.
+	Retry RetryPolicy
+	// Breaker governs per-endpoint health tracking and failover.
+	Breaker BreakerConfig
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = defaultTimeout
+	}
+	if o.PoolSize < 1 {
+		o.PoolSize = 4
+	}
+	o.Retry = o.Retry.withDefaults()
+	o.Breaker = o.Breaker.withDefaults()
+	return o
+}
+
+// ClientStats is a snapshot of a client's lifetime counters, the
+// client-side mirror of server Stats.
+type ClientStats struct {
+	// Calls counts top-level RPCs issued (not attempts).
+	Calls uint64
+	// Dials counts TCP connects attempted; DialFailures the subset
+	// that failed.
+	Dials        uint64
+	DialFailures uint64
+	// Retries counts extra attempts after a transport fault.
+	Retries uint64
+	// RemoteErrors counts authoritative peer errors (never retried);
+	// TransportFaults counts dropped/desynchronised connections.
+	RemoteErrors    uint64
+	TransportFaults uint64
+	// Failovers counts rotations of the preferred endpoint;
+	// BreakerOpens counts circuit-breaker open transitions.
+	Failovers    uint64
+	BreakerOpens uint64
+	// Endpoints reports per-address health.
+	Endpoints []EndpointStats
+}
+
+// EndpointStats is the health snapshot of one configured address.
+type EndpointStats struct {
+	Addr                string
+	BreakerState        string
+	ConsecutiveFailures int
+	IdleConns           int
+}
+
+// dialFunc establishes the raw transport; swapped in tests to model
+// slow or failing dials deterministically.
+type dialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+func netDial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// endpoint is one configured server address with its breaker and its
+// bounded idle-connection pool.
+type endpoint struct {
+	addr string
+	brk  breaker
 
 	mu   sync.Mutex
-	conn *wire.Conn
+	idle []*wire.Conn
 }
 
-func newClient(addr string, timeout time.Duration) *client {
-	if timeout <= 0 {
-		timeout = defaultTimeout
+// client is the shared resilient RPC core: a bounded connection pool
+// over one or more equivalent endpoints, with retry/backoff for
+// idempotent calls, per-call deadlines, circuit breaking and
+// failover.
+type client struct {
+	opts      Options
+	dial      dialFunc
+	endpoints []*endpoint
+	// slots bounds connections in flight (capacity PoolSize).
+	slots chan struct{}
+	// cur indexes the preferred endpoint; it advances on failover.
+	cur atomic.Int64
+
+	calls, dials, dialFailures, retries atomic.Uint64
+	remoteErrors, transportFaults       atomic.Uint64
+	failovers, breakerOpens             atomic.Uint64
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+func newClient(addrs []string, opts Options) *client {
+	opts = opts.withDefaults()
+	c := &client{
+		opts:  opts,
+		dial:  netDial,
+		slots: make(chan struct{}, opts.PoolSize),
 	}
-	return &client{addr: addr, timeout: timeout}
+	for _, a := range addrs {
+		ep := &endpoint{addr: a}
+		ep.brk.cfg = opts.Breaker
+		c.endpoints = append(c.endpoints, ep)
+	}
+	return c
 }
 
-// call performs one request/reply exchange, (re)dialling on demand.
-func (c *client) call(req *wire.Envelope, want wire.Kind) (*wire.Envelope, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		raw, err := net.DialTimeout("tcp", c.addr, c.timeout)
-		if err != nil {
-			return nil, fmt.Errorf("node: dial %s: %w", c.addr, err)
+// Stats returns a snapshot of the client's lifetime counters and
+// per-endpoint health.
+func (c *client) Stats() ClientStats {
+	s := ClientStats{
+		Calls:           c.calls.Load(),
+		Dials:           c.dials.Load(),
+		DialFailures:    c.dialFailures.Load(),
+		Retries:         c.retries.Load(),
+		RemoteErrors:    c.remoteErrors.Load(),
+		TransportFaults: c.transportFaults.Load(),
+		Failovers:       c.failovers.Load(),
+		BreakerOpens:    c.breakerOpens.Load(),
+	}
+	for _, ep := range c.endpoints {
+		state, fails := ep.brk.snapshot()
+		ep.mu.Lock()
+		idle := len(ep.idle)
+		ep.mu.Unlock()
+		s.Endpoints = append(s.Endpoints, EndpointStats{
+			Addr:                ep.addr,
+			BreakerState:        state,
+			ConsecutiveFailures: fails,
+			IdleConns:           idle,
+		})
+	}
+	return s
+}
+
+// addrList names every configured endpoint for error messages.
+func (c *client) addrList() string {
+	addrs := make([]string, len(c.endpoints))
+	for i, ep := range c.endpoints {
+		addrs[i] = ep.addr
+	}
+	return strings.Join(addrs, ",")
+}
+
+// acquire takes a connection slot, bounding in-flight calls.
+func (c *client) acquire(ctx context.Context) error {
+	select {
+	case c.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case c.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("node: waiting for connection slot: %w", ctx.Err())
+	}
+}
+
+func (c *client) release() { <-c.slots }
+
+// pick chooses the endpoint for the next attempt: the first one from
+// the preferred index whose breaker admits traffic. When every
+// breaker is open the preferred endpoint is probed anyway — total
+// lockout would otherwise turn a transient outage permanent.
+func (c *client) pick() *endpoint {
+	n := len(c.endpoints)
+	start := int(c.cur.Load()) % n
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		ep := c.endpoints[(start+i)%n]
+		if ep.brk.allow(now) {
+			return ep
 		}
-		c.conn = wire.NewConn(raw, c.timeout)
 	}
-	resp, err := c.conn.Call(req, want)
+	return c.endpoints[start]
+}
+
+// fault records a transport fault against an endpoint; when the fault
+// opens the breaker and the endpoint was the preferred one, the
+// client fails over to the next address.
+func (c *client) fault(ep *endpoint) {
+	c.transportFaults.Add(1)
+	if !ep.brk.failure(time.Now()) {
+		return
+	}
+	c.breakerOpens.Add(1)
+	n := len(c.endpoints)
+	if n < 2 {
+		return
+	}
+	cur := c.cur.Load()
+	if c.endpoints[int(cur)%n] == ep {
+		c.cur.CompareAndSwap(cur, cur+1)
+		c.failovers.Add(1)
+	}
+}
+
+// checkout returns a connection to the endpoint: a pooled idle one if
+// available, else a fresh dial bounded by DialTimeout only.
+func (c *client) checkout(ep *endpoint) (*wire.Conn, error) {
+	ep.mu.Lock()
+	for len(ep.idle) > 0 {
+		conn := ep.idle[len(ep.idle)-1]
+		ep.idle = ep.idle[:len(ep.idle)-1]
+		if conn.Dead() {
+			conn.Close()
+			continue
+		}
+		ep.mu.Unlock()
+		return conn, nil
+	}
+	ep.mu.Unlock()
+	c.dials.Add(1)
+	raw, err := c.dial(ep.addr, c.opts.DialTimeout)
 	if err != nil {
-		// Drop the connection on transport faults so the next call
-		// redials; keep it for remote (application) errors.
-		if _, remote := err.(*wire.RemoteError); !remote {
-			c.conn.Close()
-			c.conn = nil
-		}
+		c.dialFailures.Add(1)
 		return nil, err
 	}
+	return wire.NewConn(raw, c.opts.CallTimeout), nil
+}
+
+// checkin returns a healthy connection to the idle pool, or closes it
+// when the pool is full, the connection is dead, or the client is
+// closed.
+func (c *client) checkin(ep *endpoint, conn *wire.Conn) {
+	if conn.Dead() {
+		conn.Close()
+		return
+	}
+	c.closeMu.Lock()
+	closed := c.closed
+	c.closeMu.Unlock()
+	if closed {
+		conn.Close()
+		return
+	}
+	ep.mu.Lock()
+	if len(ep.idle) < c.opts.PoolSize {
+		ep.idle = append(ep.idle, conn)
+		ep.mu.Unlock()
+		return
+	}
+	ep.mu.Unlock()
+	conn.Close()
+}
+
+// attemptOn runs one request/reply exchange against a specific
+// endpoint. Any non-remote failure drops the connection — after a
+// transport fault mid-call the gob framing is unsynchronised, and a
+// reused socket could deliver the previous call's stale reply to the
+// next caller.
+func (c *client) attemptOn(ctx context.Context, ep *endpoint, req *wire.Envelope, want wire.Kind) (*wire.Envelope, error) {
+	conn, err := c.checkout(ep)
+	if err != nil {
+		c.fault(ep)
+		return nil, &dialError{addr: ep.addr, err: err}
+	}
+	attemptCtx := ctx
+	cancel := context.CancelFunc(func() {})
+	if c.opts.CallTimeout > 0 {
+		attemptCtx, cancel = context.WithTimeout(ctx, c.opts.CallTimeout)
+	}
+	resp, err := conn.CallContext(attemptCtx, req, want)
+	cancel()
+	if err != nil {
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			// The peer answered: transport is healthy, the error is
+			// the application's.
+			c.checkin(ep, conn)
+			ep.brk.success()
+			return nil, err
+		}
+		conn.Close()
+		c.fault(ep)
+		return nil, err
+	}
+	c.checkin(ep, conn)
+	ep.brk.success()
 	return resp, nil
 }
 
-// Close tears down the connection if one is open.
+// call performs one RPC with the default (background) context.
+func (c *client) call(req *wire.Envelope, want wire.Kind) (*wire.Envelope, error) {
+	return c.callCtx(context.Background(), req, want)
+}
+
+// callCtx performs one RPC with retry, backoff, and failover.
+// Idempotent kinds retry any transport fault up to the retry budget;
+// other kinds retry only failures that provably never reached the
+// wire (dial errors). Remote errors return immediately.
+func (c *client) callCtx(ctx context.Context, req *wire.Envelope, want wire.Kind) (*wire.Envelope, error) {
+	c.calls.Add(1)
+	if err := c.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer c.release()
+	retryAll := idempotentKind(req.Kind)
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			if err := c.backoff(ctx, attempt-1); err != nil {
+				return nil, fmt.Errorf("node: %s: %w (last transport error: %v)", req.Kind, err, lastErr)
+			}
+			c.retries.Add(1)
+		}
+		resp, err := c.attemptOn(ctx, c.pick(), req, want)
+		if err == nil {
+			return resp, nil
+		}
+		if !Retryable(err) {
+			c.remoteErrors.Add(1)
+			return nil, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+		var dialErr *dialError
+		if !retryAll && !errors.As(err, &dialErr) {
+			// The request may have reached a server that mutates
+			// state on it; re-sending could double-apply it.
+			return nil, err
+		}
+		if attempt >= c.opts.Retry.MaxAttempts {
+			return nil, fmt.Errorf("node: %s to %s: retry budget exhausted after %d attempts: %w",
+				req.Kind, c.addrList(), attempt, lastErr)
+		}
+	}
+}
+
+// backoff sleeps the policy delay before attempt n+1, abandoning the
+// wait when the context ends.
+func (c *client) backoff(ctx context.Context, n int) error {
+	t := time.NewTimer(c.opts.Retry.delay(n))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// broadcast delivers one idempotent request to every configured
+// endpoint (used for SU registration, so failover replicas share the
+// registry). A remote error from any replica is authoritative and
+// surfaces immediately; transport faults are tolerated as long as at
+// least one replica accepted.
+func (c *client) broadcast(ctx context.Context, req *wire.Envelope, want wire.Kind) error {
+	c.calls.Add(1)
+	if err := c.acquire(ctx); err != nil {
+		return err
+	}
+	defer c.release()
+	delivered := 0
+	var lastErr error
+	for _, ep := range c.endpoints {
+		var err error
+		for attempt := 1; attempt <= c.opts.Retry.MaxAttempts; attempt++ {
+			if attempt > 1 {
+				if berr := c.backoff(ctx, attempt-1); berr != nil {
+					err = berr
+					break
+				}
+				c.retries.Add(1)
+			}
+			_, err = c.attemptOn(ctx, ep, req, want)
+			if err == nil || !Retryable(err) {
+				break
+			}
+		}
+		if err == nil {
+			delivered++
+			continue
+		}
+		if !Retryable(err) {
+			c.remoteErrors.Add(1)
+			return err
+		}
+		lastErr = err
+	}
+	if delivered == 0 {
+		return fmt.Errorf("node: %s reached no endpoint of %s: %w", req.Kind, c.addrList(), lastErr)
+	}
+	return nil
+}
+
+// Close tears down every pooled connection; in-flight calls fail.
 func (c *client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
+	c.closeMu.Lock()
+	if c.closed {
+		c.closeMu.Unlock()
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
+	c.closed = true
+	c.closeMu.Unlock()
+	var err error
+	for _, ep := range c.endpoints {
+		ep.mu.Lock()
+		idle := ep.idle
+		ep.idle = nil
+		ep.mu.Unlock()
+		for _, conn := range idle {
+			if cerr := conn.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}
 	return err
 }
 
-// STPClient is the SDC's (and SUs') view of a remote STP server. It
-// implements pisa.STPService.
+// STPClient is the SDC's (and SUs') view of one or more equivalent
+// remote STP servers. It implements pisa.STPService.
 type STPClient struct {
 	*client
 
@@ -75,16 +455,31 @@ type STPClient struct {
 
 var _ pisa.STPService = (*STPClient)(nil)
 
-// DialSTP connects to an STP server and eagerly fetches the group
-// key, so the error surface stays on the constructor (GroupKey itself
-// cannot fail, per pisa.STPService).
+// DialSTP connects to a single STP server with default resilience
+// options; timeout bounds each call's I/O (zero takes the default).
 func DialSTP(addr string, timeout time.Duration) (*STPClient, error) {
-	c := &STPClient{client: newClient(addr, timeout)}
+	return DialSTPWith(Options{CallTimeout: timeout}, addr)
+}
+
+// DialSTPWith connects to one or more equivalent STP servers (same
+// group key, shared SU registry) and eagerly fetches the group key,
+// so the error surface stays on the constructor (GroupKey itself
+// cannot fail, per pisa.STPService). On consecutive transport faults
+// the client fails over to the next address.
+func DialSTPWith(opts Options, addrs ...string) (*STPClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("node: no STP address configured")
+	}
+	c := &STPClient{client: newClient(addrs, opts)}
 	resp, err := c.call(&wire.Envelope{Kind: wire.KindGroupKeyRequest}, wire.KindGroupKey)
 	if err != nil {
+		// Close the client so a pooled connection (kept open after a
+		// remote error) does not leak out of a failed constructor.
+		c.Close()
 		return nil, fmt.Errorf("node: fetch group key: %w", err)
 	}
 	if resp.Paillier == nil {
+		c.Close()
 		return nil, fmt.Errorf("node: STP returned no group key")
 	}
 	c.groupKey = resp.Paillier
@@ -96,7 +491,12 @@ func (c *STPClient) GroupKey() *paillier.PublicKey { return c.groupKey }
 
 // ConvertSigns implements pisa.STPService.
 func (c *STPClient) ConvertSigns(req *pisa.SignRequest) (*pisa.SignResponse, error) {
-	resp, err := c.call(&wire.Envelope{Kind: wire.KindConvertRequest, SignRequest: req}, wire.KindConvertResponse)
+	return c.ConvertSignsContext(context.Background(), req)
+}
+
+// ConvertSignsContext is ConvertSigns under a caller deadline.
+func (c *STPClient) ConvertSignsContext(ctx context.Context, req *pisa.SignRequest) (*pisa.SignResponse, error) {
+	resp, err := c.callCtx(ctx, &wire.Envelope{Kind: wire.KindConvertRequest, SignRequest: req}, wire.KindConvertResponse)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +508,12 @@ func (c *STPClient) ConvertSigns(req *pisa.SignRequest) (*pisa.SignResponse, err
 
 // SUKey implements pisa.STPService.
 func (c *STPClient) SUKey(id string) (*paillier.PublicKey, error) {
-	resp, err := c.call(&wire.Envelope{Kind: wire.KindSUKeyRequest, SUID: id}, wire.KindSUKey)
+	return c.SUKeyContext(context.Background(), id)
+}
+
+// SUKeyContext is SUKey under a caller deadline.
+func (c *STPClient) SUKeyContext(ctx context.Context, id string) (*paillier.PublicKey, error) {
+	resp, err := c.callCtx(ctx, &wire.Envelope{Kind: wire.KindSUKeyRequest, SUID: id}, wire.KindSUKey)
 	if err != nil {
 		return nil, err
 	}
@@ -118,10 +523,18 @@ func (c *STPClient) SUKey(id string) (*paillier.PublicKey, error) {
 	return resp.Paillier, nil
 }
 
-// RegisterSU uploads an SU public key to the STP registry.
+// RegisterSU uploads an SU public key to the STP registry — to every
+// configured STP replica, so a later failover target already knows
+// the key. Registration is idempotent server-side (same-key
+// re-registration is a no-op), which is what makes the broadcast and
+// its retries safe.
 func (c *STPClient) RegisterSU(id string, pk *paillier.PublicKey) error {
-	_, err := c.call(&wire.Envelope{Kind: wire.KindRegisterSU, SUID: id, Paillier: pk}, wire.KindAck)
-	return err
+	return c.RegisterSUContext(context.Background(), id, pk)
+}
+
+// RegisterSUContext is RegisterSU under a caller deadline.
+func (c *STPClient) RegisterSUContext(ctx context.Context, id string, pk *paillier.PublicKey) error {
+	return c.broadcast(ctx, &wire.Envelope{Kind: wire.KindRegisterSU, SUID: id, Paillier: pk}, wire.KindAck)
 }
 
 // SDCClient is the PU/SU view of a remote SDC server.
@@ -129,21 +542,37 @@ type SDCClient struct {
 	*client
 }
 
-// DialSDC connects to an SDC server lazily (first call dials).
+// DialSDC connects to an SDC server lazily (first call dials) with
+// default resilience options; timeout bounds each call's I/O.
 func DialSDC(addr string, timeout time.Duration) *SDCClient {
-	return &SDCClient{client: newClient(addr, timeout)}
+	return DialSDCWith(Options{CallTimeout: timeout}, addr)
+}
+
+// DialSDCWith connects lazily to one or more equivalent SDC servers.
+func DialSDCWith(opts Options, addrs ...string) *SDCClient {
+	return &SDCClient{client: newClient(addrs, opts)}
 }
 
 // SendUpdate delivers a PU channel-reception update.
 func (c *SDCClient) SendUpdate(u *pisa.PUUpdate) error {
-	_, err := c.call(&wire.Envelope{Kind: wire.KindPUUpdate, PUUpdate: u}, wire.KindAck)
+	return c.SendUpdateContext(context.Background(), u)
+}
+
+// SendUpdateContext is SendUpdate under a caller deadline.
+func (c *SDCClient) SendUpdateContext(ctx context.Context, u *pisa.PUUpdate) error {
+	_, err := c.callCtx(ctx, &wire.Envelope{Kind: wire.KindPUUpdate, PUUpdate: u}, wire.KindAck)
 	return err
 }
 
 // SendRequest delivers an SU transmission request and returns the
 // SDC's (always identically-shaped) response.
 func (c *SDCClient) SendRequest(r *pisa.TransmissionRequest) (*pisa.Response, error) {
-	resp, err := c.call(&wire.Envelope{Kind: wire.KindSURequest, Request: r}, wire.KindSUResponse)
+	return c.SendRequestContext(context.Background(), r)
+}
+
+// SendRequestContext is SendRequest under a caller deadline.
+func (c *SDCClient) SendRequestContext(ctx context.Context, r *pisa.TransmissionRequest) (*pisa.Response, error) {
+	resp, err := c.callCtx(ctx, &wire.Envelope{Kind: wire.KindSURequest, Request: r}, wire.KindSUResponse)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +584,12 @@ func (c *SDCClient) SendRequest(r *pisa.TransmissionRequest) (*pisa.Response, er
 
 // EColumn fetches the public E column for a block.
 func (c *SDCClient) EColumn(b geo.BlockID) ([]int64, error) {
-	resp, err := c.call(&wire.Envelope{Kind: wire.KindEColumnRequest, Block: int(b)}, wire.KindEColumn)
+	return c.EColumnContext(context.Background(), b)
+}
+
+// EColumnContext is EColumn under a caller deadline.
+func (c *SDCClient) EColumnContext(ctx context.Context, b geo.BlockID) ([]int64, error) {
+	resp, err := c.callCtx(ctx, &wire.Envelope{Kind: wire.KindEColumnRequest, Block: int(b)}, wire.KindEColumn)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +598,12 @@ func (c *SDCClient) EColumn(b geo.BlockID) ([]int64, error) {
 
 // VerifyKey fetches the SDC's license verification key.
 func (c *SDCClient) VerifyKey() (*rsa.PublicKey, error) {
-	resp, err := c.call(&wire.Envelope{Kind: wire.KindVerifyKeyRequest}, wire.KindVerifyKey)
+	return c.VerifyKeyContext(context.Background())
+}
+
+// VerifyKeyContext is VerifyKey under a caller deadline.
+func (c *SDCClient) VerifyKeyContext(ctx context.Context) (*rsa.PublicKey, error) {
+	resp, err := c.callCtx(ctx, &wire.Envelope{Kind: wire.KindVerifyKeyRequest}, wire.KindVerifyKey)
 	if err != nil {
 		return nil, err
 	}

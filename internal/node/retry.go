@@ -1,0 +1,111 @@
+package node
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"pisa/internal/wire"
+)
+
+// RetryPolicy bounds the resilient client's retry loop: exponential
+// backoff with jitter, capped per attempt and in total attempts.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call, including
+	// the first; values below 1 take the default (4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles
+	// (times Multiplier) per further attempt. Default 50 ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 2 s.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts. Default 2.
+	Multiplier float64
+	// Jitter randomises each delay within ±Jitter·delay so synchronised
+	// clients do not retry in lockstep. Default 0.2; clamped to [0, 1].
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0.2
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// delay computes the backoff before attempt n+1 (n >= 1 counts
+// completed attempts). The policy must already carry its defaults.
+func (p RetryPolicy) delay(n int) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		// rand's top-level functions are concurrency-safe; the jitter
+		// draw does not need to be reproducible.
+		d *= 1 + p.Jitter*(2*rand.Float64()-1)
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d)
+}
+
+// dialError marks a failure that happened before any bytes reached
+// the wire: the request was provably never delivered, so even
+// non-idempotent calls may retry it.
+type dialError struct {
+	addr string
+	err  error
+}
+
+func (e *dialError) Error() string { return "node: dial " + e.addr + ": " + e.err.Error() }
+func (e *dialError) Unwrap() error { return e.err }
+
+// Retryable classifies an RPC error for the retry loop: a
+// *wire.RemoteError is an authoritative answer from a healthy peer
+// and must not be retried; everything else (dial failures, resets,
+// deadline expiries, desynchronised framing) is a transport fault
+// that another attempt may clear.
+func Retryable(err error) bool {
+	var remote *wire.RemoteError
+	return err != nil && !errors.As(err, &remote)
+}
+
+// idempotentKind reports whether a request may be safely re-sent even
+// though a previous attempt might have reached the server. Fetches of
+// public material (group key, SU keys, E columns, verify key), the
+// sign conversion (a pure function of the request) and the co-STP
+// partial-decryption fan-out all qualify; SU registration does too
+// because the STP registry treats a same-key re-registration as a
+// no-op. PU updates and SU transmission requests mutate budget state
+// and are sent at most once per transport attempt that reaches the
+// wire.
+func idempotentKind(k wire.Kind) bool {
+	switch k {
+	case wire.KindGroupKeyRequest, wire.KindSUKeyRequest, wire.KindEColumnRequest,
+		wire.KindVerifyKeyRequest, wire.KindConvertRequest, wire.KindPartialRequest,
+		wire.KindRegisterSU:
+		return true
+	}
+	return false
+}

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"time"
@@ -50,14 +51,30 @@ type ShareClient struct {
 
 var _ pisa.ShareService = (*ShareClient)(nil)
 
-// DialShare connects lazily to a co-STP share server.
+// DialShare connects lazily to a co-STP share server with default
+// resilience options; timeout bounds each call's I/O.
 func DialShare(addr string, timeout time.Duration) *ShareClient {
-	return &ShareClient{client: newClient(addr, timeout)}
+	return DialShareWith(Options{CallTimeout: timeout}, addr)
+}
+
+// DialShareWith connects lazily to one or more replicas of the same
+// co-STP key share. The addresses must hold identical shares —
+// failover between holders of different shares would corrupt the
+// threshold combination.
+func DialShareWith(opts Options, addrs ...string) *ShareClient {
+	return &ShareClient{client: newClient(addrs, opts)}
 }
 
 // PartialDecryptBatch implements pisa.ShareService over the wire.
 func (c *ShareClient) PartialDecryptBatch(cts []*paillier.Ciphertext) ([]*paillier.Partial, error) {
-	resp, err := c.call(&wire.Envelope{Kind: wire.KindPartialRequest, Ciphertexts: cts}, wire.KindPartialResponse)
+	return c.PartialDecryptBatchContext(context.Background(), cts)
+}
+
+// PartialDecryptBatchContext is PartialDecryptBatch under a caller
+// deadline. Partial decryption is a pure function of the ciphertexts,
+// so transport faults retry freely across the replica set.
+func (c *ShareClient) PartialDecryptBatchContext(ctx context.Context, cts []*paillier.Ciphertext) ([]*paillier.Partial, error) {
+	resp, err := c.callCtx(ctx, &wire.Envelope{Kind: wire.KindPartialRequest, Ciphertexts: cts}, wire.KindPartialResponse)
 	if err != nil {
 		return nil, err
 	}

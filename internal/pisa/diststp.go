@@ -65,6 +65,25 @@ func (l *LocalShare) PartialDecryptBatch(cts []*paillier.Ciphertext) ([]*paillie
 	return out, nil
 }
 
+// CoSTPError marks a failure attributable to one share holder, so
+// callers can tell which co-STP is unhealthy (and, say, swap in a
+// replica of the same share) instead of treating the whole
+// distributed conversion as opaquely broken.
+type CoSTPError struct {
+	// Holder is the failing co-STP's index in the holder set.
+	Holder int
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *CoSTPError) Error() string {
+	return fmt.Sprintf("pisa: co-STP %d: %v", e.Holder, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *CoSTPError) Unwrap() error { return e.Err }
+
 // DistSTP is the distributed replacement for STP: same STPService
 // interface towards the SDC, but decryption requires every co-STP's
 // cooperation. The DistSTP process itself holds no key material.
@@ -151,6 +170,9 @@ func (d *DistSTP) SetParallelism(n int) {
 // GroupKey implements STPService.
 func (d *DistSTP) GroupKey() *paillier.PublicKey { return d.group }
 
+// Holders reports the number of co-STP share holders.
+func (d *DistSTP) Holders() int { return len(d.holders) }
+
 // RegisterSU stores an SU public key, with the same substitution
 // protection as the single STP.
 func (d *DistSTP) RegisterSU(id string, pk *paillier.PublicKey) error {
@@ -199,10 +221,10 @@ func (d *DistSTP) ConvertSigns(req *SignRequest) (*SignResponse, error) {
 	err = parallel.For(d.workers, len(d.holders), func(h int) error {
 		batch, err := d.holders[h].PartialDecryptBatch(req.V)
 		if err != nil {
-			return fmt.Errorf("pisa: co-STP %d: %w", h, err)
+			return &CoSTPError{Holder: h, Err: err}
 		}
 		if len(batch) != len(req.V) {
-			return fmt.Errorf("pisa: co-STP %d returned %d partials, want %d", h, len(batch), len(req.V))
+			return &CoSTPError{Holder: h, Err: fmt.Errorf("returned %d partials, want %d", len(batch), len(req.V))}
 		}
 		batches[h] = batch
 		return nil

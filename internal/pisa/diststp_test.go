@@ -2,6 +2,7 @@ package pisa
 
 import (
 	"crypto/rand"
+	"errors"
 	"testing"
 
 	"pisa/internal/geo"
@@ -126,6 +127,51 @@ func TestDistSTPRequiresAllHolders(t *testing.T) {
 	}
 	if _, err := crippled.ConvertSigns(&SignRequest{SUID: "su-x", V: []*paillier.Ciphertext{ct}}); err == nil {
 		t.Fatal("conversion succeeded with a missing share")
+	}
+}
+
+// brokenShare is a ShareService whose holder has gone bad.
+type brokenShare struct{ err error }
+
+func (b brokenShare) PartialDecryptBatch([]*paillier.Ciphertext) ([]*paillier.Partial, error) {
+	return nil, b.err
+}
+
+func TestDistSTPNamesFailingHolder(t *testing.T) {
+	sk, err := paillier.GenerateKey(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := sk.SplitKey(rand.Reader, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("share holder unreachable")
+	dist, err := NewDistSTPWithShares(rand.Reader, sk.Public(),
+		[]ShareService{NewLocalShare(shares[0]), brokenShare{cause}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dist.Holders(); got != 2 {
+		t.Fatalf("Holders() = %d, want 2", got)
+	}
+	if err := dist.RegisterSU("su-b", sk.Public()); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := sk.Public().EncryptInt(rand.Reader, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dist.ConvertSigns(&SignRequest{SUID: "su-b", V: []*paillier.Ciphertext{ct}})
+	var coErr *CoSTPError
+	if !errors.As(err, &coErr) {
+		t.Fatalf("got %v, want CoSTPError", err)
+	}
+	if coErr.Holder != 1 {
+		t.Errorf("Holder = %d, want 1", coErr.Holder)
+	}
+	if !errors.Is(err, cause) {
+		t.Error("CoSTPError does not unwrap to the holder's failure")
 	}
 }
 

@@ -5,12 +5,15 @@
 package wire
 
 import (
+	"context"
 	"crypto/rsa"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pisa/internal/paillier"
@@ -135,6 +138,11 @@ type Conn struct {
 	enc     *gob.Encoder
 	dec     *gob.Decoder
 	timeout time.Duration
+
+	// dead flips when a context cancellation force-closed the socket
+	// mid-operation; the connection must not be reused after that (the
+	// gob stream is unsynchronised).
+	dead atomic.Bool
 }
 
 // NewConn wraps an established connection. timeout bounds each
@@ -148,29 +156,57 @@ func NewConn(conn net.Conn, timeout time.Duration) *Conn {
 	}
 }
 
+// deadline picks the sooner of the context deadline and the
+// connection's default per-operation timeout. A zero time disables
+// the deadline.
+func (c *Conn) deadline(ctx context.Context) time.Time {
+	var d time.Time
+	if c.timeout > 0 {
+		d = time.Now().Add(c.timeout)
+	}
+	if ctxd, ok := ctx.Deadline(); ok && (d.IsZero() || ctxd.Before(d)) {
+		d = ctxd
+	}
+	return d
+}
+
 // Send writes one envelope.
 func (c *Conn) Send(env *Envelope) error {
-	if c.timeout > 0 {
-		if err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
-			return fmt.Errorf("wire: set write deadline: %w", err)
-		}
+	return c.SendContext(context.Background(), env)
+}
+
+// SendContext writes one envelope, bounding the write by the sooner
+// of the context deadline and the connection timeout.
+func (c *Conn) SendContext(ctx context.Context, env *Envelope) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("wire: send %s: %w", env.Kind, err)
+	}
+	if err := c.conn.SetWriteDeadline(c.deadline(ctx)); err != nil {
+		return fmt.Errorf("wire: set write deadline: %w", err)
 	}
 	if err := c.enc.Encode(env); err != nil {
-		return fmt.Errorf("wire: send %s: %w", env.Kind, err)
+		return fmt.Errorf("wire: send %s: %w", env.Kind, c.ctxErr(ctx, err))
 	}
 	return nil
 }
 
 // Recv reads one envelope.
 func (c *Conn) Recv() (*Envelope, error) {
-	if c.timeout > 0 {
-		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
-			return nil, fmt.Errorf("wire: set read deadline: %w", err)
-		}
+	return c.RecvContext(context.Background())
+}
+
+// RecvContext reads one envelope, bounding the read by the sooner of
+// the context deadline and the connection timeout.
+func (c *Conn) RecvContext(ctx context.Context) (*Envelope, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("wire: recv: %w", err)
+	}
+	if err := c.conn.SetReadDeadline(c.deadline(ctx)); err != nil {
+		return nil, fmt.Errorf("wire: set read deadline: %w", err)
 	}
 	var env Envelope
 	if err := c.dec.Decode(&env); err != nil {
-		return nil, fmt.Errorf("wire: recv: %w", err)
+		return nil, fmt.Errorf("wire: recv: %w", c.ctxErr(ctx, err))
 	}
 	return &env, nil
 }
@@ -178,10 +214,22 @@ func (c *Conn) Recv() (*Envelope, error) {
 // Call sends a request and waits for the matching reply kind. A
 // KindError reply surfaces as *RemoteError.
 func (c *Conn) Call(req *Envelope, want Kind) (*Envelope, error) {
-	if err := c.Send(req); err != nil {
+	return c.CallContext(context.Background(), req, want)
+}
+
+// CallContext performs one request/reply exchange under the context:
+// the context deadline bounds each send and receive (capped by the
+// connection timeout), and cancellation force-closes the socket so an
+// in-flight exchange unblocks immediately instead of waiting out its
+// deadline. After a cancellation the connection is Dead and must be
+// discarded.
+func (c *Conn) CallContext(ctx context.Context, req *Envelope, want Kind) (*Envelope, error) {
+	stop := c.watchCancel(ctx)
+	defer stop()
+	if err := c.SendContext(ctx, req); err != nil {
 		return nil, err
 	}
-	resp, err := c.Recv()
+	resp, err := c.RecvContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -193,6 +241,48 @@ func (c *Conn) Call(req *Envelope, want Kind) (*Envelope, error) {
 	}
 	return resp, nil
 }
+
+// ctxErr attributes an I/O failure to the context when the context is
+// the reason the socket died (cancellation or deadline).
+func (c *Conn) ctxErr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("%w (%v)", ctxErr, err)
+	}
+	// A socket timeout set from the context deadline can fire a beat
+	// before the context's own timer; attribute it all the same.
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+			return fmt.Errorf("%w (%v)", context.DeadlineExceeded, err)
+		}
+	}
+	return err
+}
+
+// watchCancel closes the connection if the context is cancelled
+// before the returned stop function runs, so a cancelled caller never
+// stays blocked in a read or write.
+func (c *Conn) watchCancel(ctx context.Context) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	finished := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.dead.Store(true)
+			c.conn.Close()
+		case <-finished:
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(finished) }) }
+}
+
+// Dead reports whether a cancellation closed the connection mid-call.
+// A dead connection's gob stream is unsynchronised; it must not be
+// pooled or reused.
+func (c *Conn) Dead() bool { return c.dead.Load() }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.conn.Close() }

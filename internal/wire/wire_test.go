@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/gob"
 	"errors"
@@ -178,6 +179,53 @@ func TestIsClosed(t *testing.T) {
 	}
 	if IsClosed(errors.New("some protocol error")) {
 		t.Error("protocol error misreported as closed")
+	}
+}
+
+func TestCallContextCancelClosesConn(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		_, _ = b.Recv() // swallow the request, never reply
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := a.CallContext(ctx, &Envelope{Kind: KindGroupKeyRequest}, KindGroupKey)
+	if err == nil {
+		t.Fatal("cancelled call succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not attribute the cancellation", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancellation did not interrupt the in-flight call")
+	}
+	if !a.Dead() {
+		t.Fatal("cancel-closed conn not marked dead (unsafe to reuse)")
+	}
+}
+
+func TestContextDeadlineBeatsConnTimeout(t *testing.T) {
+	a, conn := net.Pipe()
+	defer a.Close()
+	// Generous per-conn default; the context's own deadline must win.
+	c := NewConn(conn, time.Minute)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.RecvContext(ctx)
+	if err == nil {
+		t.Fatal("Recv succeeded with no sender")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not attribute the deadline", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("context deadline not applied over the conn default")
 	}
 }
 
