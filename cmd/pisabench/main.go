@@ -9,6 +9,7 @@
 //	pisabench -fhe             # generic-FHE baseline (DGHV)
 //	pisabench -ablation        # bit-wise comparison vs blinded sign test
 //	pisabench -sweep           # homomorphic-kernel worker-count sweep
+//	pisabench -json out.json   # hot-path micro-benchmark, engine off vs on
 //	pisabench -all             # everything (except the sweep)
 //
 // By default the end-to-end pipeline is measured at a reduced matrix
@@ -19,6 +20,13 @@
 // -parallel N bounds the worker pool of every homomorphic kernel
 // (0 serial, -1 one worker per CPU); -sweep re-measures the request
 // pipeline at doubling worker counts up to the CPU count.
+//
+// -engine=false disables the fixed-base exponentiation engine in the
+// end-to-end experiments (it is armed by default); -window and
+// -shortbits tune it. -json PATH runs the Paillier hot-path
+// micro-benchmark with the engine off and on and writes the rows
+// (op, ns/op, allocs/op, parallelism, engine) plus speedups as JSON —
+// the committed BENCH_PISA.json is produced this way.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"time"
 
 	"pisa/internal/bench"
+	"pisa/internal/pisa"
 )
 
 func main() {
@@ -45,6 +54,10 @@ type options struct {
 	bits                                                    int
 	iters                                                   int
 	parallel                                                int
+	engine                                                  bool
+	window                                                  int
+	shortBits                                               int
+	jsonPath                                                string
 }
 
 func run(args []string) error {
@@ -64,6 +77,14 @@ func run(args []string) error {
 	fs.IntVar(&opt.iters, "iters", 30, "iterations per Table II measurement (paper uses 30)")
 	fs.IntVar(&opt.parallel, "parallel", 0,
 		"homomorphic kernel workers: 0 serial, -1 one per CPU, N literal")
+	fs.BoolVar(&opt.engine, "engine", true,
+		"arm the fixed-base exponentiation engine in end-to-end experiments")
+	fs.IntVar(&opt.window, "window", 0,
+		"fixed-base window bits (0 = paillier default)")
+	fs.IntVar(&opt.shortBits, "shortbits", 0,
+		"short-exponent nonce bits (0 = paillier default)")
+	fs.StringVar(&opt.jsonPath, "json", "",
+		"write the hot-path micro-benchmark (engine off vs on) as JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,9 +92,14 @@ func run(args []string) error {
 		opt.table1, opt.table2, opt.figure6 = true, true, true
 		opt.tradeoff, opt.sizes, opt.fhe, opt.ablation = true, true, true, true
 	}
-	if !(opt.table1 || opt.table2 || opt.figure6 || opt.tradeoff || opt.sizes || opt.fhe || opt.ablation || opt.sweep) {
+	if !(opt.table1 || opt.table2 || opt.figure6 || opt.tradeoff || opt.sizes || opt.fhe || opt.ablation || opt.sweep || opt.jsonPath != "") {
 		fs.Usage()
 		return fmt.Errorf("select at least one experiment (or -all)")
+	}
+	if opt.jsonPath != "" {
+		if err := runJSON(opt); err != nil {
+			return err
+		}
 	}
 	if opt.table1 {
 		printTable1()
@@ -138,11 +164,51 @@ func runTable2(opt options) error {
 	row("Plaintext message size", fmt.Sprintf("%d bits", stats.PlaintextBits))
 	row("Ciphertext size", fmt.Sprintf("%d bits", stats.CiphertextBits))
 	row("Encryption", ms(stats.Encrypt))
+	row("Encryption (fixed-base engine)", ms(stats.EncryptFast))
 	row("Decryption", ms(stats.Decrypt))
 	row("Homomorphic addition", ms(stats.Add))
 	row("Homomorphic subtraction", ms(stats.Sub))
 	row("Homomorphic scale (100-bit constant)", ms(stats.ScalarSmall))
 	row("Homomorphic scale", ms(stats.ScalarFull))
+	fmt.Println()
+	return nil
+}
+
+// applyEngine writes the engine flags into end-to-end params
+// (bench.SmallParams arms the engine by default; -engine=false turns
+// it off for baseline runs).
+func applyEngine(params *pisa.Params, opt options) {
+	params.FastExp = opt.engine
+	params.FastExpWindow = opt.window
+	params.ShortExpBits = opt.shortBits
+}
+
+// runJSON produces the machine-readable engine-off-vs-on report
+// behind the committed BENCH_PISA.json.
+func runJSON(opt options) error {
+	fmt.Printf("Hot-path micro-benchmark (n=%d-bit, %d iters, engine off vs on)...\n",
+		opt.bits, opt.iters)
+	workers := opt.parallel
+	if workers == -1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	report, err := bench.MeasureMicro(opt.bits, opt.window, opt.shortBits, opt.iters, workers)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(opt.jsonPath); err != nil {
+		return err
+	}
+	for _, op := range []string{"encrypt", "newNonce", "rerandomize", "nonceBatch32"} {
+		if s, ok := report.Speedup[op]; ok {
+			fmt.Printf("  %-14s %.1fx\n", op, s)
+		}
+	}
+	fmt.Printf("  table: %.1f KiB/key, report written to %s\n",
+		float64(report.TableBytes)/1024, opt.jsonPath)
 	fmt.Println()
 	return nil
 }
@@ -180,6 +246,7 @@ func runFigure6(opt options) error {
 		return err
 	}
 	params.Parallelism = opt.parallel
+	applyEngine(&params, opt)
 	fmt.Println("  setting up deployment (keys + initial budget encryption)...")
 	u, err := bench.NewUniverse(params)
 	if err != nil {
@@ -220,6 +287,7 @@ func runTradeoff(opt options) error {
 		return err
 	}
 	params.Parallelism = opt.parallel
+	applyEngine(&params, opt)
 	u, err := bench.NewUniverse(params)
 	if err != nil {
 		return err
@@ -324,6 +392,7 @@ func runParallelSweep(opt options) error {
 	if err != nil {
 		return err
 	}
+	applyEngine(&params, opt)
 	fmt.Println("  setting up deployment (keys + initial budget encryption)...")
 	u, err := bench.NewUniverse(params)
 	if err != nil {

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pisa/internal/bench"
+)
 
 func TestRunRequiresExperimentSelection(t *testing.T) {
 	if err := run(nil); err == nil {
@@ -40,6 +47,28 @@ func TestRunTable2SmallKey(t *testing.T) {
 	}
 	if err := run([]string{"-table2", "-bits", "256", "-iters", "2"}); err != nil {
 		t.Fatalf("run -table2: %v", err)
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs crypto")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-json", path, "-bits", "768", "-iters", "2"}); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bench.MicroReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("parse report: %v", err)
+	}
+	if report.Bits != 768 || len(report.Results) == 0 || len(report.Speedup) == 0 {
+		t.Fatalf("incomplete report: bits=%d rows=%d speedups=%d",
+			report.Bits, len(report.Results), len(report.Speedup))
 	}
 }
 

@@ -84,7 +84,16 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("fetch E column: %w", err)
 	}
-	pu, err := pisa.NewPU(nil, watch.PUID(*id), geo.BlockID(*block), eCol, stp.GroupKey())
+	group := stp.GroupKey()
+	if params.FastExp {
+		// The key arrived over RPC without its precomputed tables
+		// (only N travels), so the engine is re-armed locally before
+		// the C nonce exponentiations of the update.
+		if err := group.EnableFastExp(nil, params.FastExpWindow, params.ShortExpBits); err != nil {
+			return fmt.Errorf("arm fixed-base engine: %w", err)
+		}
+	}
+	pu, err := pisa.NewPU(nil, watch.PUID(*id), geo.BlockID(*block), eCol, group)
 	if err != nil {
 		return err
 	}

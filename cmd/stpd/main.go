@@ -73,6 +73,15 @@ func run(args []string) error {
 		return err
 	}
 	stp := pisa.NewSTPWithKey(nil, group)
+	if params.FastExp {
+		// Arm the fixed-base engine before any registrations, so the
+		// group key and every stored SU key share windowed tables.
+		if err := stp.SetFastExp(params.FastExpWindow, params.ShortExpBits); err != nil {
+			return err
+		}
+		log.Info("fixed-base engine armed",
+			"tableBytes", stp.GroupKey().FastExpSizeBytes())
+	}
 	if *storeDir != "" {
 		opts, err := cfg.Store.Options()
 		if err != nil {

@@ -96,6 +96,19 @@ type File struct {
 	// processes in one deployment may disagree on it freely.
 	Parallelism int `json:"parallelism,omitempty"`
 
+	// FastExp arms the fixed-base exponentiation engine (windowed
+	// tables + short-exponent nonces; internal/fbexp). On by default —
+	// Load starts from Default(), so only an explicit "fastExp": false
+	// disables it. A local runtime knob like Parallelism: ciphertexts
+	// from fast and legacy processes interoperate freely.
+	FastExp bool `json:"fastExp"`
+	// FastExpWindow is the table window width in bits (0 = engine
+	// default, 6). Wider windows trade table memory for speed.
+	FastExpWindow int `json:"fastExpWindow,omitempty"`
+	// ShortExpBits is the nonce exponent width (0 = engine default,
+	// 256 = 2·λ at 112-bit security).
+	ShortExpBits int `json:"shortExpBits,omitempty"`
+
 	// Network addresses. STPAddrs lists additional equivalent STP
 	// replicas (same group key, shared SU registry) that clients fail
 	// over to when STPAddr stops answering.
@@ -266,6 +279,7 @@ func Default() File {
 		BetaBits:        64,
 		EtaBits:         64,
 		SignerBits:      512,
+		FastExp:         true,
 		SDCAddr:         "127.0.0.1:7410",
 		STPAddr:         "127.0.0.1:7411",
 		// Durability stays off until a state directory is configured
@@ -368,6 +382,9 @@ func (f File) PisaParams() (pisa.Params, error) {
 		EtaBits:       f.EtaBits,
 		SignerBits:    f.SignerBits,
 		Parallelism:   f.Parallelism,
+		FastExp:       f.FastExp,
+		FastExpWindow: f.FastExpWindow,
+		ShortExpBits:  f.ShortExpBits,
 	}
 	return p, p.Validate()
 }

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math/big"
+	"os"
 	"testing"
 )
 
@@ -118,6 +119,58 @@ func BenchmarkRerandomize(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := sk.PublicKey.RerandomizeWith(ct, nonces[i%len(nonces)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHotPath measures the operations the fixed-base engine
+// accelerates, under one set of benchmark names so benchstat can
+// compare across runs. The engine is toggled by environment —
+// PISA_ENGINE=off selects legacy full-width nonces, anything else (or
+// unset) the windowed-table fast path:
+//
+//	PISA_ENGINE=off go test -bench HotPath -count 10 > old.txt
+//	PISA_ENGINE=on  go test -bench HotPath -count 10 > new.txt
+//	benchstat old.txt new.txt
+func BenchmarkHotPath(b *testing.B) {
+	sk := benchKey(b, 2048)
+	pk := sk.PublicKey // value copy: leave the cached key disarmed
+	if os.Getenv("PISA_ENGINE") != "off" {
+		if err := pk.EnableFastExp(rand.Reader, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := big.NewInt(1<<59 - 1)
+	ct, err := pk.Encrypt(rand.Reader, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encrypt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pk.Encrypt(rand.Reader, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("newNonce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pk.NewNonce(rand.Reader); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rerandomize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pk.Rerandomize(rand.Reader, ct); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nonceBatch32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pk.NewNonceBatch(rand.Reader, 32, 4); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+
+	"pisa/internal/fbexp"
 )
 
 // Errors returned by the package.
@@ -38,6 +40,19 @@ var (
 	two = big.NewInt(2)
 )
 
+// Fixed-base engine defaults. The window width trades table memory for
+// multiplications per nonce (see internal/fbexp); the short-exponent
+// width follows the 2·λ rule — 256 bits gives 112+ bits of security at
+// a 2048-bit modulus, matching the key's own strength.
+const (
+	DefaultFastExpWindow = 6
+	DefaultShortExpBits  = 256
+
+	// minShortExpBits refuses configurations that would make nonce
+	// exponents trivially enumerable.
+	minShortExpBits = 64
+)
+
 // PublicKey holds the Paillier public key (n, g) with g = n+1 implied,
 // plus cached derived values.
 type PublicKey struct {
@@ -46,6 +61,14 @@ type PublicKey struct {
 
 	nSquared *big.Int // n^2
 	half     *big.Int // floor(n/2), threshold for centred decoding
+
+	// Fixed-base exponentiation engine (nil = legacy full-width
+	// nonces). fb tables h = x^n mod n^2 for a random unit x; nonce
+	// factors become h^s with a short exponent s of shortBits bits.
+	// Set once by EnableFastExp before the key is shared across
+	// goroutines; the table itself is immutable and read-safe.
+	fb        *fbexp.Table
+	shortBits int
 }
 
 // PrivateKey holds the Paillier key pair. The secret material is
@@ -167,6 +190,83 @@ func (pk *PublicKey) Equal(other *PublicKey) bool {
 	return other != nil && pk.N.Cmp(other.N) == 0
 }
 
+// EnableFastExp arms the fixed-base exponentiation engine on this key:
+// it draws a random unit x, fixes h = x^n mod n^2, and precomputes the
+// windowed power table for h covering exponents of shortBits bits.
+// Nonce factors r^n are then generated as h^s = (x^s)^n for a short
+// random s — a valid n-th residue at a fraction of the cost (see
+// DESIGN.md §10 for the short-exponent security argument).
+//
+// window and shortBits of 0 select DefaultFastExpWindow and
+// DefaultShortExpBits. Enabling is idempotent: a key that already has
+// a table keeps it. The call mutates the key, so run it at setup time,
+// before the key is shared across goroutines; afterwards the engine is
+// read-only and safe for concurrent use.
+func (pk *PublicKey) EnableFastExp(random io.Reader, window, shortBits int) error {
+	if pk.fb != nil {
+		return nil
+	}
+	if window == 0 {
+		window = DefaultFastExpWindow
+	}
+	if shortBits == 0 {
+		shortBits = DefaultShortExpBits
+	}
+	if shortBits < minShortExpBits {
+		return fmt.Errorf("paillier: short exponent width %d below minimum %d", shortBits, minShortExpBits)
+	}
+	pk.ensureCache()
+	x, err := pk.randomUnit(random)
+	if err != nil {
+		return fmt.Errorf("fast-exp base: %w", err)
+	}
+	h := new(big.Int).Exp(x, pk.N, pk.nSquared)
+	tab, err := fbexp.New(h, pk.nSquared, window, shortBits)
+	if err != nil {
+		return fmt.Errorf("fast-exp table: %w", err)
+	}
+	pk.fb = tab
+	pk.shortBits = shortBits
+	return nil
+}
+
+// DisableFastExp drops the engine, reverting to legacy full-width
+// nonce generation. Setup-time only, like EnableFastExp.
+func (pk *PublicKey) DisableFastExp() {
+	pk.fb = nil
+	pk.shortBits = 0
+}
+
+// FastExpEnabled reports whether the fixed-base engine is armed.
+func (pk *PublicKey) FastExpEnabled() bool { return pk.fb != nil }
+
+// FastExpSizeBytes reports the engine table's memory footprint, or 0
+// when disabled.
+func (pk *PublicKey) FastExpSizeBytes() int {
+	if pk.fb == nil {
+		return 0
+	}
+	return pk.fb.SizeBytes()
+}
+
+// fastRn produces one nonce factor h^s mod n^2 via the windowed table,
+// with s drawn uniformly from [1, 2^shortBits). Caller must have
+// checked pk.fb != nil.
+func (pk *PublicKey) fastRn(random io.Reader) (*big.Int, error) {
+	random = orDefaultRand(random)
+	limit := new(big.Int).Lsh(one, uint(pk.shortBits))
+	for {
+		s, err := rand.Int(random, limit)
+		if err != nil {
+			return nil, fmt.Errorf("draw short exponent: %w", err)
+		}
+		if s.Sign() == 0 {
+			continue // h^0 = 1 would be a non-blinding nonce
+		}
+		return pk.fb.Exp(s), nil
+	}
+}
+
 // encode maps a signed message into Z_n, rejecting values outside the
 // centred domain (-n/2, n/2).
 func (pk *PublicKey) encode(m *big.Int) (*big.Int, error) {
@@ -214,8 +314,17 @@ func (pk *PublicKey) randomUnit(random io.Reader) (*big.Int, error) {
 }
 
 // Encrypt encrypts the signed message m under pk using a fresh random
-// nonce from random.
+// nonce from random. With the fixed-base engine armed (EnableFastExp)
+// the nonce factor comes from the windowed table; otherwise it costs
+// one full-width exponentiation.
 func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
+	if pk.fb != nil {
+		rn, err := pk.fastRn(random)
+		if err != nil {
+			return nil, err
+		}
+		return pk.encryptWithRn(m, rn)
+	}
 	r, err := pk.randomUnit(random)
 	if err != nil {
 		return nil, err
@@ -225,8 +334,18 @@ func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) 
 
 // EncryptWithNonce encrypts m with the caller-supplied nonce r in
 // Z_n^*. Deterministic given (m, r); used by tests and by callers that
-// batch nonce generation.
+// batch nonce generation. Always takes the legacy path — the engine
+// cannot reproduce an arbitrary caller-chosen r.
 func (pk *PublicKey) EncryptWithNonce(m, r *big.Int) (*Ciphertext, error) {
+	pk.ensureCache()
+	rn := new(big.Int).Exp(r, pk.N, pk.nSquared)
+	return pk.encryptWithRn(m, rn)
+}
+
+// encryptWithRn assembles the ciphertext (1 + m*n) * rn mod n^2 from a
+// ready-made nonce factor rn = r^n. Shared by the legacy and
+// fixed-base paths so the ciphertext shape is identical in both.
+func (pk *PublicKey) encryptWithRn(m, rn *big.Int) (*Ciphertext, error) {
 	enc, err := pk.encode(m)
 	if err != nil {
 		return nil, err
@@ -235,8 +354,6 @@ func (pk *PublicKey) EncryptWithNonce(m, r *big.Int) (*Ciphertext, error) {
 	gm := new(big.Int).Mul(enc, pk.N)
 	gm.Add(gm, one)
 	gm.Mod(gm, pk.nSquared)
-	// r^n mod n^2
-	rn := new(big.Int).Exp(r, pk.N, pk.nSquared)
 	c := gm.Mul(gm, rn)
 	c.Mod(c, pk.nSquared)
 	return &Ciphertext{C: c}, nil
@@ -384,12 +501,20 @@ func (pk *PublicKey) Rerandomize(random io.Reader, a *Ciphertext) (*Ciphertext, 
 	if err := pk.validate(a); err != nil {
 		return nil, err
 	}
-	r, err := pk.randomUnit(random)
-	if err != nil {
-		return nil, err
+	var rn *big.Int
+	if pk.fb != nil {
+		var err error
+		if rn, err = pk.fastRn(random); err != nil {
+			return nil, err
+		}
+	} else {
+		r, err := pk.randomUnit(random)
+		if err != nil {
+			return nil, err
+		}
+		rn = new(big.Int).Exp(r, pk.N, pk.nSquared)
 	}
-	rn := new(big.Int).Exp(r, pk.N, pk.nSquared)
-	c := rn.Mul(rn, a.C)
+	c := new(big.Int).Mul(rn, a.C)
 	c.Mod(c, pk.nSquared)
 	return &Ciphertext{C: c}, nil
 }
@@ -404,8 +529,17 @@ type Nonce struct {
 	rn *big.Int
 }
 
-// NewNonce precomputes one re-randomisation factor.
+// NewNonce precomputes one re-randomisation factor. With the
+// fixed-base engine armed this is h^s over the windowed table; the
+// batch and pool layers inherit the fast path through here.
 func (pk *PublicKey) NewNonce(random io.Reader) (*Nonce, error) {
+	if pk.fb != nil {
+		rn, err := pk.fastRn(random)
+		if err != nil {
+			return nil, err
+		}
+		return &Nonce{rn: rn}, nil
+	}
 	r, err := pk.randomUnit(random)
 	if err != nil {
 		return nil, err

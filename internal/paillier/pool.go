@@ -26,6 +26,7 @@ type NoncePool struct {
 	target    int // auto-refill high-water mark; 0 disables refills
 	low       int // refill trigger: len < low starts a background refill
 	refilling bool
+	closed    bool  // Close called: no new background refills
 	refillErr error // first background refill failure, surfaced by Get
 
 	wg sync.WaitGroup // outstanding background refills
@@ -54,6 +55,9 @@ func (p *NoncePool) SetAutoRefill(target int) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("paillier: pool closed")
+	}
 	p.target = target
 	p.low = target / 4
 	if p.low < 1 {
@@ -122,7 +126,7 @@ func (p *NoncePool) Get() (*Nonce, error) {
 // maybeRefillLocked starts one background refill when armed and below
 // the low-water mark. Caller holds p.mu.
 func (p *NoncePool) maybeRefillLocked() {
-	if p.target == 0 || p.refilling || len(p.nonces) >= p.low {
+	if p.closed || p.target == 0 || p.refilling || len(p.nonces) >= p.low {
 		return
 	}
 	need := p.target - len(p.nonces)
@@ -146,5 +150,18 @@ func (p *NoncePool) maybeRefillLocked() {
 // Wait blocks until any in-flight background refill finishes — used by
 // tests and by shutdown paths that want deterministic accounting.
 func (p *NoncePool) Wait() {
+	p.wg.Wait()
+}
+
+// Close disarms auto-refill and waits for any in-flight background
+// refill goroutine to exit, so a pool whose owner is done cannot leak
+// goroutines. Get keeps working after Close (pooled stock first, then
+// online generation); only the background machinery stops. Safe to
+// call more than once.
+func (p *NoncePool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.target = 0
+	p.mu.Unlock()
 	p.wg.Wait()
 }

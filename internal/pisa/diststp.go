@@ -95,6 +95,11 @@ type DistSTP struct {
 
 	mu     sync.RWMutex
 	suKeys map[string]*paillier.PublicKey
+
+	// Fixed-base engine configuration (SetFastExp), mirroring STP.
+	fbArmed     bool
+	fbWindow    int
+	fbShortBits int
 }
 
 var _ STPService = (*DistSTP)(nil)
@@ -170,6 +175,42 @@ func (d *DistSTP) SetParallelism(n int) {
 // GroupKey implements STPService.
 func (d *DistSTP) GroupKey() *paillier.PublicKey { return d.group }
 
+// SetFastExp arms the fixed-base engine on the group key and on every
+// registered SU key (current and future), exactly like STP.SetFastExp:
+// the combiner's re-encryptions of eq. 15 take the windowed fast path.
+// Call at setup, before conversions start.
+func (d *DistSTP) SetFastExp(window, shortBits int) error {
+	if err := d.group.EnableFastExp(d.random, window, shortBits); err != nil {
+		return fmt.Errorf("pisa: arm group key: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fbArmed = true
+	d.fbWindow = window
+	d.fbShortBits = shortBits
+	for id, pk := range d.suKeys {
+		armed, err := d.armedCopy(pk)
+		if err != nil {
+			return fmt.Errorf("pisa: arm SU %q key: %w", id, err)
+		}
+		d.suKeys[id] = armed
+	}
+	return nil
+}
+
+// armedCopy returns a table-enabled shallow copy of pk without
+// mutating the caller's key object (see STP.armedCopy).
+func (d *DistSTP) armedCopy(pk *paillier.PublicKey) (*paillier.PublicKey, error) {
+	if pk.FastExpEnabled() {
+		return pk, nil
+	}
+	cp := &paillier.PublicKey{N: pk.N}
+	if err := cp.EnableFastExp(d.random, d.fbWindow, d.fbShortBits); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
 // Holders reports the number of co-STP share holders.
 func (d *DistSTP) Holders() int { return len(d.holders) }
 
@@ -187,7 +228,15 @@ func (d *DistSTP) RegisterSU(id string, pk *paillier.PublicKey) error {
 	if existing, ok := d.suKeys[id]; ok && !existing.Equal(pk) {
 		return fmt.Errorf("pisa: SU %q already registered with a different key", id)
 	}
-	d.suKeys[id] = pk
+	stored := pk
+	if d.fbArmed {
+		armed, err := d.armedCopy(pk)
+		if err != nil {
+			return fmt.Errorf("pisa: arm SU %q key: %w", id, err)
+		}
+		stored = armed
+	}
+	d.suKeys[id] = stored
 	return nil
 }
 

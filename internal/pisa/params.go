@@ -21,9 +21,12 @@ package pisa
 
 import (
 	"fmt"
+	"io"
 	"math/bits"
 
 	"pisa/internal/dsig"
+	"pisa/internal/fbexp"
+	"pisa/internal/paillier"
 	"pisa/internal/watch"
 )
 
@@ -65,6 +68,23 @@ type Params struct {
 	// ciphertext streams to the pre-parallel implementation), and < 0
 	// means one worker per CPU (parallel.Auto).
 	Parallelism int
+
+	// FastExp arms the fixed-base exponentiation engine
+	// (internal/fbexp) on the keys each role touches: nonce factors
+	// become h^s with a short exponent over a precomputed windowed
+	// table instead of full-width r^n exponentiations, cutting
+	// Encrypt/Rerandomize/NewNonce cost by more than an order of
+	// magnitude. Disable for legacy-parity testing.
+	FastExp bool
+
+	// FastExpWindow is the table window width in bits; 0 selects
+	// paillier.DefaultFastExpWindow (6). Wider windows trade table
+	// memory for fewer multiplications per nonce.
+	FastExpWindow int
+
+	// ShortExpBits is the nonce exponent width; 0 selects
+	// paillier.DefaultShortExpBits (256 = 2·λ at 112-bit security).
+	ShortExpBits int
 }
 
 // DefaultParams returns the paper's Table I configuration on top of
@@ -83,7 +103,8 @@ func DefaultParams(w watch.Params) Params {
 		BetaBits:      80,
 		EtaBits:       256,
 		SignerBits:    dsig.MaxSignerBits(2048),
-		Parallelism:   -1, // production default: one worker per CPU
+		Parallelism:   -1,   // production default: one worker per CPU
+		FastExp:       true, // fixed-base engine at default window/width
 	}
 }
 
@@ -99,6 +120,7 @@ func TestParams(w watch.Params) Params {
 		BetaBits:      64,
 		EtaBits:       64,
 		SignerBits:    512,
+		FastExp:       true,
 	}
 }
 
@@ -124,6 +146,11 @@ func (p Params) Validate() error {
 	case p.SignerBits > dsig.MaxSignerBits(p.PaillierBits):
 		return fmt.Errorf("pisa: SignerBits %d exceeds dsig.MaxSignerBits(%d) = %d",
 			p.SignerBits, p.PaillierBits, dsig.MaxSignerBits(p.PaillierBits))
+	case p.FastExpWindow < 0 || p.FastExpWindow > fbexp.MaxWindow:
+		return fmt.Errorf("pisa: FastExpWindow %d outside [0, %d] (0 = default)",
+			p.FastExpWindow, fbexp.MaxWindow)
+	case p.ShortExpBits < 0 || (p.ShortExpBits > 0 && p.ShortExpBits < 64):
+		return fmt.Errorf("pisa: ShortExpBits %d must be 0 (default) or >= 64", p.ShortExpBits)
 	}
 	// Blinded value: |eps*(alpha*I - beta)| < 2^(AlphaBits + PlaintextBits) + 2^BetaBits.
 	// It must stay inside the centred plaintext domain (-n/2, n/2).
@@ -149,4 +176,15 @@ func (p Params) Validate() error {
 			p.PlaintextBits, maxUnits)
 	}
 	return nil
+}
+
+// armFastExp enables the fixed-base engine on pk per the params
+// (no-op when FastExp is off or pk already has a table). Every role
+// constructor funnels through here so the window/width knobs apply
+// uniformly.
+func (p Params) armFastExp(random io.Reader, pk *paillier.PublicKey) error {
+	if !p.FastExp {
+		return nil
+	}
+	return pk.EnableFastExp(random, p.FastExpWindow, p.ShortExpBits)
 }

@@ -55,6 +55,7 @@ type SDC struct {
 	blindTarget    int            // auto-refill high-water mark; 0 disarms
 	blindLow       int            // refill trigger
 	blindRefilling bool
+	blindClosed    bool           // Close called: no new background refills
 	blindErr       error          // first background refill failure
 	blindWG        sync.WaitGroup // outstanding background refills
 }
@@ -154,6 +155,13 @@ func newSDCBase(issuer string, params Params, transmitters []watch.TVTransmitter
 	// source; SharedReader serialises injected readers (crypto/rand is
 	// passed through) without changing the byte stream.
 	s.random = paillier.SharedReader(s.random)
+	// Arm the fixed-base engine on the group key: budget encryptions,
+	// column rebuilds and blinding-factor generation all take the
+	// windowed fast path. Idempotent on a group key another role
+	// already armed.
+	if err := params.armFastExp(s.random, s.group); err != nil {
+		return nil, fmt.Errorf("pisa: arm group key: %w", err)
+	}
 	s.signer, err = dsig.NewSigner(s.random, params.SignerBits)
 	if err != nil {
 		return nil, err
@@ -550,45 +558,51 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
 	return &Response{License: lic, MaskedSig: masked}, nil
 }
 
-// newBlindFactors draws one (alpha, E(beta), epsilon) tuple — the
-// offline-precomputable part of eq. 14. Safe for concurrent use (the
-// randomness source is shared-reader wrapped at construction).
+// newBlindFactors draws one (alpha, E(beta), epsilon) tuple — a
+// single-element batch, so pooled precomputation, background refills
+// and the on-the-fly ProcessRequest fallback all share exactly one
+// generation path (and the fixed-base fast path behind the beta
+// encryption is exercised in one place). A one-element batch runs
+// inline on the calling goroutine.
 func (s *SDC) newBlindFactors() (blindFactors, error) {
-	alphaLo := new(big.Int).Lsh(big.NewInt(1), uint(s.params.AlphaBits-1))
-	alphaHi := new(big.Int).Lsh(big.NewInt(1), uint(s.params.AlphaBits))
-	alpha, err := paillier.RandomInRange(s.random, alphaLo, alphaHi)
+	fresh, err := s.newBlindFactorsBatch(1)
 	if err != nil {
 		return blindFactors{}, err
 	}
-	betaHi := new(big.Int).Lsh(big.NewInt(1), uint(s.params.BetaBits))
-	beta, err := paillier.RandomInRange(s.random, big.NewInt(1), betaHi)
-	if err != nil {
-		return blindFactors{}, err
-	}
-	betaEnc, err := s.group.Encrypt(s.random, beta)
-	if err != nil {
-		return blindFactors{}, err
-	}
-	epsBit := make([]byte, 1)
-	if _, err := io.ReadFull(s.random, epsBit); err != nil {
-		return blindFactors{}, fmt.Errorf("draw epsilon: %w", err)
-	}
-	eps := int64(1)
-	if epsBit[0]&1 == 1 {
-		eps = -1
-	}
-	return blindFactors{alpha: alpha, betaEnc: betaEnc, eps: eps}, nil
+	return fresh[0], nil
 }
 
-// newBlindFactorsBatch generates count tuples on the worker pool.
+// newBlindFactorsBatch generates count (alpha, E(beta), epsilon)
+// tuples — the offline-precomputable part of eq. 14 — on the worker
+// pool. Safe for concurrent use (the randomness source is
+// shared-reader wrapped at construction).
 func (s *SDC) newBlindFactorsBatch(count int) ([]blindFactors, error) {
+	alphaLo := new(big.Int).Lsh(big.NewInt(1), uint(s.params.AlphaBits-1))
+	alphaHi := new(big.Int).Lsh(big.NewInt(1), uint(s.params.AlphaBits))
+	betaHi := new(big.Int).Lsh(big.NewInt(1), uint(s.params.BetaBits))
 	fresh := make([]blindFactors, count)
 	err := parallel.For(s.workers, count, func(i int) error {
-		bf, err := s.newBlindFactors()
+		alpha, err := paillier.RandomInRange(s.random, alphaLo, alphaHi)
 		if err != nil {
 			return err
 		}
-		fresh[i] = bf
+		beta, err := paillier.RandomInRange(s.random, big.NewInt(1), betaHi)
+		if err != nil {
+			return err
+		}
+		betaEnc, err := s.group.Encrypt(s.random, beta)
+		if err != nil {
+			return err
+		}
+		epsBit := make([]byte, 1)
+		if _, err := io.ReadFull(s.random, epsBit); err != nil {
+			return fmt.Errorf("draw epsilon: %w", err)
+		}
+		eps := int64(1)
+		if epsBit[0]&1 == 1 {
+			eps = -1
+		}
+		fresh[i] = blindFactors{alpha: alpha, betaEnc: betaEnc, eps: eps}
 		return nil
 	})
 	if err != nil {
@@ -627,6 +641,9 @@ func (s *SDC) EnableBlindingAutoRefill(target int) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.blindClosed {
+		return fmt.Errorf("pisa: SDC closed")
+	}
 	s.blindTarget = target
 	s.blindLow = target / 4
 	if s.blindLow < 1 {
@@ -638,7 +655,7 @@ func (s *SDC) EnableBlindingAutoRefill(target int) error {
 // maybeRefillBlindingLocked starts one background refill when armed
 // and below the low-water mark. Caller holds s.mu.
 func (s *SDC) maybeRefillBlindingLocked() {
-	if s.blindTarget == 0 || s.blindRefilling || len(s.blindPool) >= s.blindLow {
+	if s.blindClosed || s.blindTarget == 0 || s.blindRefilling || len(s.blindPool) >= s.blindLow {
 		return
 	}
 	need := s.blindTarget - len(s.blindPool)
@@ -662,6 +679,19 @@ func (s *SDC) maybeRefillBlindingLocked() {
 // WaitBlindingRefill blocks until any in-flight background refill
 // finishes — deterministic accounting for tests and shutdown.
 func (s *SDC) WaitBlindingRefill() {
+	s.blindWG.Wait()
+}
+
+// Close disarms blinding auto-refill and waits for any in-flight
+// background refill goroutine to exit, so a retired SDC leaks no
+// goroutines. Request and update processing keep working after Close
+// (cells fall back to on-the-fly blinding); only the background
+// machinery stops. Safe to call more than once.
+func (s *SDC) Close() {
+	s.mu.Lock()
+	s.blindClosed = true
+	s.blindTarget = 0
+	s.mu.Unlock()
 	s.blindWG.Wait()
 }
 

@@ -38,6 +38,13 @@ type STP struct {
 	suKeys  map[string]*paillier.PublicKey
 	journal func(id string, pk *paillier.PublicKey) error // WAL hook for registrations
 
+	// Fixed-base engine configuration (SetFastExp). When armed, every
+	// registered SU key is wrapped in a table-enabled copy so the
+	// re-encryptions of ConvertSigns take the fast path.
+	fbArmed     bool
+	fbWindow    int
+	fbShortBits int
+
 	// observer, when set (tests only), receives the plaintext V
 	// values the STP decrypts, enabling the leakage analysis of
 	// §V without instrumenting production code paths.
@@ -87,6 +94,46 @@ func (s *STP) GroupKey() *paillier.PublicKey {
 	return s.group.Public()
 }
 
+// SetFastExp arms the fixed-base exponentiation engine on the group
+// key and on every SU key this STP converts into: each registered key
+// (current and future) is replaced by a table-enabled copy, so the
+// per-element re-encryption of eq. 15 takes the windowed fast path.
+// window/shortBits of 0 select the paillier defaults. Call at setup,
+// before conversions start; registrations may keep arriving.
+func (s *STP) SetFastExp(window, shortBits int) error {
+	if err := s.group.PublicKey.EnableFastExp(s.random, window, shortBits); err != nil {
+		return fmt.Errorf("pisa: arm group key: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fbArmed = true
+	s.fbWindow = window
+	s.fbShortBits = shortBits
+	for id, pk := range s.suKeys {
+		armed, err := s.armedCopy(pk)
+		if err != nil {
+			return fmt.Errorf("pisa: arm SU %q key: %w", id, err)
+		}
+		s.suKeys[id] = armed
+	}
+	return nil
+}
+
+// armedCopy returns a table-enabled shallow copy of pk (sharing N but
+// not mutating the caller's object — SUs hand their key to RegisterSU
+// and keep using it). A key that already has a table is returned
+// as-is.
+func (s *STP) armedCopy(pk *paillier.PublicKey) (*paillier.PublicKey, error) {
+	if pk.FastExpEnabled() {
+		return pk, nil
+	}
+	cp := &paillier.PublicKey{N: pk.N}
+	if err := cp.EnableFastExp(s.random, s.fbWindow, s.fbShortBits); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
 // RegisterSU stores an SU's public key for later key conversion.
 // Re-registration with the same key is idempotent; changing the key
 // for an existing ID is rejected (it would let an attacker redirect
@@ -103,7 +150,16 @@ func (s *STP) RegisterSU(id string, pk *paillier.PublicKey) error {
 		s.mu.Unlock()
 		return fmt.Errorf("pisa: SU %q already registered with a different key", id)
 	}
-	s.suKeys[id] = pk
+	stored := pk
+	if s.fbArmed {
+		armed, err := s.armedCopy(pk)
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("pisa: arm SU %q key: %w", id, err)
+		}
+		stored = armed
+	}
+	s.suKeys[id] = stored
 	journal := s.journal
 	s.mu.Unlock()
 	// As with SDC updates, the WAL append happens outside the lock and

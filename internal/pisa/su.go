@@ -54,6 +54,13 @@ func NewSU(random io.Reader, id string, block geo.BlockID, params Params, planne
 	// Worker goroutines and background refills share the randomness
 	// source (SharedReader passes crypto/rand through unchanged).
 	random = paillier.SharedReader(random)
+	// Arm the fixed-base engine on the group key so request encryption
+	// and nonce generation take the fast path. Idempotent: in-process
+	// deployments share one group-key object across roles, and the
+	// first arm wins.
+	if err := params.armFastExp(random, group); err != nil {
+		return nil, fmt.Errorf("pisa: arm group key: %w", err)
+	}
 	workers := parallel.Resolve(params.Parallelism)
 	return &SU{
 		id:      id,
@@ -195,6 +202,12 @@ func (u *SU) EnableNonceAutoRefill(target int) error {
 // WaitNonceRefill blocks until any in-flight background nonce refill
 // finishes — deterministic accounting for tests and shutdown.
 func (u *SU) WaitNonceRefill() { u.nonces.Wait() }
+
+// Close disarms the nonce pool's background refills and waits for any
+// in-flight refill goroutine to exit. The SU remains usable (refreshes
+// fall back to online nonce generation); Close only guarantees no
+// goroutine outlives an SU the caller is done with.
+func (u *SU) Close() { u.nonces.Close() }
 
 // PooledNonces reports how many precomputed nonces remain.
 func (u *SU) PooledNonces() int { return u.nonces.Len() }
