@@ -8,7 +8,10 @@
 //
 // Serve mode — run on each co-STP host:
 //
-//	costpd -share ./shares/share-1.gob -listen :7421
+//	costpd -share ./shares/share-1.gob -listen :7421 [-metrics host:port]
+//
+// With -metrics the daemon serves Prometheus metrics on /metrics and
+// net/http/pprof on /debug/pprof/ (RPC server counters).
 //
 // Share files are secret key material: distribute them over secure
 // channels and delete the dealer's copies after hand-off.
@@ -29,6 +32,7 @@ import (
 
 	"pisa/internal/config"
 	"pisa/internal/node"
+	"pisa/internal/obs"
 	"pisa/internal/paillier"
 )
 
@@ -46,6 +50,7 @@ func run(args []string) error {
 	out := fs.String("out", "shares", "dealer mode: output directory")
 	sharePath := fs.String("share", "", "serve mode: share file to load")
 	listen := fs.String("listen", "127.0.0.1:0", "serve mode: listen address")
+	metricsAddr := fs.String("metrics", "", "serve mode: serve /metrics and /debug/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,7 +60,7 @@ func run(args []string) error {
 	case *deal > 0:
 		return dealShares(*configPath, *deal, *out)
 	case *sharePath != "":
-		return serveShare(*sharePath, *listen)
+		return serveShare(*sharePath, *listen, *metricsAddr)
 	default:
 		fs.Usage()
 		return errors.New("either -deal or -share is required")
@@ -110,7 +115,7 @@ func dealShares(configPath string, count int, dir string) error {
 }
 
 // serveShare loads a share file and answers partial decryptions.
-func serveShare(path, listen string) error {
+func serveShare(path, listen, metricsAddr string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -120,6 +125,14 @@ func serveShare(path, listen string) error {
 		return fmt.Errorf("decode share file: %w", err)
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if metricsAddr != "" {
+		obsSrv, err := obs.ListenAndServe(metricsAddr, nil)
+		if err != nil {
+			return err
+		}
+		defer obsSrv.Close()
+		log.Info("metrics serving", "addr", obsSrv.Addr(), "endpoints", "/metrics /debug/pprof/")
+	}
 	srv := node.NewShareServer(&share, log, 0)
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {

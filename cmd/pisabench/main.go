@@ -12,6 +12,11 @@
 //	pisabench -json out.json   # hot-path micro-benchmark, engine off vs on
 //	pisabench -all             # everything (except the sweep)
 //
+// Any run may add -metrics-dump PATH ("-" for stdout) to write the
+// instrumentation the experiments accumulated (per-stage histograms,
+// pool gauges — the same registry the daemons serve on /metrics) in
+// Prometheus text format.
+//
 // By default the end-to-end pipeline is measured at a reduced matrix
 // scale and extrapolated (the pipeline is exactly linear in matrix
 // cells); -paper runs the full 100x600 grid with 2048-bit keys, which
@@ -30,6 +35,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +43,7 @@ import (
 	"time"
 
 	"pisa/internal/bench"
+	"pisa/internal/obs"
 	"pisa/internal/pisa"
 )
 
@@ -58,6 +65,7 @@ type options struct {
 	window                                                  int
 	shortBits                                               int
 	jsonPath                                                string
+	metricsDump                                             string
 }
 
 func run(args []string) error {
@@ -85,6 +93,8 @@ func run(args []string) error {
 		"short-exponent nonce bits (0 = paillier default)")
 	fs.StringVar(&opt.jsonPath, "json", "",
 		"write the hot-path micro-benchmark (engine off vs on) as JSON to this path")
+	fs.StringVar(&opt.metricsDump, "metrics-dump", "",
+		"after the experiments, dump the obs registry in Prometheus text format to this path (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,7 +147,33 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if opt.metricsDump != "" {
+		if err := dumpMetrics(opt.metricsDump); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// dumpMetrics writes the instrumentation every experiment above
+// accumulated — the same per-stage histograms and pool gauges the
+// daemons serve on /metrics — so benchmark runs can be inspected with
+// the Prometheus toolchain without running a daemon. The exposition
+// is validated before it is written, so the CI smoke step fails on a
+// malformed registry instead of shipping it.
+func dumpMetrics(path string) error {
+	var buf bytes.Buffer
+	if err := obs.Default().WritePrometheus(&buf); err != nil {
+		return err
+	}
+	if err := obs.ValidateExposition(buf.Bytes()); err != nil {
+		return fmt.Errorf("metrics exposition does not validate: %w", err)
+	}
+	if path == "-" {
+		_, err := os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 func printTable1() {

@@ -17,6 +17,14 @@
 //
 //	sdcd [-config pisa.json] [-listen host:port] [-stp host:port,host:port]
 //	     [-issuer name] [-store dir] [-snapshot-on-exit=true]
+//	     [-metrics host:port]
+//
+// With -metrics (or an obs.metricsAddr in the config) the daemon
+// serves Prometheus metrics on /metrics and the net/http/pprof
+// profiling endpoints on /debug/pprof/, on a dedicated port: per-stage
+// SU request latencies, PU update and column-rebuild timings, blinding
+// pool depth and refill outcomes, WAL append/fsync/snapshot timings,
+// and the RPC client/server counters.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 
 	"pisa/internal/config"
 	"pisa/internal/node"
+	"pisa/internal/obs"
 	"pisa/internal/pisa"
 	"pisa/internal/store"
 )
@@ -50,6 +59,7 @@ func run(args []string) error {
 	issuer := fs.String("issuer", "pisa-sdc", "license issuer name")
 	storeDir := fs.String("store", "", "state directory for WAL + snapshots (overrides config store.dir; empty = in-memory)")
 	snapOnExit := fs.Bool("snapshot-on-exit", true, "take a final snapshot during graceful shutdown")
+	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof on this address (overrides config obs.metricsAddr; empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +87,18 @@ func run(args []string) error {
 		return err
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	if *metricsAddr != "" {
+		cfg.Obs.MetricsAddr = *metricsAddr
+	}
+	if cfg.Obs.Enabled() {
+		obsSrv, err := obs.ListenAndServe(cfg.Obs.MetricsAddr, nil)
+		if err != nil {
+			return err
+		}
+		defer obsSrv.Close()
+		log.Info("metrics serving", "addr", obsSrv.Addr(), "endpoints", "/metrics /debug/pprof/")
+	}
 
 	log.Info("connecting to STP", "addrs", stpTargets)
 	stp, err := node.DialSTPWith(rpcOpts, stpTargets...)

@@ -18,6 +18,12 @@
 // Usage:
 //
 //	stpd [-config pisa.json] [-listen host:port] [-key group.key] [-store dir]
+//	     [-metrics host:port]
+//
+// With -metrics (or an obs.metricsAddr in the config) the daemon
+// serves Prometheus metrics on /metrics and net/http/pprof on
+// /debug/pprof/: RPC server counters, WAL timings for the SU
+// registry, and nonce-pool health.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 
 	"pisa/internal/config"
 	"pisa/internal/node"
+	"pisa/internal/obs"
 	"pisa/internal/paillier"
 	"pisa/internal/pisa"
 	"pisa/internal/store"
@@ -52,6 +59,7 @@ func run(args []string) error {
 	listen := fs.String("listen", "", "listen address (overrides config stpAddr)")
 	keyPath := fs.String("key", "", "group key file; loaded if present, created otherwise (restart-safe)")
 	storeDir := fs.String("store", "", "state directory for the SU registry WAL + snapshots (empty = in-memory)")
+	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof on this address (overrides config obs.metricsAddr; empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +76,17 @@ func run(args []string) error {
 		return err
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *metricsAddr != "" {
+		cfg.Obs.MetricsAddr = *metricsAddr
+	}
+	if cfg.Obs.Enabled() {
+		obsSrv, err := obs.ListenAndServe(cfg.Obs.MetricsAddr, nil)
+		if err != nil {
+			return err
+		}
+		defer obsSrv.Close()
+		log.Info("metrics serving", "addr", obsSrv.Addr(), "endpoints", "/metrics /debug/pprof/")
+	}
 	group, err := loadOrCreateKey(*keyPath, params.PaillierBits, log)
 	if err != nil {
 		return err

@@ -123,7 +123,26 @@ type File struct {
 	// Store configures WAL + snapshot durability for the daemons. An
 	// empty Dir (the default) runs in-memory only.
 	Store StoreSpec `json:"store,omitempty"`
+
+	// Obs configures the runtime observability listener (Prometheus
+	// /metrics + pprof). Off unless an address is configured here or
+	// via the -metrics flag.
+	Obs ObsSpec `json:"obs,omitempty"`
 }
+
+// ObsSpec configures the observability HTTP listener (internal/obs):
+// /metrics in Prometheus text format plus net/http/pprof under
+// /debug/pprof/, on a port of its own so scrapes and profiles never
+// contend with the protocol listener.
+type ObsSpec struct {
+	// MetricsAddr is the host:port to serve on (e.g. "127.0.0.1:9090";
+	// ":0" picks a free port and logs it). Empty disables the listener.
+	// The daemons' -metrics flag overrides this.
+	MetricsAddr string `json:"metricsAddr,omitempty"`
+}
+
+// Enabled reports whether the observability listener was requested.
+func (o ObsSpec) Enabled() bool { return o.MetricsAddr != "" }
 
 // StoreSpec configures the internal/store durability layer. A daemon
 // with an empty Dir keeps all state in memory and loses it on exit.

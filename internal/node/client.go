@@ -141,16 +141,28 @@ func newClient(addrs []string, opts Options) *client {
 
 // Stats returns a snapshot of the client's lifetime counters and
 // per-endpoint health.
+//
+// The counters are independent atomics, so the snapshot is not a
+// single instant — but it never tears the monotonic pairs: every
+// increment path bumps the containing counter before the contained
+// one (dials before dialFailures; transportFaults before breakerOpens
+// before failovers; calls before retries), and the loads below read
+// each contained counter BEFORE its container. Anything the contained
+// load saw was preceded by its container's increment, so the
+// invariants DialFailures <= Dials, Failovers <= BreakerOpens <=
+// TransportFaults, and Retries <= (MaxAttempts-1)·Calls hold in every
+// snapshot. Loading in the (former) arbitrary order could return
+// e.g. DialFailures > Dials under concurrent traffic.
 func (c *client) Stats() ClientStats {
 	s := ClientStats{
-		Calls:           c.calls.Load(),
-		Dials:           c.dials.Load(),
 		DialFailures:    c.dialFailures.Load(),
+		Dials:           c.dials.Load(),
 		Retries:         c.retries.Load(),
-		RemoteErrors:    c.remoteErrors.Load(),
-		TransportFaults: c.transportFaults.Load(),
+		Calls:           c.calls.Load(),
 		Failovers:       c.failovers.Load(),
 		BreakerOpens:    c.breakerOpens.Load(),
+		TransportFaults: c.transportFaults.Load(),
+		RemoteErrors:    c.remoteErrors.Load(),
 	}
 	for _, ep := range c.endpoints {
 		state, fails := ep.brk.snapshot()
@@ -471,6 +483,7 @@ func DialSTPWith(opts Options, addrs ...string) (*STPClient, error) {
 		return nil, errors.New("node: no STP address configured")
 	}
 	c := &STPClient{client: newClient(addrs, opts)}
+	c.bridgeObs("stp")
 	resp, err := c.call(&wire.Envelope{Kind: wire.KindGroupKeyRequest}, wire.KindGroupKey)
 	if err != nil {
 		// Close the client so a pooled connection (kept open after a
@@ -550,7 +563,9 @@ func DialSDC(addr string, timeout time.Duration) *SDCClient {
 
 // DialSDCWith connects lazily to one or more equivalent SDC servers.
 func DialSDCWith(opts Options, addrs ...string) *SDCClient {
-	return &SDCClient{client: newClient(addrs, opts)}
+	c := &SDCClient{client: newClient(addrs, opts)}
+	c.bridgeObs("sdc")
+	return c
 }
 
 // SendUpdate delivers a PU channel-reception update.

@@ -17,13 +17,20 @@ type RetryPolicy struct {
 	// BaseDelay is the backoff before the second attempt; it doubles
 	// (times Multiplier) per further attempt. Default 50 ms.
 	BaseDelay time.Duration
-	// MaxDelay caps the backoff. Default 2 s.
+	// MaxDelay caps the pre-jitter backoff. Default 2 s. Jitter is
+	// applied after the cap, so an individual delay may reach
+	// (1+Jitter)·MaxDelay — capping the jittered value instead would
+	// pile half of every capped draw onto exactly MaxDelay and
+	// re-synchronise the retry storms the jitter exists to break up.
 	MaxDelay time.Duration
 	// Multiplier grows the delay between attempts. Default 2.
 	Multiplier float64
 	// Jitter randomises each delay within ±Jitter·delay so synchronised
 	// clients do not retry in lockstep. Default 0.2; clamped to [0, 1].
 	Jitter float64
+	// Rand supplies the jitter draws in [0, 1). Nil uses math/rand's
+	// shared concurrency-safe source; tests inject a deterministic one.
+	Rand func() float64
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -45,11 +52,21 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.Jitter > 1 {
 		p.Jitter = 1
 	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
 	return p
 }
 
 // delay computes the backoff before attempt n+1 (n >= 1 counts
 // completed attempts). The policy must already carry its defaults.
+//
+// The jitter multiplies the capped exponential delay and is NOT
+// re-clamped: truncating the jittered value at MaxDelay would make
+// every upward draw in the cap region collapse onto exactly MaxDelay,
+// turning the distribution one-sided and re-synchronising the clients
+// the jitter is meant to spread out. Delays therefore range over
+// [(1-Jitter)·d, (1+Jitter)·d] symmetrically, even at the cap.
 func (p RetryPolicy) delay(n int) time.Duration {
 	d := float64(p.BaseDelay)
 	for i := 1; i < n; i++ {
@@ -60,12 +77,7 @@ func (p RetryPolicy) delay(n int) time.Duration {
 		}
 	}
 	if p.Jitter > 0 {
-		// rand's top-level functions are concurrency-safe; the jitter
-		// draw does not need to be reproducible.
-		d *= 1 + p.Jitter*(2*rand.Float64()-1)
-	}
-	if d > float64(p.MaxDelay) {
-		d = float64(p.MaxDelay)
+		d *= 1 + p.Jitter*(2*p.Rand()-1)
 	}
 	return time.Duration(d)
 }

@@ -69,12 +69,15 @@ type server struct {
 	wg     sync.WaitGroup
 }
 
-// Stats returns a snapshot of the lifetime counters.
+// Stats returns a snapshot of the lifetime counters. Errors is
+// loaded before Requests (the increment paths bump requests first),
+// so Errors <= Requests holds in every snapshot.
 func (s *server) Stats() Stats {
+	errs := s.errors.Load()
 	return Stats{
 		Connections: s.connections.Load(),
 		Requests:    s.requests.Load(),
-		Errors:      s.errors.Load(),
+		Errors:      errs,
 	}
 }
 
@@ -85,13 +88,15 @@ func newServer(name string, log *slog.Logger, timeout time.Duration, h handler) 
 	if timeout <= 0 {
 		timeout = defaultTimeout
 	}
-	return &server{
+	s := &server{
 		name:    name,
 		log:     log.With("server", name),
 		handle:  h,
 		timeout: timeout,
 		conns:   make(map[net.Conn]struct{}),
 	}
+	s.bridgeObs()
+	return s
 }
 
 // Serve accepts connections on ln until Close; it blocks. Each

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that b parses as Prometheus text
+// exposition format (version 0.0.4): every non-comment line is a
+// sample with a valid metric name, a well-formed label block and a
+// float value, and every TYPE comment names a known type. The
+// CI metrics smoke test and the daemon end-to-end tests run every
+// scrape through it, so a malformed exposition fails loudly instead
+// of silently breaking a collector.
+func ValidateExposition(b []byte) error {
+	lines := strings.Split(string(b), "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return fmt.Errorf("obs: line %d: bare comment marker", lineNo)
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 3 || !nameRe.MatchString(fields[2]) {
+					return fmt.Errorf("obs: line %d: malformed HELP", lineNo)
+				}
+			case "TYPE":
+				if len(fields) != 4 || !nameRe.MatchString(fields[2]) {
+					return fmt.Errorf("obs: line %d: malformed TYPE", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("obs: line %d: unknown type %q", lineNo, fields[3])
+				}
+			}
+			continue
+		}
+		name, rest, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		if !nameRe.MatchString(name) {
+			return fmt.Errorf("obs: line %d: invalid metric name %q", lineNo, name)
+		}
+		value := strings.Fields(rest)
+		if len(value) < 1 || len(value) > 2 {
+			return fmt.Errorf("obs: line %d: want value [timestamp], got %q", lineNo, rest)
+		}
+		if _, err := parseValue(value[0]); err != nil {
+			return fmt.Errorf("obs: line %d: bad value %q", lineNo, value[0])
+		}
+		if len(value) == 2 {
+			if _, err := strconv.ParseInt(value[1], 10, 64); err != nil {
+				return fmt.Errorf("obs: line %d: bad timestamp %q", lineNo, value[1])
+			}
+		}
+	}
+	return nil
+}
+
+// splitSample separates "name{labels} value" into name and the rest,
+// validating the label block syntax.
+func splitSample(line string) (name, rest string, err error) {
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if brace == -1 || (space != -1 && space < brace) {
+		if space == -1 {
+			return "", "", fmt.Errorf("sample has no value")
+		}
+		return line[:space], line[space+1:], nil
+	}
+	name = line[:brace]
+	i := brace + 1
+	for {
+		if i >= len(line) {
+			return "", "", fmt.Errorf("unterminated label block")
+		}
+		if line[i] == '}' {
+			break
+		}
+		// label name
+		j := i
+		for j < len(line) && line[j] != '=' {
+			j++
+		}
+		if j >= len(line) || !labelRe.MatchString(line[i:j]) {
+			return "", "", fmt.Errorf("bad label name in %q", line)
+		}
+		i = j + 1
+		if i >= len(line) || line[i] != '"' {
+			return "", "", fmt.Errorf("label value not quoted in %q", line)
+		}
+		i++
+		for i < len(line) && line[i] != '"' {
+			if line[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(line) {
+			return "", "", fmt.Errorf("unterminated label value in %q", line)
+		}
+		i++ // past closing quote
+		if i < len(line) && line[i] == ',' {
+			i++
+		}
+	}
+	rest = strings.TrimPrefix(line[i+1:], " ")
+	if rest == "" {
+		return "", "", fmt.Errorf("sample has no value")
+	}
+	return name, rest, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves the registry in Prometheus text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Server is the daemons' observability listener: /metrics plus the
+// net/http/pprof endpoints under /debug/pprof/, on its own port so
+// profiling traffic never contends with the protocol listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	err chan error
+}
+
+// ListenAndServe binds addr (host:port; :0 picks a free port) and
+// serves the registry in the background. A nil registry serves
+// Default().
+func ListenAndServe(addr string, r *Registry) (*Server, error) {
+	if r == nil {
+		r = Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+		err: make(chan error, 1),
+	}
+	go func() { s.err <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound address (useful with :0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and releases the port.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.err // Serve has returned; the port is released
+	if err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pisa_test_ops_total", "ops processed", nil)
+	c.Inc()
+	c.Add(4)
+	g := r.Gauge("pisa_test_depth", "pool depth", Labels{"pool": "blind"})
+	g.Set(7)
+	g.Add(-2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE pisa_test_ops_total counter",
+		"pisa_test_ops_total 5",
+		"# TYPE pisa_test_depth gauge",
+		`pisa_test_depth{pool="blind"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition([]byte(out)); err != nil {
+		t.Fatalf("own exposition does not validate: %v", err)
+	}
+}
+
+func TestRegistrationIsGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("pisa_test_total", "", nil)
+	b := r.Counter("pisa_test_total", "", nil)
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("aliased counter did not share state")
+	}
+	if r.Counter("pisa_test_total", "", Labels{"k": "v"}) == a {
+		t.Fatal("distinct labels returned the same series")
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pisa_test_total", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge registration over a counter name did not panic")
+		}
+	}()
+	r.Gauge("pisa_test_total", "", nil)
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name accepted")
+		}
+	}()
+	r.Counter("0bad-name", "", nil)
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pisa_test_seconds", "stage latency", Labels{"stage": "blind"}, []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE pisa_test_seconds histogram",
+		`pisa_test_seconds_bucket{stage="blind",le="0.1"} 1`,
+		`pisa_test_seconds_bucket{stage="blind",le="1"} 3`,
+		`pisa_test_seconds_bucket{stage="blind",le="10"} 4`,
+		`pisa_test_seconds_bucket{stage="blind",le="+Inf"} 5`,
+		`pisa_test_seconds_sum{stage="blind"} 56.05`,
+		`pisa_test_seconds_count{stage="blind"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition([]byte(out)); err != nil {
+		t.Fatalf("histogram exposition does not validate: %v", err)
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	var b strings.Builder
+	r := NewRegistry()
+	r.register("x_seconds", "", "histogram", nil, func() metric { return h }, false)
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `x_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("observation at bound not in its bucket:\n%s", b.String())
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	h.ObserveSince(time.Now().Add(-50 * time.Millisecond))
+	if h.Count() != 1 || h.Sum() < 0.05 || h.Sum() > 5 {
+		t.Fatalf("ObserveSince recorded count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestFuncMetricsReplaceAndExpose(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("pisa_test_live", "", nil, func() float64 { return 1.5 })
+	r.CounterFunc("pisa_test_calls_total", "", Labels{"client": "stp"}, func() uint64 { return 42 })
+	// Latest registration wins for callbacks.
+	r.GaugeFunc("pisa_test_live", "", nil, func() float64 { return 2.5 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "pisa_test_live 2.5") {
+		t.Errorf("gauge func not replaced:\n%s", out)
+	}
+	if !strings.Contains(out, `pisa_test_calls_total{client="stp"} 42`) {
+		t.Errorf("counter func missing:\n%s", out)
+	}
+	if err := ValidateExposition([]byte(out)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pisa_test_seconds", "", nil, []float64{0.5})
+	c := r.Counter("pisa_test_total", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.25)
+				c.Inc()
+				// Re-registration from another goroutine must alias.
+				r.Counter("pisa_test_total", "", nil).Inc()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if c.Value() != 16000 {
+		t.Fatalf("counter = %d, want 16000", c.Value())
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("pisa_test_g", "", Labels{"path": `a"b\c`}).Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `pisa_test_g{path="a\"b\\c"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", b.String())
+	}
+	if err := ValidateExposition([]byte(b.String())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateExpositionRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"pisa_test_total",                   // no value
+		"pisa_test_total notanumber",        // bad value
+		`pisa_test{l="unterminated 1`,       // unterminated label
+		"# TYPE pisa_test_total gaugecount", // unknown type
+		"0bad 1",                            // bad name
+		`pisa_test{0bad="v"} 1`,             // bad label name
+	} {
+		if err := ValidateExposition([]byte(bad + "\n")); err == nil {
+			t.Errorf("ValidateExposition accepted %q", bad)
+		}
+	}
+	good := "# HELP a_total help text\n# TYPE a_total counter\na_total 1\na_total 1 1712345678\n"
+	if err := ValidateExposition([]byte(good)); err != nil {
+		t.Errorf("ValidateExposition rejected valid input: %v", err)
+	}
+}
+
+func TestHTTPServerServesMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pisa_test_total", "counts", nil).Add(3)
+	srv, err := ListenAndServe("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "pisa_test_total 3") {
+		t.Fatalf("scrape missing counter:\n%s", body)
+	}
+	if err := ValidateExposition([]byte(body)); err != nil {
+		t.Fatalf("scrape does not validate: %v", err)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}

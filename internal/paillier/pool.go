@@ -3,6 +3,7 @@ package paillier
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 )
 
@@ -26,8 +27,14 @@ type NoncePool struct {
 	target    int // auto-refill high-water mark; 0 disables refills
 	low       int // refill trigger: len < low starts a background refill
 	refilling bool
-	closed    bool  // Close called: no new background refills
-	refillErr error // first background refill failure, surfaced by Get
+	closed    bool // Close called: no new background refills
+
+	// refillErr is the sticky record of the last background refill
+	// failure; it stays readable via RefillErr until SetAutoRefill
+	// re-arms the pool. refillErrPending marks that exactly one Get
+	// still owes the caller that error.
+	refillErr        error
+	refillErrPending bool
 
 	wg sync.WaitGroup // outstanding background refills
 }
@@ -48,7 +55,14 @@ func NewNoncePool(pk *PublicKey, random io.Reader, workers int) *NoncePool {
 // SetAutoRefill arms (target > 0) or disarms (target == 0) background
 // refilling: whenever a Get leaves fewer than target/4 (at least 1)
 // nonces pooled, a background goroutine tops the pool back up to
-// target. Refill failures are remembered and returned by the next Get.
+// target.
+//
+// A refill failure explicitly disarms auto-refill (Get keeps working
+// through pooled stock and online generation): the failure is logged,
+// counted in the obs registry, returned by exactly one Get, and held
+// by RefillErr until this method re-arms the pool — which also clears
+// the sticky error. These are the same semantics as the SDC's
+// blinding pool (pisa.SDC.EnableBlindingAutoRefill).
 func (p *NoncePool) SetAutoRefill(target int) error {
 	if target < 0 {
 		return fmt.Errorf("paillier: negative refill target %d", target)
@@ -63,7 +77,28 @@ func (p *NoncePool) SetAutoRefill(target int) error {
 	if p.low < 1 {
 		p.low = 1
 	}
+	p.refillErr = nil
+	p.refillErrPending = false
 	return nil
+}
+
+// AutoRefillArmed reports whether background refilling is currently
+// armed. A pool that was armed but reports false here hit a refill
+// failure (see RefillErr), was explicitly disarmed, or was closed.
+func (p *NoncePool) AutoRefillArmed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.target > 0
+}
+
+// RefillErr returns the last background refill failure, or nil. The
+// error is sticky: it stays readable until SetAutoRefill re-arms the
+// pool, so callers beyond the one Get that surfaced it can still see
+// the pool is degraded.
+func (p *NoncePool) RefillErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.refillErr
 }
 
 // Fill synchronously adds count nonces to the pool, generating them
@@ -81,6 +116,7 @@ func (p *NoncePool) Fill(count int) error {
 	}
 	p.mu.Lock()
 	p.nonces = append(p.nonces, fresh...)
+	pmetrics().depth.Set(int64(len(p.nonces)))
 	p.mu.Unlock()
 	return nil
 }
@@ -103,11 +139,15 @@ func (p *NoncePool) Len() int {
 // auto-refill is armed and stock dips below the low-water mark, a
 // background refill starts (at most one at a time).
 func (p *NoncePool) Get() (*Nonce, error) {
+	m := pmetrics()
 	p.mu.Lock()
-	if err := p.refillErr; err != nil {
-		p.refillErr = nil
+	if p.refillErrPending {
+		// Surface the background failure to exactly one caller; the
+		// sticky refillErr stays readable via RefillErr.
+		p.refillErrPending = false
+		err := p.refillErr
 		p.mu.Unlock()
-		return nil, err
+		return nil, fmt.Errorf("paillier: background nonce refill: %w", err)
 	}
 	var n *Nonce
 	if last := len(p.nonces) - 1; last >= 0 {
@@ -115,11 +155,13 @@ func (p *NoncePool) Get() (*Nonce, error) {
 		p.nonces[last] = nil
 		p.nonces = p.nonces[:last]
 	}
+	m.depth.Set(int64(len(p.nonces)))
 	p.maybeRefillLocked()
 	p.mu.Unlock()
 	if n != nil {
 		return n, nil
 	}
+	m.fallbacks.Inc()
 	return p.pk.NewNonce(p.random)
 }
 
@@ -135,13 +177,23 @@ func (p *NoncePool) maybeRefillLocked() {
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
+		m := pmetrics()
 		fresh, err := p.pk.NewNonceBatch(p.random, need, workers)
 		p.mu.Lock()
 		p.refilling = false
 		if err != nil {
+			// Explicit disarm: the sticky error and the armed flag
+			// stay observable until SetAutoRefill re-arms.
 			p.refillErr = err
+			p.refillErrPending = true
+			p.target = 0
+			m.refillErrs.Inc()
+			slog.Warn("paillier: background nonce refill failed; auto-refill disarmed",
+				"err", err, "pooled", len(p.nonces))
 		} else {
 			p.nonces = append(p.nonces, fresh...)
+			m.refills.Inc()
+			m.depth.Set(int64(len(p.nonces)))
 		}
 		p.mu.Unlock()
 	}()

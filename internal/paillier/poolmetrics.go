@@ -1,0 +1,40 @@
+package paillier
+
+import (
+	"sync"
+
+	"pisa/internal/obs"
+)
+
+// poolMetrics instruments NoncePool across the process: one depth
+// gauge plus refill/fallback counters shared by every pool instance
+// (a daemon runs one pool; tests that build several share the
+// series).
+type poolMetrics struct {
+	depth      *obs.Gauge
+	refills    *obs.Counter // result="ok"
+	refillErrs *obs.Counter // result="error"
+	fallbacks  *obs.Counter
+}
+
+var (
+	poolMetricsOnce sync.Once
+	poolM           *poolMetrics
+)
+
+func pmetrics() *poolMetrics {
+	poolMetricsOnce.Do(func() {
+		r := obs.Default()
+		poolM = &poolMetrics{
+			depth: r.Gauge("pisa_paillier_nonce_pool_depth",
+				"precomputed rerandomization nonces currently pooled", nil),
+			refills: r.Counter("pisa_paillier_nonce_pool_refills_total",
+				"background nonce-pool refill outcomes", obs.Labels{"result": "ok"}),
+			refillErrs: r.Counter("pisa_paillier_nonce_pool_refills_total",
+				"background nonce-pool refill outcomes", obs.Labels{"result": "error"}),
+			fallbacks: r.Counter("pisa_paillier_nonce_fallbacks_total",
+				"Get calls that generated a nonce online (pool was dry)", nil),
+		}
+	})
+	return poolM
+}

@@ -1,0 +1,86 @@
+package pisa
+
+import (
+	"sync"
+
+	"pisa/internal/obs"
+)
+
+// sdcMetrics is the SDC's instrumentation set, registered once into
+// the process-wide obs registry. The counters and gauges describe the
+// process's SDC role as a whole — a daemon runs exactly one SDC, and
+// tests that construct several simply share the series (get-or-create
+// registration makes that safe).
+//
+// Stage labels follow the paper's pipeline (Figure 5 / eqs. 11-17):
+//
+//	snapshot     budget-entry snapshot + pooled-blinding pop (under s.mu)
+//	aggregate    R~ = X (x) F~, I~ = N~ (-) R~   (eqs. 11-12)
+//	blind        V~ = eps (x) (alpha (x) I~ (-) E(beta))   (eq. 14)
+//	stp_convert  blinded sign-test round-trip to the STP   (eq. 15)
+//	unblind      Q~ = eps (x) X~ (-) 1~ under the SU key   (eq. 16)
+//	license_mask sign + encrypt + eta-mask the license     (eq. 17)
+//	total        ProcessRequest end to end
+type sdcMetrics struct {
+	requests      *obs.Counter
+	requestErrors *obs.Counter
+	stage         map[string]*obs.Histogram
+
+	puUpdate       *obs.Histogram
+	puUpdateErrors *obs.Counter
+	colRebuild     *obs.Histogram
+	colRetries     *obs.Counter
+
+	blindDepth     *obs.Gauge
+	blindRefills   *obs.Counter // result="ok"
+	blindRefillErr *obs.Counter // result="error"
+	blindFallbacks *obs.Counter
+}
+
+// requestStages enumerates the per-stage histogram labels in pipeline
+// order.
+var requestStages = []string{
+	"snapshot", "aggregate", "blind", "stp_convert", "unblind", "license_mask", "total",
+}
+
+var (
+	sdcMetricsOnce sync.Once
+	sdcM           *sdcMetrics
+)
+
+// metrics lazily builds the shared SDC metric set.
+func metrics() *sdcMetrics {
+	sdcMetricsOnce.Do(func() {
+		r := obs.Default()
+		m := &sdcMetrics{
+			requests: r.Counter("pisa_sdc_requests_total",
+				"SU transmission requests processed by the SDC", nil),
+			requestErrors: r.Counter("pisa_sdc_request_errors_total",
+				"SU transmission requests that failed", nil),
+			stage: make(map[string]*obs.Histogram, len(requestStages)),
+			puUpdate: r.Histogram("pisa_sdc_pu_update_seconds",
+				"PU channel-reception update handling (validate + register + journal + rebuild)", nil, nil),
+			puUpdateErrors: r.Counter("pisa_sdc_pu_update_errors_total",
+				"PU updates rejected or rolled back", nil),
+			colRebuild: r.Histogram("pisa_sdc_column_rebuild_seconds",
+				"one encrypted budget-column recomputation pass (eqs. 9-10)", nil, nil),
+			colRetries: r.Counter("pisa_sdc_column_rebuild_retries_total",
+				"column rebuild passes discarded because a newer update raced in", nil),
+			blindDepth: r.Gauge("pisa_sdc_blind_pool_depth",
+				"precomputed blinding tuples currently pooled", nil),
+			blindRefills: r.Counter("pisa_sdc_blind_pool_refills_total",
+				"background blinding-pool refill outcomes", obs.Labels{"result": "ok"}),
+			blindRefillErr: r.Counter("pisa_sdc_blind_pool_refills_total",
+				"background blinding-pool refill outcomes", obs.Labels{"result": "error"}),
+			blindFallbacks: r.Counter("pisa_sdc_blind_fallbacks_total",
+				"request cells that generated blinding factors online (pool was dry)", nil),
+		}
+		for _, s := range requestStages {
+			m.stage[s] = r.Histogram("pisa_sdc_request_stage_seconds",
+				"per-stage SU request processing time (Figure 5, eqs. 11-17)",
+				obs.Labels{"stage": s}, nil)
+		}
+		sdcM = m
+	})
+	return sdcM
+}

@@ -5,6 +5,7 @@ import (
 	"crypto/rsa"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/big"
 	"sync"
 	"time"
@@ -55,9 +56,16 @@ type SDC struct {
 	blindTarget    int            // auto-refill high-water mark; 0 disarms
 	blindLow       int            // refill trigger
 	blindRefilling bool
-	blindClosed    bool           // Close called: no new background refills
-	blindErr       error          // first background refill failure
-	blindWG        sync.WaitGroup // outstanding background refills
+	blindClosed    bool // Close called: no new background refills
+	// blindErr is the last background refill failure. It is sticky:
+	// it stays readable via BlindingRefillErr until
+	// EnableBlindingAutoRefill re-arms the pool, so every caller — not
+	// just the first — can tell the pool is degraded. blindErrPending
+	// additionally surfaces the failure through exactly one
+	// ProcessRequest error.
+	blindErr        error
+	blindErrPending bool
+	blindWG         sync.WaitGroup // outstanding background refills
 }
 
 // blindFactors is one precomputed (alpha, E(beta), epsilon) tuple for
@@ -214,7 +222,15 @@ func (s *SDC) EColumn(b geo.BlockID) ([]int64, error) {
 // C homomorphic additions, about 2.6 s at paper scale). The
 // encryptions and folds run outside the state lock on the worker
 // pool, so updates overlap with concurrent SU requests.
-func (s *SDC) HandlePUUpdate(u *PUUpdate) error {
+func (s *SDC) HandlePUUpdate(u *PUUpdate) (err error) {
+	m := metrics()
+	start := time.Now()
+	defer func() {
+		m.puUpdate.ObserveSince(start)
+		if err != nil {
+			m.puUpdateErrors.Inc()
+		}
+	}()
 	if err := s.validateUpdate(u); err != nil {
 		return err
 	}
@@ -313,8 +329,10 @@ func (s *SDC) SetUpdateJournal(fn func(*PUUpdate) error) {
 // the column version), the stale column is discarded and recomputed
 // from a fresh snapshot.
 func (s *SDC) rebuildColumn(b geo.BlockID) error {
+	m := metrics()
 	channels := s.params.Watch.Channels
 	for {
+		passStart := time.Now()
 		s.mu.Lock()
 		ver := s.colVer[b]
 		// Ciphertexts are immutable once stored, so snapshotting the
@@ -355,6 +373,8 @@ func (s *SDC) rebuildColumn(b geo.BlockID) error {
 			// A newer update landed while we computed; retry with a
 			// fresh snapshot so its ciphertexts are folded in.
 			s.mu.Unlock()
+			m.colRebuild.ObserveSince(passStart)
+			m.colRetries.Inc()
 			continue
 		}
 		for c, ct := range col {
@@ -364,6 +384,7 @@ func (s *SDC) rebuildColumn(b geo.BlockID) error {
 			}
 		}
 		s.mu.Unlock()
+		m.colRebuild.ObserveSince(passStart)
 		return nil
 	}
 }
@@ -385,7 +406,21 @@ type requestCell struct {
 // work (eqs. 11, 12, 14), the STP round-trip, and the unblinding
 // (eq. 16) all run without holding s.mu, so concurrent SU requests
 // genuinely overlap.
-func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
+//
+// Every stage reports its latency into the shared obs registry
+// (pisa_sdc_request_stage_seconds; see metrics.go for the stage
+// vocabulary), which is how a live deployment sees the paper's §VI
+// per-stage budget instead of re-running a benchmark.
+func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err error) {
+	m := metrics()
+	m.requests.Inc()
+	start := time.Now()
+	defer func() {
+		m.stage["total"].ObserveSince(start)
+		if err != nil {
+			m.requestErrors.Inc()
+		}
+	}()
 	if req == nil || req.F == nil {
 		return nil, fmt.Errorf("pisa: nil request")
 	}
@@ -412,9 +447,15 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
 	// entries for every populated request cell and pop as many pooled
 	// blinding tuples as available, newest first — the same
 	// consumption order as the pre-parallel per-cell pops.
+	stageStart := time.Now()
 	s.mu.Lock()
-	if err := s.blindErr; err != nil {
-		s.blindErr = nil
+	if s.blindErrPending {
+		// A background refill failed since the last request: surface
+		// it to exactly one caller. The sticky copy stays readable via
+		// BlindingRefillErr (and the disarm via
+		// BlindingAutoRefillArmed) until the pool is re-armed.
+		s.blindErrPending = false
+		err := s.blindErr
 		s.mu.Unlock()
 		return nil, fmt.Errorf("pisa: background blinding refill: %w", err)
 	}
@@ -436,25 +477,20 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
 	if err == nil {
 		s.maybeRefillBlindingLocked()
 	}
+	m.blindDepth.Set(int64(len(s.blindPool)))
 	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
+	m.stage["snapshot"].ObserveSince(stageStart)
 
-	// Steps 3-5 on the worker pool: R~ = X (x) F~, I~ = N~ (-) R~,
-	// blind into V~ (eqs. 11, 12, 14). Cells without a pooled tuple
-	// generate blinding factors on the fly (one extra encryption).
+	// Steps 3-4 on the worker pool: R~ = X (x) F~, I~ = N~ (-) R~
+	// (eqs. 11-12) — the budget aggregation.
+	stageStart = time.Now()
 	deltaX := big.NewInt(w.DeltaInt)
-	vs := make([]*paillier.Ciphertext, len(cells))
+	is := make([]*paillier.Ciphertext, len(cells))
 	err = parallel.For(s.workers, len(cells), func(k int) error {
 		cell := &cells[k]
-		if cell.bf.alpha == nil {
-			bf, err := s.newBlindFactors()
-			if err != nil {
-				return fmt.Errorf("blind (%d, %d): %w", cell.c, cell.b, err)
-			}
-			cell.bf = bf
-		}
 		r, err := s.group.ScalarMul(deltaX, cell.f) // eq. 11
 		if err != nil {
 			return fmt.Errorf("scale F(%d, %d): %w", cell.c, cell.b, err)
@@ -463,7 +499,30 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
 		if err != nil {
 			return fmt.Errorf("budget at (%d, %d): %w", cell.c, cell.b, err)
 		}
-		v, err := s.blindWith(i, cell.bf) // eq. 14
+		is[k] = i
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.stage["aggregate"].ObserveSince(stageStart)
+
+	// Step 5: blind into V~ (eq. 14). Cells without a pooled tuple
+	// generate blinding factors on the fly (one extra encryption,
+	// counted as a pool fallback).
+	stageStart = time.Now()
+	vs := make([]*paillier.Ciphertext, len(cells))
+	err = parallel.For(s.workers, len(cells), func(k int) error {
+		cell := &cells[k]
+		if cell.bf.alpha == nil {
+			m.blindFallbacks.Inc()
+			bf, err := s.newBlindFactors()
+			if err != nil {
+				return fmt.Errorf("blind (%d, %d): %w", cell.c, cell.b, err)
+			}
+			cell.bf = bf
+		}
+		v, err := s.blindWith(is[k], cell.bf) // eq. 14
 		if err != nil {
 			return fmt.Errorf("blind (%d, %d): %w", cell.c, cell.b, err)
 		}
@@ -473,8 +532,10 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.stage["blind"].ObserveSince(stageStart)
 
 	// Steps 6-8 happen at the STP.
+	stageStart = time.Now()
 	signResp, err := s.stp.ConvertSigns(&SignRequest{SUID: req.SUID, V: vs})
 	if err != nil {
 		return nil, fmt.Errorf("pisa: STP conversion: %w", err)
@@ -482,11 +543,13 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
 	if len(signResp.X) != len(cells) {
 		return nil, fmt.Errorf("pisa: STP returned %d signs, want %d", len(signResp.X), len(cells))
 	}
+	m.stage["stp_convert"].ObserveSince(stageStart)
 
 	// Step 9: Q~ = eps (x) X~ (-) 1~ under the SU key (eq. 16).
 	// The epsilon scalar-muls are independent and fan out; the final
 	// sum is a cheap modular-multiplication fold (commutative, so the
 	// fold order cannot change the result): sum(Q) = sum(eps*X) - count.
+	stageStart = time.Now()
 	unblinded := make([]*paillier.Ciphertext, len(cells))
 	err = parallel.For(s.workers, len(cells), func(k int) error {
 		u, err := suKey.ScalarMul(big.NewInt(cells[k].bf.eps), signResp.X[k])
@@ -513,9 +576,11 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pisa: offset Q sum: %w", err)
 	}
+	m.stage["unblind"].ObserveSince(stageStart)
 
 	// Steps 10-11: sign the license, encrypt under the SU key, mask
 	// with eta (x) sum(Q~) (eq. 17).
+	stageStart = time.Now()
 	digest, err := req.Digest()
 	if err != nil {
 		return nil, err
@@ -555,6 +620,7 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (*Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pisa: mask signature: %w", err)
 	}
+	m.stage["license_mask"].ObserveSince(stageStart)
 	return &Response{License: lic, MaskedSig: masked}, nil
 }
 
@@ -624,6 +690,7 @@ func (s *SDC) PrecomputeBlinding(count int) error {
 	}
 	s.mu.Lock()
 	s.blindPool = append(s.blindPool, fresh...)
+	metrics().blindDepth.Set(int64(len(s.blindPool)))
 	s.mu.Unlock()
 	return nil
 }
@@ -632,9 +699,14 @@ func (s *SDC) PrecomputeBlinding(count int) error {
 // background refilling of the blinding pool: whenever request
 // processing leaves fewer than target/4 (at least 1) tuples, a
 // background goroutine tops the pool back up to target instead of
-// letting later requests fall back to online generation. A refill
-// failure disarms auto-refill and is reported by the next
-// ProcessRequest.
+// letting later requests fall back to online generation.
+//
+// A refill failure explicitly disarms auto-refill (the pool keeps
+// serving via online fallback): the failure is logged, counted in the
+// obs registry, surfaced by one ProcessRequest error, and held by
+// BlindingRefillErr until this method re-arms the pool — which also
+// clears the sticky error. The same semantics govern
+// paillier.NoncePool.
 func (s *SDC) EnableBlindingAutoRefill(target int) error {
 	if target < 0 {
 		return fmt.Errorf("pisa: negative blinding target %d", target)
@@ -649,7 +721,29 @@ func (s *SDC) EnableBlindingAutoRefill(target int) error {
 	if s.blindLow < 1 {
 		s.blindLow = 1
 	}
+	s.blindErr = nil
+	s.blindErrPending = false
 	return nil
+}
+
+// BlindingAutoRefillArmed reports whether background refilling is
+// currently armed. A pool that was armed but reports false here hit a
+// refill failure (see BlindingRefillErr) or was explicitly disarmed.
+func (s *SDC) BlindingAutoRefillArmed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blindTarget > 0
+}
+
+// BlindingRefillErr returns the last background refill failure, or
+// nil. The error is sticky: it stays readable until
+// EnableBlindingAutoRefill re-arms the pool, so callers beyond the
+// one ProcessRequest that surfaced it can still see the pool is
+// degraded.
+func (s *SDC) BlindingRefillErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blindErr
 }
 
 // maybeRefillBlindingLocked starts one background refill when armed
@@ -663,14 +757,23 @@ func (s *SDC) maybeRefillBlindingLocked() {
 	s.blindWG.Add(1)
 	go func() {
 		defer s.blindWG.Done()
+		m := metrics()
 		fresh, err := s.newBlindFactorsBatch(need)
 		s.mu.Lock()
 		s.blindRefilling = false
 		if err != nil {
+			// Explicit disarm: the sticky error and the armed flag
+			// stay observable until EnableBlindingAutoRefill re-arms.
 			s.blindErr = err
+			s.blindErrPending = true
 			s.blindTarget = 0
+			m.blindRefillErr.Inc()
+			slog.Warn("pisa: background blinding refill failed; auto-refill disarmed",
+				"err", err, "pooled", len(s.blindPool))
 		} else {
 			s.blindPool = append(s.blindPool, fresh...)
+			m.blindRefills.Inc()
+			m.blindDepth.Set(int64(len(s.blindPool)))
 		}
 		s.mu.Unlock()
 	}()

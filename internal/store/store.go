@@ -297,6 +297,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.syncDone = make(chan struct{})
 		go s.syncLoop()
 	}
+	s.bridgeObs()
 	return s, nil
 }
 
@@ -343,7 +344,14 @@ func (s *Store) Tail() []Record {
 // FsyncAlways the record is durable when Append returns; under the
 // other policies durability lags by at most the sync interval (or the
 // life of the page cache).
-func (s *Store) Append(t RecordType, payload []byte) (uint64, error) {
+func (s *Store) Append(t RecordType, payload []byte) (idx uint64, err error) {
+	m := smetrics()
+	defer m.appendSeconds.ObserveSince(time.Now())
+	defer func() {
+		if err != nil {
+			m.appendErrs.Inc()
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -369,10 +377,14 @@ func (s *Store) Append(t RecordType, payload []byte) (uint64, error) {
 	}
 	s.lastIndex++
 	s.activeBytes += int64(len(frame))
+	m.appendBytes.Add(uint64(len(frame)))
 	if s.opts.Fsync == FsyncAlways {
+		t0 := time.Now()
 		if err := s.f.Sync(); err != nil {
+			m.fsyncErrs.Inc()
 			return 0, fmt.Errorf("store: fsync: %w", err)
 		}
+		m.fsyncSeconds.ObserveSince(t0)
 	} else {
 		s.dirty = true
 	}
@@ -398,7 +410,16 @@ func (s *Store) rotateLocked() error {
 // are superseded and deleted, and a fresh segment is started. The
 // caller must pass state that reflects at least every acknowledged
 // append (ExportState called after the last Append does).
-func (s *Store) SaveSnapshot(state []byte) error {
+func (s *Store) SaveSnapshot(state []byte) (err error) {
+	m := smetrics()
+	defer m.snapSeconds.ObserveSince(time.Now())
+	defer func() {
+		if err != nil {
+			m.snapErrs.Inc()
+		} else {
+			m.snapBytes.Set(int64(len(state)))
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -464,10 +485,14 @@ func (s *Store) syncLocked() error {
 	if s.closed || s.f == nil || !s.dirty {
 		return s.syncErr
 	}
+	m := smetrics()
+	t0 := time.Now()
 	if err := s.f.Sync(); err != nil {
+		m.fsyncErrs.Inc()
 		s.syncErr = err
 		return err
 	}
+	m.fsyncSeconds.ObserveSince(t0)
 	s.dirty = false
 	return nil
 }

@@ -262,12 +262,24 @@ func (c *Conn) ctxErr(ctx context.Context, err error) error {
 // watchCancel closes the connection if the context is cancelled
 // before the returned stop function runs, so a cancelled caller never
 // stays blocked in a read or write.
+//
+// stop blocks until the watcher goroutine has exited. Without the
+// wait, a caller that cancels its context right after a successful
+// call (the usual `defer cancel()` of a per-attempt timeout) races
+// the watcher: by the time the goroutine wakes, both channels are
+// ready and select picks one at random, so ~half the time it closes
+// a perfectly healthy connection that the pool may already have
+// handed to the next call — which then dies mid-exchange with "use
+// of closed network connection". Because stop runs before the caller
+// cancels, waiting here guarantees the watcher saw only finished.
 func (c *Conn) watchCancel(ctx context.Context) (stop func()) {
 	if ctx.Done() == nil {
 		return func() {}
 	}
 	finished := make(chan struct{})
+	exited := make(chan struct{})
 	go func() {
+		defer close(exited)
 		select {
 		case <-ctx.Done():
 			c.dead.Store(true)
@@ -276,7 +288,10 @@ func (c *Conn) watchCancel(ctx context.Context) (stop func()) {
 		}
 	}()
 	var once sync.Once
-	return func() { once.Do(func() { close(finished) }) }
+	return func() {
+		once.Do(func() { close(finished) })
+		<-exited
+	}
 }
 
 // Dead reports whether a cancellation closed the connection mid-call.

@@ -7,6 +7,8 @@ import (
 	"encoding/gob"
 	"errors"
 	"net"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -205,6 +207,73 @@ func TestCallContextCancelClosesConn(t *testing.T) {
 	}
 	if !a.Dead() {
 		t.Fatal("cancel-closed conn not marked dead (unsafe to reuse)")
+	}
+}
+
+// scriptedConn is a net.Conn whose reads serve a pre-encoded reply
+// and whose writes always succeed, both without ever blocking — so a
+// CallContext over it completes without a single scheduling point.
+// That starves the cancellation watcher of CPU until after the call
+// returns, which is exactly the interleaving the stop barrier must
+// survive.
+type scriptedConn struct {
+	replies bytes.Buffer
+	closed  atomic.Bool
+}
+
+func (c *scriptedConn) Read(p []byte) (int, error) {
+	if c.closed.Load() {
+		return 0, net.ErrClosed
+	}
+	return c.replies.Read(p)
+}
+
+func (c *scriptedConn) Write(p []byte) (int, error) {
+	if c.closed.Load() {
+		return 0, net.ErrClosed
+	}
+	return len(p), nil
+}
+
+func (c *scriptedConn) Close() error                     { c.closed.Store(true); return nil }
+func (c *scriptedConn) LocalAddr() net.Addr              { return nil }
+func (c *scriptedConn) RemoteAddr() net.Addr             { return nil }
+func (c *scriptedConn) SetDeadline(time.Time) error      { return nil }
+func (c *scriptedConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *scriptedConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestCancelAfterCallDoesNotKillConn pins the watchCancel stop
+// barrier: cancelling the per-call context immediately after a
+// successful CallContext (the standard `defer cancel()` of an
+// attempt timeout) must never close the connection, which a pool may
+// already have handed to the next caller.
+//
+// GOMAXPROCS(1) plus the non-blocking scriptedConn keep the watcher
+// goroutine unscheduled for the whole call, so without the barrier
+// it reaches its select only after both finished and ctx.Done are
+// ready — a ready-ready select picks uniformly at random and closes
+// the healthy connection about half the time (observed in the field
+// as sporadic "use of closed network connection" on pooled RPC
+// conns). With the barrier, stop returns only after the watcher has
+// committed to the finished branch, so no iteration may fail.
+func TestCancelAfterCallDoesNotKillConn(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	for i := 0; i < 100; i++ {
+		sc := &scriptedConn{}
+		if err := gob.NewEncoder(&sc.replies).Encode(&Envelope{Kind: KindAck}); err != nil {
+			t.Fatal(err)
+		}
+		c := NewConn(sc, 2*time.Second)
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err := c.CallContext(ctx, &Envelope{Kind: KindRegisterSU}, KindAck)
+		cancel() // fires after stop(); must not race a conn close
+		if err != nil {
+			t.Fatalf("iteration %d: scripted call failed: %v", i, err)
+		}
+		runtime.Gosched() // give a stale watcher, if any survived, the CPU
+		if c.Dead() || sc.closed.Load() {
+			t.Fatalf("iteration %d: cancel after a successful call killed the conn", i)
+		}
 	}
 }
 
