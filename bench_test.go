@@ -190,11 +190,21 @@ func BenchmarkFigure6_RequestRefresh(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k := 0
-		err := req.F.ForEach(func(c, bl int, ct *paillier.Ciphertext) error {
+		rerand := func(ct *paillier.Ciphertext) error {
 			_, err := group.RerandomizeWith(ct, nonces[k%len(nonces)])
 			k++
 			return err
-		})
+		}
+		var err error
+		if req.FP != nil {
+			err = req.FP.ForEachGroup(func(c, g int, ct *paillier.Ciphertext) error {
+				return rerand(ct)
+			})
+		} else {
+			err = req.F.ForEach(func(c, bl int, ct *paillier.Ciphertext) error {
+				return rerand(ct)
+			})
+		}
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -211,7 +221,7 @@ func BenchmarkFigure6_ProcessRequest(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := u.SDC.PrecomputeBlinding(req.F.Populated() * b.N); err != nil {
+	if err := u.SDC.PrecomputeBlinding(req.Ciphertexts() * b.N); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
@@ -264,7 +274,7 @@ func BenchmarkParallel_ProcessRequest(b *testing.B) {
 	for _, w := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			u.SetParallelism(w)
-			if err := u.SDC.PrecomputeBlinding(req.F.Populated() * b.N); err != nil {
+			if err := u.SDC.PrecomputeBlinding(req.Ciphertexts() * b.N); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()

@@ -17,7 +17,7 @@
 //
 //	sdcd [-config pisa.json] [-listen host:port] [-stp host:port,host:port]
 //	     [-issuer name] [-store dir] [-snapshot-on-exit=true]
-//	     [-metrics host:port]
+//	     [-metrics host:port] [-packing=false] [-stp-batch-window ms]
 //
 // With -metrics (or an obs.metricsAddr in the config) the daemon
 // serves Prometheus metrics on /metrics and the net/http/pprof
@@ -60,6 +60,8 @@ func run(args []string) error {
 	storeDir := fs.String("store", "", "state directory for WAL + snapshots (overrides config store.dir; empty = in-memory)")
 	snapOnExit := fs.Bool("snapshot-on-exit", true, "take a final snapshot during graceful shutdown")
 	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof on this address (overrides config obs.metricsAddr; empty = disabled)")
+	packing := fs.Bool("packing", true, "slot-packed ciphertexts (-packing=off via config or flag falls back to one cell per ciphertext; must match the deployment's SUs)")
+	stpBatchMS := fs.Int("stp-batch-window", -1, "coalesce concurrent sign tests into batched STP calls, waiting up to this many ms for companions (-1 = use config, 0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +69,18 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Flags override the config only when set explicitly, so a config
+	// file's "packing": false survives a default flag value.
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "packing":
+			cfg.Packing = *packing
+		case "stp-batch-window":
+			if *stpBatchMS >= 0 {
+				cfg.STPBatchWindowMS = *stpBatchMS
+			}
+		}
+	})
 	addr := cfg.SDCAddr
 	if *listen != "" {
 		addr = *listen

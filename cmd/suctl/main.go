@@ -116,7 +116,7 @@ func run(args []string) error {
 	}
 	prep := time.Since(prepStart)
 	fmt.Printf("request prepared in %v (%d ciphertexts, %.2f MB)\n",
-		prep.Round(time.Millisecond), req.F.Populated(),
+		prep.Round(time.Millisecond), req.Ciphertexts(),
 		float64(req.SizeBytes())/(1<<20))
 
 	verifyKey, err := sdc.VerifyKey()

@@ -196,7 +196,7 @@ func run(artifacts string) error {
 	sim.Record(520*time.Microsecond, "su2", "sdc", "transmission request")
 	sim.Record(540*time.Microsecond, "sdc", "su1,su2", "ack: requests received")
 	fmt.Printf("  SU1 and SU2 -> SDC: requests (%d ciphertexts each); SDC -> SUs: ack\n\n",
-		req1.F.Populated())
+		req1.Ciphertexts())
 
 	// ---- Scenario 4: the SDC decides; the winner transmits. ----
 	fmt.Println("Scenario 4 (Figure 9): selective grant and the packet train")

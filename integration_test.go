@@ -332,6 +332,16 @@ func TestSTPFailoverUnderLoad(t *testing.T) {
 // recovered controller to be indistinguishable from the control:
 // identical public E columns, identical decrypted budget matrix, and
 // identical SU decisions.
+// decryptBudgets opens an SDC's budget matrix in whichever layout the
+// deployment runs — slot-packed (the default) or one ciphertext per
+// cell — so the recovery comparison below is layout-agnostic.
+func decryptBudgets(sk *paillier.PrivateKey, sdc *pisa.SDC) (*matrix.Int, error) {
+	if sdc.Packed() {
+		return matrix.DecryptPacked(sk, sdc.PackedBudgetSnapshot())
+	}
+	return matrix.Decrypt(sk, sdc.BudgetSnapshot())
+}
+
 func TestRestartRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full recovery cycle with real crypto")
@@ -511,11 +521,11 @@ func TestRestartRecovery(t *testing.T) {
 			}
 		}
 	}
-	wantBudgets, err := matrix.Decrypt(sk, control.BudgetSnapshot())
+	wantBudgets, err := decryptBudgets(sk, control)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotBudgets, err := matrix.Decrypt(sk, restored.BudgetSnapshot())
+	gotBudgets, err := decryptBudgets(sk, restored)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,8 +48,16 @@ func TestUniverseFigure6(t *testing.T) {
 	if stats.Channels != 2 || stats.Blocks != 6 {
 		t.Errorf("scale recorded wrong: %+v", stats)
 	}
-	if stats.RequestBytes != 2*6*stats.CiphertextBytes {
-		t.Errorf("request bytes %d, want %d", stats.RequestBytes, 2*6*stats.CiphertextBytes)
+	// The default layout is slot-packed: runs of PackSlots block
+	// cells share one ciphertext, so the request carries
+	// channels x ceil(blocks/k) ciphertexts instead of channels x blocks.
+	k := params.PackSlots()
+	if k < 2 {
+		t.Fatalf("test geometry packs %d slots, want >= 2 to exercise the packed layout", k)
+	}
+	groups := (6 + k - 1) / k
+	if stats.RequestBytes != 2*groups*stats.CiphertextBytes {
+		t.Errorf("request bytes %d, want %d (k=%d)", stats.RequestBytes, 2*groups*stats.CiphertextBytes, k)
 	}
 	if stats.UpdateBytes != 2*stats.CiphertextBytes {
 		t.Errorf("update bytes %d, want %d", stats.UpdateBytes, 2*stats.CiphertextBytes)

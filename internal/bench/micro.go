@@ -51,6 +51,12 @@ type MicroReport struct {
 	// Speedup maps op -> legacy-ns / engine-ns for the ops the engine
 	// accelerates.
 	Speedup map[string]float64 `json:"speedup"`
+	// Packing, when present, compares the slot-packed request layout
+	// against the legacy one-cell-per-ciphertext layout end to end.
+	Packing *PackingReport `json:"packing,omitempty"`
+	// Convert, when present, compares batched vs sequential sign-test
+	// RPCs over a loopback STP server.
+	Convert *ConvertReport `json:"convert,omitempty"`
 }
 
 // measureOp times iters runs of op and samples the allocation rate.

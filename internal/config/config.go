@@ -109,6 +109,23 @@ type File struct {
 	// 256 = 2·λ at 112-bit security).
 	ShortExpBits int `json:"shortExpBits,omitempty"`
 
+	// Packing enables slot-packed ciphertexts (k block cells per
+	// Paillier plaintext; pisa.Params.Packing). On by default — Load
+	// starts from Default(), so only an explicit "packing": false
+	// selects the legacy one-cell-per-ciphertext layout. Unlike
+	// FastExp this is NOT a local runtime knob: the SDC, SUs and STP
+	// of one deployment must agree on it (and durable SDC state is
+	// bound to the layout it was written with).
+	Packing bool `json:"packing"`
+
+	// STPBatchWindowMS, when positive, makes the SDC coalesce
+	// concurrent sign tests into batched STP calls: the first request
+	// in an empty queue waits up to this long for companions. 0 (the
+	// default) keeps one RPC per request.
+	STPBatchWindowMS int `json:"stpBatchWindowMS,omitempty"`
+	// STPBatchMax caps the coalesced batch size (0 = pisa default, 16).
+	STPBatchMax int `json:"stpBatchMax,omitempty"`
+
 	// Network addresses. STPAddrs lists additional equivalent STP
 	// replicas (same group key, shared SU registry) that clients fail
 	// over to when STPAddr stops answering.
@@ -299,6 +316,7 @@ func Default() File {
 		EtaBits:         64,
 		SignerBits:      512,
 		FastExp:         true,
+		Packing:         true,
 		SDCAddr:         "127.0.0.1:7410",
 		STPAddr:         "127.0.0.1:7411",
 		// Durability stays off until a state directory is configured
@@ -392,18 +410,24 @@ func (f File) PisaParams() (pisa.Params, error) {
 	if err != nil {
 		return pisa.Params{}, err
 	}
+	if f.STPBatchWindowMS < 0 || f.STPBatchMax < 0 {
+		return pisa.Params{}, fmt.Errorf("config: stp batch values must be non-negative")
+	}
 	p := pisa.Params{
-		Watch:         wp,
-		PaillierBits:  f.PaillierBits,
-		PlaintextBits: f.PlaintextBits,
-		AlphaBits:     f.AlphaBits,
-		BetaBits:      f.BetaBits,
-		EtaBits:       f.EtaBits,
-		SignerBits:    f.SignerBits,
-		Parallelism:   f.Parallelism,
-		FastExp:       f.FastExp,
-		FastExpWindow: f.FastExpWindow,
-		ShortExpBits:  f.ShortExpBits,
+		Watch:          wp,
+		PaillierBits:   f.PaillierBits,
+		PlaintextBits:  f.PlaintextBits,
+		AlphaBits:      f.AlphaBits,
+		BetaBits:       f.BetaBits,
+		EtaBits:        f.EtaBits,
+		SignerBits:     f.SignerBits,
+		Parallelism:    f.Parallelism,
+		FastExp:        f.FastExp,
+		FastExpWindow:  f.FastExpWindow,
+		ShortExpBits:   f.ShortExpBits,
+		Packing:        f.Packing,
+		STPBatchWindow: time.Duration(f.STPBatchWindowMS) * time.Millisecond,
+		STPBatchMax:    f.STPBatchMax,
 	}
 	return p, p.Validate()
 }

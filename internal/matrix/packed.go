@@ -1,0 +1,468 @@
+package matrix
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/big"
+	"sync/atomic"
+
+	"pisa/internal/paillier"
+	"pisa/internal/parallel"
+)
+
+// Packed is the slot-packed variant of Enc: along the block axis,
+// every run of k consecutive blocks shares one ciphertext, with block
+// b living in slot b mod k of group b / k (k = codec.Slots()). The
+// matrix therefore holds C x ceil(B/k) ciphertexts instead of C x B —
+// the ~k-fold shrink of request, WAL and snapshot sizes that packing
+// is for.
+//
+// The trailing group of a row usually has padding slots (blocks is
+// rarely a multiple of k); their plaintext value is chosen by the
+// producer (PackEncryptInts' pad argument) so that the protocol's
+// slot-wise operations keep padding inert — PISA packs 1 into budget
+// padding (always-positive indicator) and 0 into request padding.
+//
+// Group entries may be nil for "not shipped", mirroring Enc's
+// partial-disclosure semantics at group granularity.
+type Packed struct {
+	channels, blocks int
+	codec            *paillier.SlotCodec
+	groups           int // ceil(blocks / codec.Slots())
+	key              *paillier.PublicKey
+	data             []*paillier.Ciphertext // row-major: data[c*groups + g]
+	populated        int                    // non-nil groups, kept incrementally
+	workers          int
+}
+
+// NewPacked allocates a packed matrix with all groups nil.
+func NewPacked(key *paillier.PublicKey, codec *paillier.SlotCodec, channels, blocks int) (*Packed, error) {
+	if channels <= 0 || blocks <= 0 {
+		return nil, fmt.Errorf("matrix: dimensions must be positive, got %dx%d", channels, blocks)
+	}
+	if key == nil {
+		return nil, fmt.Errorf("matrix: nil public key")
+	}
+	if codec == nil {
+		return nil, fmt.Errorf("matrix: nil slot codec")
+	}
+	if err := codec.CheckKey(key); err != nil {
+		return nil, err
+	}
+	groups := (blocks + codec.Slots() - 1) / codec.Slots()
+	return &Packed{
+		channels: channels,
+		blocks:   blocks,
+		codec:    codec,
+		groups:   groups,
+		key:      key,
+		data:     make([]*paillier.Ciphertext, channels*groups),
+	}, nil
+}
+
+// PackEncryptInts packs and encrypts every row of m into groups of
+// codec.Slots() blocks, with up to workers goroutines. Padding slots
+// past the last block encrypt pad.
+func PackEncryptInts(random io.Reader, key *paillier.PublicKey, codec *paillier.SlotCodec,
+	m *Int, pad int64, workers int) (*Packed, error) {
+	out, err := NewPacked(key, codec, m.channels, m.blocks)
+	if err != nil {
+		return nil, err
+	}
+	out.workers = workers
+	if workers > 1 {
+		random = paillier.SharedReader(random)
+	}
+	k := codec.Slots()
+	err = parallel.For(workers, len(out.data), func(i int) error {
+		c, g := i/out.groups, i%out.groups
+		vals := make([]*big.Int, k)
+		for s := 0; s < k; s++ {
+			b := g*k + s
+			if b < m.blocks {
+				vals[s] = big.NewInt(m.data[c*m.blocks+b])
+			} else {
+				vals[s] = big.NewInt(pad)
+			}
+		}
+		ct, err := key.PackEncrypt(random, codec, vals)
+		if err != nil {
+			return fmt.Errorf("pack-encrypt group (%d, %d): %w", c, g, err)
+		}
+		out.data[i] = ct
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.populated = len(out.data)
+	return out, nil
+}
+
+// Channels returns C.
+func (p *Packed) Channels() int { return p.channels }
+
+// Blocks returns B (the logical block count, not the group count).
+func (p *Packed) Blocks() int { return p.blocks }
+
+// Groups returns the number of ciphertext groups per channel row.
+func (p *Packed) Groups() int { return p.groups }
+
+// Slots returns the codec's blocks-per-ciphertext count k.
+func (p *Packed) Slots() int { return p.codec.Slots() }
+
+// Codec returns the slot codec.
+func (p *Packed) Codec() *paillier.SlotCodec { return p.codec }
+
+// Key returns the public key the groups are encrypted under.
+func (p *Packed) Key() *paillier.PublicKey { return p.key }
+
+// SetWorkers sets the worker count for group-wise operations.
+func (p *Packed) SetWorkers(workers int) { p.workers = workers }
+
+// Workers reports the configured worker count.
+func (p *Packed) Workers() int { return p.workers }
+
+// GroupOf returns the group index covering block b.
+func (p *Packed) GroupOf(b int) int { return b / p.codec.Slots() }
+
+// SlotOf returns the slot index of block b within its group.
+func (p *Packed) SlotOf(b int) int { return b % p.codec.Slots() }
+
+func (p *Packed) idx(c, g int) (int, error) {
+	if c < 0 || c >= p.channels || g < 0 || g >= p.groups {
+		return 0, fmt.Errorf("matrix: group index (%d, %d) outside %dx%d", c, g, p.channels, p.groups)
+	}
+	return c*p.groups + g, nil
+}
+
+// GroupAt returns the group ciphertext at (channel, group); nil if
+// never populated.
+func (p *Packed) GroupAt(c, g int) (*paillier.Ciphertext, error) {
+	i, err := p.idx(c, g)
+	if err != nil {
+		return nil, err
+	}
+	return p.data[i], nil
+}
+
+// SetGroup writes a group ciphertext, maintaining the populated
+// counter (nil clears the position).
+func (p *Packed) SetGroup(c, g int, ct *paillier.Ciphertext) error {
+	i, err := p.idx(c, g)
+	if err != nil {
+		return err
+	}
+	switch {
+	case p.data[i] == nil && ct != nil:
+		p.populated++
+	case p.data[i] != nil && ct == nil:
+		p.populated--
+	}
+	p.data[i] = ct
+	return nil
+}
+
+// Populated returns the number of non-nil groups (O(1)).
+func (p *Packed) Populated() int { return p.populated }
+
+// SizeBytes returns the wire size of the populated groups — the packed
+// counterpart of Enc.SizeBytes, smaller by ~k.
+func (p *Packed) SizeBytes() int {
+	return p.populated * p.key.CiphertextBytes()
+}
+
+// Clone returns a copy sharing the (immutable) ciphertext entries.
+func (p *Packed) Clone() *Packed {
+	out := *p
+	out.data = make([]*paillier.Ciphertext, len(p.data))
+	copy(out.data, p.data)
+	return &out
+}
+
+// sameShape verifies dimensional, codec and key compatibility.
+func (p *Packed) sameShape(other *Packed) error {
+	if p.channels != other.channels || p.blocks != other.blocks {
+		return fmt.Errorf("matrix: shape mismatch %dx%d vs %dx%d",
+			p.channels, p.blocks, other.channels, other.blocks)
+	}
+	if !p.codec.Equal(other.codec) {
+		return fmt.Errorf("matrix: operand matrices use different slot codecs")
+	}
+	if !p.key.Equal(other.key) {
+		return fmt.Errorf("matrix: operand matrices encrypted under different keys")
+	}
+	return nil
+}
+
+func (p *Packed) newResult() *Packed {
+	out := *p
+	out.data = make([]*paillier.Ciphertext, len(p.data))
+	out.populated = 0
+	return &out
+}
+
+// forEachGroupCell runs fn over every group index with the worker
+// pool, then installs the populated tally.
+func (p *Packed) forEachGroupCell(out *Packed, fn func(i int, count *atomic.Int64) error) error {
+	var count atomic.Int64
+	if err := parallel.For(p.workers, len(p.data), func(i int) error {
+		return fn(i, &count)
+	}); err != nil {
+		return err
+	}
+	out.populated = int(count.Load())
+	return nil
+}
+
+// Add returns the group-wise homomorphic sum (slot-wise plaintext
+// addition). A group nil in one operand adopts the other's entry.
+func (p *Packed) Add(other *Packed) (*Packed, error) {
+	if err := p.sameShape(other); err != nil {
+		return nil, err
+	}
+	out := p.newResult()
+	err := p.forEachGroupCell(out, func(i int, count *atomic.Int64) error {
+		a, b := p.data[i], other.data[i]
+		switch {
+		case a == nil && b == nil:
+			return nil
+		case a == nil:
+			out.data[i] = b.Clone()
+		case b == nil:
+			out.data[i] = a.Clone()
+		default:
+			sum, err := p.key.Add(a, b)
+			if err != nil {
+				return fmt.Errorf("add group %d: %w", i, err)
+			}
+			out.data[i] = sum
+		}
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Sub returns the group-wise difference over groups populated in both
+// operands; groups nil in either stay nil.
+func (p *Packed) Sub(other *Packed) (*Packed, error) {
+	if err := p.sameShape(other); err != nil {
+		return nil, err
+	}
+	out := p.newResult()
+	err := p.forEachGroupCell(out, func(i int, count *atomic.Int64) error {
+		a, b := p.data[i], other.data[i]
+		if a == nil || b == nil {
+			return nil
+		}
+		diff, err := p.key.Sub(a, b)
+		if err != nil {
+			return fmt.Errorf("sub group %d: %w", i, err)
+		}
+		out.data[i] = diff
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScalarMul returns k (x) p group-wise, i.e. every slot of every
+// group multiplied by k. The caller owns the guard-bit budget: k must
+// be small enough that no slot outgrows its width (see
+// paillier.SlotCodec).
+func (p *Packed) ScalarMul(k *big.Int) (*Packed, error) {
+	out := p.newResult()
+	err := p.forEachGroupCell(out, func(i int, count *atomic.Int64) error {
+		ct := p.data[i]
+		if ct == nil {
+			return nil
+		}
+		prod, err := p.key.ScalarMul(k, ct)
+		if err != nil {
+			return fmt.Errorf("scale group %d: %w", i, err)
+		}
+		out.data[i] = prod
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Rerandomize refreshes every populated group ciphertext.
+func (p *Packed) Rerandomize(random io.Reader) (*Packed, error) {
+	out := p.newResult()
+	if p.workers > 1 {
+		random = paillier.SharedReader(random)
+	}
+	err := p.forEachGroupCell(out, func(i int, count *atomic.Int64) error {
+		ct := p.data[i]
+		if ct == nil {
+			return nil
+		}
+		rr, err := p.key.Rerandomize(random, ct)
+		if err != nil {
+			return fmt.Errorf("rerandomize group %d: %w", i, err)
+		}
+		out.data[i] = rr
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEachGroup calls fn for every populated group in row-major order.
+func (p *Packed) ForEachGroup(fn func(c, g int, ct *paillier.Ciphertext) error) error {
+	for i, ct := range p.data {
+		if ct == nil {
+			continue
+		}
+		if err := fn(i/p.groups, i%p.groups, ct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecryptPacked decrypts and unpacks every populated group; absent
+// groups decode as 0, and padding slots are discarded. Intended for
+// tests and state inspection.
+func DecryptPacked(sk *paillier.PrivateKey, p *Packed) (*Int, error) {
+	out, err := NewInt(p.channels, p.blocks)
+	if err != nil {
+		return nil, err
+	}
+	k := p.codec.Slots()
+	err = parallel.For(p.workers, len(p.data), func(i int) error {
+		ct := p.data[i]
+		if ct == nil {
+			return nil
+		}
+		c, g := i/p.groups, i%p.groups
+		vals, err := sk.DecryptSlots(p.codec, ct)
+		if err != nil {
+			return fmt.Errorf("decrypt group (%d, %d): %w", c, g, err)
+		}
+		for s := 0; s < k; s++ {
+			b := g*k + s
+			if b >= p.blocks {
+				break
+			}
+			if !vals[s].IsInt64() {
+				return fmt.Errorf("decrypt group (%d, %d): slot %d overflows int64", c, g, s)
+			}
+			out.data[c*p.blocks+b] = vals[s].Int64()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// packedGob is the wire form of Packed: dimensions, codec geometry,
+// key modulus, and the populated groups as (index, ciphertext) pairs.
+type packedGob struct {
+	Channels, Blocks             int
+	Slots, SlotBits, PayloadBits int
+	KeyN                         *big.Int
+	Index                        []int32
+	Cts                          []*paillier.Ciphertext
+}
+
+// GobEncode implements gob.GobEncoder.
+func (p *Packed) GobEncode() ([]byte, error) {
+	g := packedGob{
+		Channels:    p.channels,
+		Blocks:      p.blocks,
+		Slots:       p.codec.Slots(),
+		SlotBits:    p.codec.SlotBits(),
+		PayloadBits: p.codec.PayloadBits(),
+		KeyN:        p.key.N,
+	}
+	for i, ct := range p.data {
+		if ct == nil {
+			continue
+		}
+		g.Index = append(g.Index, int32(i))
+		g.Cts = append(g.Cts, ct)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&g); err != nil {
+		return nil, fmt.Errorf("matrix: encode packed: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder with the same hostile-input
+// hardening as Enc: dimension and geometry caps before any allocation
+// sized from the wire, index range checks, and ciphertext sanity
+// checks. The receiver is unmodified on failure.
+func (p *Packed) GobDecode(data []byte) error {
+	var g packedGob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return fmt.Errorf("matrix: decode packed: %w", err)
+	}
+	if g.Channels <= 0 || g.Blocks <= 0 {
+		return fmt.Errorf("matrix: decode packed: invalid dimensions %dx%d", g.Channels, g.Blocks)
+	}
+	if g.Channels > maxGobCells || g.Blocks > maxGobCells || g.Channels*g.Blocks > maxGobCells {
+		return fmt.Errorf("matrix: decode packed: dimensions %dx%d exceed cell cap %d",
+			g.Channels, g.Blocks, maxGobCells)
+	}
+	if g.KeyN == nil || g.KeyN.Sign() <= 0 {
+		return fmt.Errorf("matrix: decode packed: missing or invalid key modulus")
+	}
+	codec, err := paillier.NewSlotCodec(g.Slots, g.SlotBits, g.PayloadBits)
+	if err != nil {
+		return fmt.Errorf("matrix: decode packed: %w", err)
+	}
+	fresh, err := NewPacked(&paillier.PublicKey{N: g.KeyN}, codec, g.Channels, g.Blocks)
+	if err != nil {
+		return fmt.Errorf("matrix: decode packed: %w", err)
+	}
+	if len(g.Index) != len(g.Cts) {
+		return fmt.Errorf("matrix: decode packed: index/ciphertext length mismatch %d vs %d",
+			len(g.Index), len(g.Cts))
+	}
+	if len(g.Cts) > len(fresh.data) {
+		return fmt.Errorf("matrix: decode packed: %d entries exceed %d groups",
+			len(g.Cts), len(fresh.data))
+	}
+	maxCtBytes := fresh.key.CiphertextBytes()
+	for k, idx := range g.Index {
+		if idx < 0 || int(idx) >= len(fresh.data) {
+			return fmt.Errorf("matrix: decode packed: group index %d outside [0, %d)", idx, len(fresh.data))
+		}
+		ct := g.Cts[k]
+		if ct == nil || ct.C == nil || ct.C.Sign() <= 0 {
+			return fmt.Errorf("matrix: decode packed: entry %d has invalid ciphertext", k)
+		}
+		if (ct.C.BitLen()+7)/8 > maxCtBytes {
+			return fmt.Errorf("matrix: decode packed: entry %d ciphertext exceeds %d bytes", k, maxCtBytes)
+		}
+		if fresh.data[idx] != nil {
+			return fmt.Errorf("matrix: decode packed: duplicate group index %d", idx)
+		}
+		fresh.data[idx] = ct
+		fresh.populated++
+	}
+	fresh.workers = p.workers
+	*p = *fresh
+	return nil
+}

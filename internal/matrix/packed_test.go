@@ -1,0 +1,234 @@
+package matrix
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/gob"
+	"math/big"
+	"testing"
+
+	"pisa/internal/paillier"
+)
+
+func packedFixture(t *testing.T) (*paillier.PrivateKey, *paillier.SlotCodec) {
+	t.Helper()
+	sk, err := paillier.GenerateKey(rand.Reader, 512)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	codec, err := paillier.NewSlotCodec(3, 40, 20)
+	if err != nil {
+		t.Fatalf("NewSlotCodec: %v", err)
+	}
+	return sk, codec
+}
+
+func testIntMatrix(t *testing.T, channels, blocks int, seed int64) *Int {
+	t.Helper()
+	m, err := NewInt(channels, blocks)
+	if err != nil {
+		t.Fatalf("NewInt: %v", err)
+	}
+	v := seed
+	for c := 0; c < channels; c++ {
+		for b := 0; b < blocks; b++ {
+			v = (v*31 + 17) % 1000
+			if err := m.Set(c, b, v-500); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+	}
+	return m
+}
+
+func TestPackedRoundTripWithPadding(t *testing.T) {
+	sk, codec := packedFixture(t)
+	// 7 blocks over 3-slot groups: 3 groups, 2 padding slots.
+	m := testIntMatrix(t, 2, 7, 3)
+	p, err := PackEncryptInts(rand.Reader, sk.Public(), codec, m, 1, 1)
+	if err != nil {
+		t.Fatalf("PackEncryptInts: %v", err)
+	}
+	if p.Groups() != 3 {
+		t.Errorf("Groups = %d, want 3", p.Groups())
+	}
+	if p.Populated() != 6 {
+		t.Errorf("Populated = %d, want 6", p.Populated())
+	}
+	got, err := DecryptPacked(sk, p)
+	if err != nil {
+		t.Fatalf("DecryptPacked: %v", err)
+	}
+	if !got.Equal(m) {
+		t.Error("decrypted matrix differs from input (padding leaked?)")
+	}
+	// A packed matrix is ~k times smaller than the unpacked encryption.
+	unpacked, err := EncryptInt(rand.Reader, sk.Public(), m)
+	if err != nil {
+		t.Fatalf("EncryptInt: %v", err)
+	}
+	if p.SizeBytes()*2 >= unpacked.SizeBytes() {
+		t.Errorf("packed %d B not at least 2x smaller than unpacked %d B",
+			p.SizeBytes(), unpacked.SizeBytes())
+	}
+}
+
+func TestPackedHomomorphicOps(t *testing.T) {
+	sk, codec := packedFixture(t)
+	a := testIntMatrix(t, 2, 5, 1)
+	b := testIntMatrix(t, 2, 5, 2)
+	pa, err := PackEncryptInts(rand.Reader, sk.Public(), codec, a, 0, 1)
+	if err != nil {
+		t.Fatalf("PackEncryptInts a: %v", err)
+	}
+	pb, err := PackEncryptInts(rand.Reader, sk.Public(), codec, b, 0, 1)
+	if err != nil {
+		t.Fatalf("PackEncryptInts b: %v", err)
+	}
+	sum, err := pa.Add(pb)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	diff, err := pa.Sub(pb)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	scaled, err := pa.ScalarMul(big.NewInt(-9))
+	if err != nil {
+		t.Fatalf("ScalarMul: %v", err)
+	}
+	rr, err := pa.Rerandomize(rand.Reader)
+	if err != nil {
+		t.Fatalf("Rerandomize: %v", err)
+	}
+
+	wantSum := a.Clone()
+	if err := wantSum.AddInPlace(b); err != nil {
+		t.Fatal(err)
+	}
+	wantDiff, err := a.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		p    *Packed
+		want *Int
+	}{
+		{"add", sum, wantSum},
+		{"sub", diff, wantDiff},
+		{"scalarMul", scaled, a.Scale(-9)},
+		{"rerandomize", rr, a},
+	}
+	for _, tc := range checks {
+		got, err := DecryptPacked(sk, tc.p)
+		if err != nil {
+			t.Fatalf("%s decrypt: %v", tc.name, err)
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("%s: decrypted result differs from plaintext op", tc.name)
+		}
+	}
+	// Rerandomize must change every group ciphertext.
+	for g := 0; g < pa.Groups(); g++ {
+		orig, _ := pa.GroupAt(0, g)
+		fresh, _ := rr.GroupAt(0, g)
+		if orig.Equal(fresh) {
+			t.Errorf("group %d unchanged by Rerandomize", g)
+		}
+	}
+}
+
+func TestPackedGobRoundTrip(t *testing.T) {
+	sk, codec := packedFixture(t)
+	m := testIntMatrix(t, 2, 7, 5)
+	p, err := PackEncryptInts(rand.Reader, sk.Public(), codec, m, 1, 1)
+	if err != nil {
+		t.Fatalf("PackEncryptInts: %v", err)
+	}
+	// Drop one group to exercise sparse encoding.
+	if err := p.SetGroup(1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back Packed
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Populated() != p.Populated() || back.Groups() != p.Groups() ||
+		back.Blocks() != p.Blocks() || !back.Codec().Equal(codec) {
+		t.Fatal("geometry lost in round trip")
+	}
+	got, err := DecryptPacked(sk, &back)
+	if err != nil {
+		t.Fatalf("DecryptPacked: %v", err)
+	}
+	want := m.Clone()
+	for b := 6; b < 7; b++ { // group (1,2) covers blocks 6 only
+		if err := want.Set(1, b, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !got.Equal(want) {
+		t.Error("decrypted round-tripped matrix differs")
+	}
+}
+
+func TestPackedGobRejectsMalformed(t *testing.T) {
+	sk, codec := packedFixture(t)
+	m := testIntMatrix(t, 1, 3, 1)
+	p, err := PackEncryptInts(rand.Reader, sk.Public(), codec, m, 1, 1)
+	if err != nil {
+		t.Fatalf("PackEncryptInts: %v", err)
+	}
+	encode := func(g *packedGob) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := func() *packedGob {
+		return &packedGob{
+			Channels: 1, Blocks: 3,
+			Slots: 3, SlotBits: 40, PayloadBits: 20,
+			KeyN:  sk.Public().N,
+			Index: []int32{0},
+			Cts:   []*paillier.Ciphertext{p.data[0]},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*packedGob)
+	}{
+		{"zero channels", func(g *packedGob) { g.Channels = 0 }},
+		{"negative blocks", func(g *packedGob) { g.Blocks = -1 }},
+		{"cell bomb", func(g *packedGob) { g.Channels = 1 << 20; g.Blocks = 1 << 20 }},
+		{"nil key", func(g *packedGob) { g.KeyN = nil }},
+		{"bad codec", func(g *packedGob) { g.SlotBits = 1 }},
+		{"codec too wide for key", func(g *packedGob) { g.Slots = 100; g.SlotBits = 100 }},
+		{"index out of range", func(g *packedGob) { g.Index = []int32{5} }},
+		{"negative index", func(g *packedGob) { g.Index = []int32{-1} }},
+		{"length mismatch", func(g *packedGob) { g.Index = []int32{0, 0} }},
+		{"zero ciphertext", func(g *packedGob) { g.Cts = []*paillier.Ciphertext{{C: big.NewInt(0)}} }},
+		{"oversized ciphertext", func(g *packedGob) {
+			huge := new(big.Int).Lsh(big.NewInt(1), 4096)
+			g.Cts = []*paillier.Ciphertext{{C: huge}}
+		}},
+		{"duplicate index", func(g *packedGob) {
+			g.Index = []int32{0, 0}
+			g.Cts = []*paillier.Ciphertext{p.data[0], p.data[0]}
+		}},
+	}
+	for _, tc := range cases {
+		g := base()
+		tc.mutate(g)
+		var out Packed
+		if err := gob.NewDecoder(bytes.NewReader(encode(g))).Decode(&out); err == nil {
+			t.Errorf("%s: decode succeeded, want error", tc.name)
+		}
+	}
+}

@@ -115,8 +115,8 @@ func Retryable(err error) bool {
 func idempotentKind(k wire.Kind) bool {
 	switch k {
 	case wire.KindGroupKeyRequest, wire.KindSUKeyRequest, wire.KindEColumnRequest,
-		wire.KindVerifyKeyRequest, wire.KindConvertRequest, wire.KindPartialRequest,
-		wire.KindRegisterSU:
+		wire.KindVerifyKeyRequest, wire.KindConvertRequest, wire.KindBatchConvertRequest,
+		wire.KindPartialRequest, wire.KindRegisterSU:
 		return true
 	}
 	return false

@@ -77,15 +77,39 @@ func (pk *PublicKey) EncryptIntBatch(random io.Reader, ms []int64, workers int) 
 }
 
 // DecryptBatch decrypts every ciphertext with up to workers
-// goroutines. Output slot i corresponds to cts[i].
+// goroutines. Output slot i corresponds to cts[i]. Unlike a loop over
+// Decrypt, the per-key CRT context (cached constants plus big.Int
+// scratch) is set up once per worker and reused across that worker's
+// whole share of the batch, so only the two modular exponentiations
+// remain in the per-ciphertext loop.
 func (sk *PrivateKey) DecryptBatch(cts []*Ciphertext, workers int) ([]*big.Int, error) {
-	out := make([]*big.Int, len(cts))
-	err := parallel.For(workers, len(cts), func(i int) error {
-		m, err := sk.Decrypt(cts[i])
-		if err != nil {
-			return fmt.Errorf("paillier: decrypt batch element %d: %w", i, err)
+	n := len(cts)
+	out := make([]*big.Int, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		d := sk.newDecContext()
+		for i, ct := range cts {
+			m, err := d.decrypt(ct)
+			if err != nil {
+				return nil, fmt.Errorf("paillier: decrypt batch element %d: %w", i, err)
+			}
+			out[i] = m
 		}
-		out[i] = m
+		return out, nil
+	}
+	// One context per worker: split the index space into contiguous
+	// per-worker chunks so the scratch is never shared.
+	err := parallel.For(workers, workers, func(w int) error {
+		d := sk.newDecContext()
+		for i := w * n / workers; i < (w+1)*n/workers; i++ {
+			m, err := d.decrypt(cts[i])
+			if err != nil {
+				return fmt.Errorf("paillier: decrypt batch element %d: %w", i, err)
+			}
+			out[i] = m
+		}
 		return nil
 	})
 	if err != nil {

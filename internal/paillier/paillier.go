@@ -365,29 +365,61 @@ func (pk *PublicKey) EncryptInt(random io.Reader, m int64) (*Ciphertext, error) 
 	return pk.Encrypt(random, big.NewInt(m))
 }
 
-// Decrypt recovers the signed plaintext from ct, using CRT over the
-// prime factors for speed.
-func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+// decContext is the per-worker CRT decryption context: the key's
+// cached CRT constants plus reusable big.Int scratch, so a batch of
+// decryptions under one key allocates its intermediates once instead
+// of once per ciphertext. Not safe for concurrent use; each worker
+// owns its own.
+type decContext struct {
+	sk         *PrivateKey
+	mp, mq, mm big.Int
+}
+
+// newDecContext prepares a decryption context for this key.
+func (sk *PrivateKey) newDecContext() *decContext {
+	sk.ensureCache()
+	return &decContext{sk: sk}
+}
+
+// decrypt runs the CRT decryption using the context's scratch. The
+// returned plaintext is freshly allocated (the scratch never escapes).
+func (d *decContext) decrypt(ct *Ciphertext) (*big.Int, error) {
+	sk := d.sk
 	if err := sk.validate(ct); err != nil {
 		return nil, err
 	}
-	// mp = L_p(c^{p-1} mod p^2) * hp mod p
-	cp := new(big.Int).Exp(ct.C, sk.pMinusOne, sk.pSquared)
-	mp := lFunc(cp, sk.p)
+	// mp = L_p(c^{p-1} mod p^2) * hp mod p, with the L-function
+	// evaluated in place on the scratch.
+	mp := d.mp.Exp(ct.C, sk.pMinusOne, sk.pSquared)
+	mp.Sub(mp, one)
+	mp.Div(mp, sk.p)
 	mp.Mul(mp, sk.hp)
 	mp.Mod(mp, sk.p)
 	// mq likewise.
-	cq := new(big.Int).Exp(ct.C, sk.qMinusOne, sk.qSquared)
-	mq := lFunc(cq, sk.q)
+	mq := d.mq.Exp(ct.C, sk.qMinusOne, sk.qSquared)
+	mq.Sub(mq, one)
+	mq.Div(mq, sk.q)
 	mq.Mul(mq, sk.hq)
 	mq.Mod(mq, sk.q)
 	// CRT: m = mq + q * ((mp - mq) * qInvP mod p)
-	m := new(big.Int).Sub(mp, mq)
+	m := d.mm.Sub(mp, mq)
 	m.Mul(m, sk.qInvP)
 	m.Mod(m, sk.p)
 	m.Mul(m, sk.q)
 	m.Add(m, mq)
-	return sk.decode(m), nil
+	// Centred decode into a fresh integer — m aliases the scratch.
+	if m.Cmp(sk.half) > 0 {
+		return new(big.Int).Sub(m, sk.N), nil
+	}
+	return new(big.Int).Set(m), nil
+}
+
+// Decrypt recovers the signed plaintext from ct, using CRT over the
+// prime factors for speed. Callers decrypting many ciphertexts should
+// prefer DecryptBatch, which hoists the context setup out of the
+// per-ciphertext loop.
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+	return sk.newDecContext().decrypt(ct)
 }
 
 // DecryptInt decrypts and narrows to int64, failing if the plaintext

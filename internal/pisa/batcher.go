@@ -1,0 +1,131 @@
+package pisa
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// stpBatcher coalesces concurrent in-flight sign-test requests into
+// batched STP calls. The first request to land in an empty queue arms
+// a window timer; requests arriving inside the window join the batch,
+// and the batch flushes either when the timer fires or the moment it
+// reaches its size cap. One STP round trip then serves the whole
+// batch — the RPC amortisation ConvertSignsBatch exists for.
+//
+// The trade-off is explicit: a lone request pays up to one window of
+// extra latency in exchange for k-fold round-trip amortisation under
+// concurrency. Keep the window at a small fraction of the STP round
+// trip time.
+type stpBatcher struct {
+	svc    BatchConverter
+	window time.Duration
+	max    int
+
+	mu      sync.Mutex
+	pending []*batchItem
+	timer   *time.Timer
+	gen     uint64 // generation counter: lets a timer detect it fired for an already-flushed batch
+}
+
+// batchItem is one queued request and the channel its caller blocks on.
+type batchItem struct {
+	req      *SignRequest
+	enqueued time.Time
+	done     chan batchResult
+}
+
+type batchResult struct {
+	resp *SignResponse
+	err  error
+}
+
+// newSTPBatcher wires a coalescing layer over a batch-capable STP
+// service. window must be positive and max at least 2 (otherwise
+// there is nothing to coalesce — callers gate on that).
+func newSTPBatcher(svc BatchConverter, window time.Duration, max int) *stpBatcher {
+	return &stpBatcher{svc: svc, window: window, max: max}
+}
+
+// convert enqueues one request and blocks until its batch has been
+// flushed through the STP.
+func (b *stpBatcher) convert(req *SignRequest) (*SignResponse, error) {
+	item := &batchItem{req: req, enqueued: time.Now(), done: make(chan batchResult, 1)}
+	b.mu.Lock()
+	b.pending = append(b.pending, item)
+	switch {
+	case len(b.pending) >= b.max:
+		// Cap reached: flush synchronously on this caller's goroutine.
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		metrics().batchFlushFull.Inc()
+		b.flush(batch)
+	case len(b.pending) == 1:
+		// First in an empty queue: arm the window timer. The generation
+		// guard keeps a stale timer (one that lost the race against a
+		// size-cap flush) from flushing the next batch early.
+		gen := b.gen
+		b.timer = time.AfterFunc(b.window, func() { b.timerFlush(gen) })
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+	}
+	res := <-item.done
+	return res.resp, res.err
+}
+
+// takeLocked claims the pending batch and invalidates its timer.
+// Caller holds b.mu.
+func (b *stpBatcher) takeLocked() []*batchItem {
+	batch := b.pending
+	b.pending = nil
+	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// timerFlush runs on the window timer's goroutine.
+func (b *stpBatcher) timerFlush(gen uint64) {
+	b.mu.Lock()
+	if gen != b.gen {
+		// The batch this timer was armed for already flushed by size.
+		b.mu.Unlock()
+		return
+	}
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	metrics().batchFlushTimer.Inc()
+	b.flush(batch)
+}
+
+// flush issues one batched STP call and fans the results back out to
+// the blocked callers. A batch-level error fails every member.
+func (b *stpBatcher) flush(batch []*batchItem) {
+	m := metrics()
+	m.batchSize.Observe(float64(len(batch)))
+	now := time.Now()
+	for _, item := range batch {
+		m.batchWait.Observe(now.Sub(item.enqueued).Seconds())
+	}
+	reqs := make([]*SignRequest, len(batch))
+	for i, item := range batch {
+		reqs[i] = item.req
+	}
+	resp, err := b.svc.ConvertSignsBatch(&BatchSignRequest{Reqs: reqs})
+	if err == nil && len(resp.Resps) != len(batch) {
+		err = fmt.Errorf("pisa: STP returned %d batch responses, want %d", len(resp.Resps), len(batch))
+	}
+	for i, item := range batch {
+		if err != nil {
+			item.done <- batchResult{err: err}
+			continue
+		}
+		item.done <- batchResult{resp: resp.Resps[i]}
+	}
+}

@@ -1,0 +1,159 @@
+package pisa
+
+import (
+	"errors"
+	"math/big"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"pisa/internal/paillier"
+)
+
+// echoBatchSvc is a BatchConverter that answers each request with a
+// response encoding the request's SUID, and records every batch it was
+// handed.
+type echoBatchSvc struct {
+	mu      sync.Mutex
+	batches [][]*SignRequest
+	err     error
+	delay   time.Duration
+}
+
+func (s *echoBatchSvc) ConvertSignsBatch(batch *BatchSignRequest) (*BatchSignResponse, error) {
+	s.mu.Lock()
+	s.batches = append(s.batches, batch.Reqs)
+	err := s.err
+	s.mu.Unlock()
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := &BatchSignResponse{Resps: make([]*SignResponse, len(batch.Reqs))}
+	for i, req := range batch.Reqs {
+		id, _ := strconv.Atoi(req.SUID)
+		resp.Resps[i] = &SignResponse{X: []*paillier.Ciphertext{{C: big.NewInt(int64(id))}}}
+	}
+	return resp, nil
+}
+
+func (s *echoBatchSvc) calls() [][]*SignRequest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]*SignRequest(nil), s.batches...)
+}
+
+// convertN fires n concurrent converts with SUIDs "0".."n-1" and
+// checks each caller got the response for its own request.
+func convertN(t *testing.T, b *stpBatcher, n int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := b.convert(&SignRequest{SUID: strconv.Itoa(i)})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if got := resp.X[0].C.Int64(); got != int64(i) {
+				errs[i] = errors.New("caller " + strconv.Itoa(i) + " got response " + strconv.FormatInt(got, 10))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBatcherCoalescesWithinWindow(t *testing.T) {
+	svc := &echoBatchSvc{}
+	b := newSTPBatcher(svc, 50*time.Millisecond, 64)
+	convertN(t, b, 4)
+	calls := svc.calls()
+	total := 0
+	for _, c := range calls {
+		total += len(c)
+	}
+	if total != 4 {
+		t.Fatalf("%d requests served, want 4", total)
+	}
+	// All four landed well inside one window, so they must not have
+	// taken four separate round trips.
+	if len(calls) == 4 {
+		t.Fatalf("no coalescing: %d calls for 4 concurrent requests", len(calls))
+	}
+}
+
+func TestBatcherFlushesAtSizeCap(t *testing.T) {
+	svc := &echoBatchSvc{}
+	// A window far longer than the test: only the size cap can flush.
+	b := newSTPBatcher(svc, time.Hour, 2)
+	start := time.Now()
+	convertN(t, b, 2)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cap-full batch waited %v, want immediate flush", elapsed)
+	}
+	calls := svc.calls()
+	if len(calls) != 1 || len(calls[0]) != 2 {
+		t.Fatalf("calls = %v, want one batch of 2", calls)
+	}
+}
+
+func TestBatcherLoneRequestFlushesOnTimer(t *testing.T) {
+	svc := &echoBatchSvc{}
+	b := newSTPBatcher(svc, 5*time.Millisecond, 64)
+	convertN(t, b, 1)
+	calls := svc.calls()
+	if len(calls) != 1 || len(calls[0]) != 1 {
+		t.Fatalf("calls = %v, want one batch of 1", calls)
+	}
+}
+
+func TestBatcherErrorFansOutToAllCallers(t *testing.T) {
+	svc := &echoBatchSvc{err: errors.New("stp down")}
+	b := newSTPBatcher(svc, time.Hour, 3)
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.convert(&SignRequest{SUID: strconv.Itoa(i)})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("caller %d got nil error", i)
+		}
+	}
+}
+
+func TestBatcherStaleTimerDoesNotFlushNextBatch(t *testing.T) {
+	svc := &echoBatchSvc{}
+	window := 60 * time.Millisecond
+	b := newSTPBatcher(svc, window, 2)
+	// Fill a batch to the cap so it flushes by size, leaving its window
+	// timer armed-then-stopped (the generation guard's job).
+	convertN(t, b, 2)
+	// A lone follow-up must wait for its own full window — if the first
+	// batch's timer leaked, it would flush this one early.
+	start := time.Now()
+	convertN(t, b, 1)
+	if elapsed := time.Since(start); elapsed < window/2 {
+		t.Fatalf("follow-up flushed after %v, before its own %v window", elapsed, window)
+	}
+	calls := svc.calls()
+	if len(calls) != 2 || len(calls[0]) != 2 || len(calls[1]) != 1 {
+		t.Fatalf("calls = %d batches, want [2 1]", len(calls))
+	}
+}

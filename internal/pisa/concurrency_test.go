@@ -94,7 +94,7 @@ func TestNoncePoolAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cells := req.F.Populated()
+	cells := req.Ciphertexts()
 
 	if err := su.PrecomputeNonces(-1); err == nil {
 		t.Error("negative count accepted")
@@ -132,7 +132,7 @@ func TestBlindingPoolAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cells := req.F.Populated()
+	cells := req.Ciphertexts()
 	if err := d.sdc.PrecomputeBlinding(-1); err == nil {
 		t.Error("negative count accepted")
 	}

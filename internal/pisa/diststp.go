@@ -102,7 +102,10 @@ type DistSTP struct {
 	fbShortBits int
 }
 
-var _ STPService = (*DistSTP)(nil)
+var (
+	_ STPService     = (*DistSTP)(nil)
+	_ BatchConverter = (*DistSTP)(nil)
+)
 
 // NewDistSTP generates a fresh group key, splits it into count
 // shares, and returns the combiner plus the co-STP share services.
@@ -251,29 +254,97 @@ func (d *DistSTP) SUKey(id string) (*paillier.PublicKey, error) {
 	return pk, nil
 }
 
+// requestCodec mirrors STP.requestCodec: reconstruct and validate the
+// slot codec a packed sign request declares; nil for unpacked.
+func (d *DistSTP) requestCodec(req *SignRequest) (*paillier.SlotCodec, error) {
+	if !req.Packed {
+		return nil, nil
+	}
+	codec, err := paillier.NewSlotCodec(req.Slots, req.SlotBits, req.SlotBits-2)
+	if err != nil {
+		return nil, fmt.Errorf("pisa: sign request slot geometry: %w", err)
+	}
+	if err := codec.CheckKey(d.group); err != nil {
+		return nil, fmt.Errorf("pisa: sign request slot geometry: %w", err)
+	}
+	return codec, nil
+}
+
 // ConvertSigns implements STPService: every co-STP contributes a
 // partial for every V; the combiner multiplies partials, reads the
-// blinded sign, and re-encrypts +-1 under the SU's key (eq. 15).
+// blinded sign (slot-wise for packed requests), and re-encrypts the
+// result under the SU's key (eq. 15).
 func (d *DistSTP) ConvertSigns(req *SignRequest) (*SignResponse, error) {
 	if req == nil {
 		return nil, fmt.Errorf("pisa: nil sign request")
 	}
-	suKey, err := d.SUKey(req.SUID)
+	resps, err := d.convertAll([]*SignRequest{req})
 	if err != nil {
 		return nil, err
+	}
+	return resps[0], nil
+}
+
+// ConvertSignsBatch implements BatchConverter: the whole batch crosses
+// to every co-STP in one PartialDecryptBatch round, so the coalescing
+// layer's round-trip amortisation carries over to the distributed
+// deployment.
+func (d *DistSTP) ConvertSignsBatch(batch *BatchSignRequest) (*BatchSignResponse, error) {
+	if batch == nil || len(batch.Reqs) == 0 {
+		return nil, fmt.Errorf("pisa: empty batch sign request")
+	}
+	resps, err := d.convertAll(batch.Reqs)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchSignResponse{Resps: resps}, nil
+}
+
+// convertAll is the shared conversion kernel (cf. STP.convertAll): all
+// elements of all requests flatten into one partial-decryption round.
+func (d *DistSTP) convertAll(reqs []*SignRequest) ([]*SignResponse, error) {
+	type reqState struct {
+		suKey *paillier.PublicKey
+		codec *paillier.SlotCodec
+		off   int
+	}
+	states := make([]reqState, len(reqs))
+	total := 0
+	for r, req := range reqs {
+		if req == nil {
+			return nil, fmt.Errorf("pisa: nil sign request in batch slot %d", r)
+		}
+		suKey, err := d.SUKey(req.SUID)
+		if err != nil {
+			return nil, err
+		}
+		codec, err := d.requestCodec(req)
+		if err != nil {
+			return nil, err
+		}
+		states[r] = reqState{suKey: suKey, codec: codec, off: total}
+		total += len(req.V)
+	}
+	flat := make([]*paillier.Ciphertext, 0, total)
+	owner := make([]int, 0, total)
+	for r, req := range reqs {
+		flat = append(flat, req.V...)
+		for range req.V {
+			owner = append(owner, r)
+		}
 	}
 	// Fan out to the co-STPs concurrently — in a network deployment
 	// the holders are independent servers, so issuing the batches in
 	// parallel mirrors the real latency profile (the slowest holder
 	// gates the round, not the sum of all of them).
 	batches := make([][]*paillier.Partial, len(d.holders))
-	err = parallel.For(d.workers, len(d.holders), func(h int) error {
-		batch, err := d.holders[h].PartialDecryptBatch(req.V)
+	err := parallel.For(d.workers, len(d.holders), func(h int) error {
+		batch, err := d.holders[h].PartialDecryptBatch(flat)
 		if err != nil {
 			return &CoSTPError{Holder: h, Err: err}
 		}
-		if len(batch) != len(req.V) {
-			return &CoSTPError{Holder: h, Err: fmt.Errorf("returned %d partials, want %d", len(batch), len(req.V))}
+		if len(batch) != len(flat) {
+			return &CoSTPError{Holder: h, Err: fmt.Errorf("returned %d partials, want %d", len(batch), len(flat))}
 		}
 		batches[h] = batch
 		return nil
@@ -281,25 +352,26 @@ func (d *DistSTP) ConvertSigns(req *SignRequest) (*SignResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Combine + re-encrypt per value on the worker pool; positional
-	// writes keep the response in request order.
-	out := make([]*paillier.Ciphertext, len(req.V))
-	err = parallel.For(d.workers, len(req.V), func(i int) error {
+	// Combine + sign-test + re-encrypt per value on the worker pool;
+	// positional writes keep every response in its request's order.
+	out := make([]*paillier.Ciphertext, total)
+	err = parallel.For(d.workers, total, func(i int) error {
+		st := states[owner[i]]
 		perValue := make([]*paillier.Partial, len(d.holders))
 		for h := range d.holders {
 			perValue[h] = batches[h][i]
 		}
 		v, err := paillier.CombinePartials(d.group, perValue)
 		if err != nil {
-			return fmt.Errorf("pisa: combine V[%d]: %w", i, err)
+			return fmt.Errorf("pisa: combine V[%d]: %w", i-st.off, err)
 		}
-		x := int64(-1)
-		if v.Sign() > 0 {
-			x = 1
-		}
-		enc, err := suKey.EncryptInt(d.random, x)
+		x, err := signOf(v, st.codec)
 		if err != nil {
-			return fmt.Errorf("pisa: encrypt X[%d]: %w", i, err)
+			return fmt.Errorf("pisa: sign test V[%d]: %w", i-st.off, err)
+		}
+		enc, err := st.suKey.EncryptInt(d.random, x)
+		if err != nil {
+			return fmt.Errorf("pisa: encrypt X[%d]: %w", i-st.off, err)
 		}
 		out[i] = enc
 		return nil
@@ -307,5 +379,10 @@ func (d *DistSTP) ConvertSigns(req *SignRequest) (*SignResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SignResponse{X: out}, nil
+	resps := make([]*SignResponse, len(reqs))
+	for r, req := range reqs {
+		st := states[r]
+		resps[r] = &SignResponse{X: out[st.off : st.off+len(req.V)]}
+	}
+	return resps, nil
 }

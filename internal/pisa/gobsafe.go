@@ -1,0 +1,276 @@
+package pisa
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"pisa/internal/geo"
+	"pisa/internal/paillier"
+	"pisa/internal/watch"
+)
+
+// Hardened gob codecs for the protocol messages that cross trust
+// boundaries (PU -> SDC updates, SDC <-> STP sign tests). Without
+// them, a hostile peer could declare element counts or ciphertext
+// widths that make the decoder allocate unbounded memory before any
+// protocol-level validation runs — the same failure mode
+// internal/matrix closed for Enc in PR 2 (matching caps here). The
+// receiver is unmodified on failure.
+const (
+	// maxWireElements caps declared slice lengths, matching the
+	// matrix cell cap: no legal message carries more ciphertexts than
+	// a full C x B matrix.
+	maxWireElements = 1 << 26
+	// maxWireCtBytes caps one serialised ciphertext: 64 KiB holds a
+	// ciphertext for a 256k-bit modulus, far beyond any real key.
+	maxWireCtBytes = 1 << 16
+	// maxWireIDLen caps identifier strings.
+	maxWireIDLen = 4096
+	// maxWireSlotBits caps the declared packed-slot geometry.
+	maxWireSlotBits = 1 << 20
+	// maxWireBatch caps how many sign tests one batched STP call may
+	// declare — far above any sane coalescing window, low enough that a
+	// hostile length prefix cannot pre-allocate unbounded memory.
+	maxWireBatch = 1 << 16
+)
+
+// checkWireCiphertexts validates a decoded ciphertext slice: every
+// entry present, positive, and of plausible size.
+func checkWireCiphertexts(what string, cts []*paillier.Ciphertext) error {
+	if len(cts) > maxWireElements {
+		return fmt.Errorf("pisa: decode %s: %d elements exceed cap %d", what, len(cts), maxWireElements)
+	}
+	for i, ct := range cts {
+		if ct == nil || ct.C == nil || ct.C.Sign() <= 0 {
+			return fmt.Errorf("pisa: decode %s: element %d has invalid ciphertext", what, i)
+		}
+		if (ct.C.BitLen()+7)/8 > maxWireCtBytes {
+			return fmt.Errorf("pisa: decode %s: element %d ciphertext exceeds %d bytes", what, i, maxWireCtBytes)
+		}
+	}
+	return nil
+}
+
+// signRequestWire mirrors SignRequest for encoding; the separate type
+// keeps gob off the GobEncoder method set (infinite recursion
+// otherwise).
+type signRequestWire struct {
+	SUID     string
+	V        []*paillier.Ciphertext
+	Packed   bool
+	Slots    int
+	SlotBits int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (r *SignRequest) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&signRequestWire{
+		SUID: r.SUID, V: r.V, Packed: r.Packed, Slots: r.Slots, SlotBits: r.SlotBits,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pisa: encode sign request: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// checkSignRequestWire validates one decoded sign-request frame:
+// identifier, ciphertext and slot-geometry caps.
+func (w *signRequestWire) check() error {
+	if len(w.SUID) > maxWireIDLen {
+		return fmt.Errorf("pisa: decode sign request: SUID length %d exceeds cap %d", len(w.SUID), maxWireIDLen)
+	}
+	if err := checkWireCiphertexts("sign request", w.V); err != nil {
+		return err
+	}
+	if w.Packed {
+		if w.Slots < 1 || w.Slots > maxWireElements {
+			return fmt.Errorf("pisa: decode sign request: slot count %d outside [1, %d]", w.Slots, maxWireElements)
+		}
+		if w.SlotBits < 3 || w.SlotBits > maxWireSlotBits {
+			return fmt.Errorf("pisa: decode sign request: slot width %d outside [3, %d]", w.SlotBits, maxWireSlotBits)
+		}
+	} else if w.Slots != 0 || w.SlotBits != 0 {
+		return fmt.Errorf("pisa: decode sign request: slot geometry on unpacked request")
+	}
+	return nil
+}
+
+// request converts a validated frame back to the protocol message.
+func (w *signRequestWire) request() *SignRequest {
+	return &SignRequest{SUID: w.SUID, V: w.V, Packed: w.Packed, Slots: w.Slots, SlotBits: w.SlotBits}
+}
+
+// GobDecode implements gob.GobDecoder with element-count, ciphertext
+// size and geometry caps.
+func (r *SignRequest) GobDecode(data []byte) error {
+	var w signRequestWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("pisa: decode sign request: %w", err)
+	}
+	if err := w.check(); err != nil {
+		return err
+	}
+	*r = *w.request()
+	return nil
+}
+
+// signResponseWire mirrors SignResponse for encoding.
+type signResponseWire struct {
+	X []*paillier.Ciphertext
+}
+
+// GobEncode implements gob.GobEncoder.
+func (r *SignResponse) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&signResponseWire{X: r.X}); err != nil {
+		return nil, fmt.Errorf("pisa: encode sign response: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder with element caps.
+func (r *SignResponse) GobDecode(data []byte) error {
+	var w signResponseWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("pisa: decode sign response: %w", err)
+	}
+	if err := checkWireCiphertexts("sign response", w.X); err != nil {
+		return err
+	}
+	*r = SignResponse{X: w.X}
+	return nil
+}
+
+// puUpdateWire mirrors PUUpdate for encoding.
+type puUpdateWire struct {
+	PUID  watch.PUID
+	Block geo.BlockID
+	Cts   []*paillier.Ciphertext
+}
+
+// GobEncode implements gob.GobEncoder.
+func (u *PUUpdate) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&puUpdateWire{PUID: u.PUID, Block: u.Block, Cts: u.Cts})
+	if err != nil {
+		return nil, fmt.Errorf("pisa: encode PU update: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder with element-count and
+// ciphertext-size caps. Semantic validation (channel count matching
+// the deployment, block inside the grid) stays with
+// SDC.HandlePUUpdate, which knows the parameters.
+func (u *PUUpdate) GobDecode(data []byte) error {
+	var w puUpdateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("pisa: decode PU update: %w", err)
+	}
+	if len(w.PUID) > maxWireIDLen {
+		return fmt.Errorf("pisa: decode PU update: PUID length %d exceeds cap %d", len(w.PUID), maxWireIDLen)
+	}
+	if w.Block < 0 {
+		return fmt.Errorf("pisa: decode PU update: negative block %d", w.Block)
+	}
+	if err := checkWireCiphertexts("PU update", w.Cts); err != nil {
+		return err
+	}
+	*u = PUUpdate{PUID: w.PUID, Block: w.Block, Cts: w.Cts}
+	return nil
+}
+
+// batchSignRequestWire flattens a whole batch into ONE gob stream.
+// Encoding the elements through their own GobEncode would open a fresh
+// nested gob stream per element, re-emitting and re-compiling the type
+// descriptors every time — ~tens of microseconds per element, which is
+// most of what a coalesced RPC is supposed to amortise. The flat wire
+// struct pays the descriptor setup once per batch, so the marginal
+// cost of carrying one more sign test is just its data bytes.
+type batchSignRequestWire struct {
+	Reqs []signRequestWire
+}
+
+// GobEncode implements gob.GobEncoder for the batched STP call; all
+// requests share one encoder stream.
+func (b *BatchSignRequest) GobEncode() ([]byte, error) {
+	w := batchSignRequestWire{Reqs: make([]signRequestWire, len(b.Reqs))}
+	for i, r := range b.Reqs {
+		if r == nil {
+			return nil, fmt.Errorf("pisa: encode batch sign request: element %d is nil", i)
+		}
+		w.Reqs[i] = signRequestWire{
+			SUID: r.SUID, V: r.V, Packed: r.Packed, Slots: r.Slots, SlotBits: r.SlotBits,
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("pisa: encode batch sign request: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder with a batch-size cap plus the
+// full per-element sign-request validation.
+func (b *BatchSignRequest) GobDecode(data []byte) error {
+	var w batchSignRequestWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("pisa: decode batch sign request: %w", err)
+	}
+	if len(w.Reqs) > maxWireBatch {
+		return fmt.Errorf("pisa: decode batch sign request: %d requests exceed cap %d", len(w.Reqs), maxWireBatch)
+	}
+	reqs := make([]*SignRequest, len(w.Reqs))
+	for i := range w.Reqs {
+		if err := w.Reqs[i].check(); err != nil {
+			return fmt.Errorf("pisa: decode batch sign request: element %d: %w", i, err)
+		}
+		reqs[i] = w.Reqs[i].request()
+	}
+	*b = BatchSignRequest{Reqs: reqs}
+	return nil
+}
+
+// batchSignResponseWire flattens the batched response the same way.
+type batchSignResponseWire struct {
+	Resps []signResponseWire
+}
+
+// GobEncode implements gob.GobEncoder; all responses share one
+// encoder stream.
+func (b *BatchSignResponse) GobEncode() ([]byte, error) {
+	w := batchSignResponseWire{Resps: make([]signResponseWire, len(b.Resps))}
+	for i, r := range b.Resps {
+		if r == nil {
+			return nil, fmt.Errorf("pisa: encode batch sign response: element %d is nil", i)
+		}
+		w.Resps[i] = signResponseWire{X: r.X}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("pisa: encode batch sign response: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder with batch and per-element caps.
+func (b *BatchSignResponse) GobDecode(data []byte) error {
+	var w batchSignResponseWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("pisa: decode batch sign response: %w", err)
+	}
+	if len(w.Resps) > maxWireBatch {
+		return fmt.Errorf("pisa: decode batch sign response: %d responses exceed cap %d", len(w.Resps), maxWireBatch)
+	}
+	resps := make([]*SignResponse, len(w.Resps))
+	for i := range w.Resps {
+		if err := checkWireCiphertexts("batch sign response", w.Resps[i].X); err != nil {
+			return fmt.Errorf("pisa: decode batch sign response: element %d: %w", i, err)
+		}
+		resps[i] = &SignResponse{X: w.Resps[i].X}
+	}
+	*b = BatchSignResponse{Resps: resps}
+	return nil
+}

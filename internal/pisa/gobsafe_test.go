@@ -1,0 +1,186 @@
+package pisa
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/big"
+	"strings"
+	"testing"
+
+	"pisa/internal/paillier"
+	"pisa/internal/watch"
+)
+
+// watchPUID builds an identifier of n bytes.
+func watchPUID(n int) watch.PUID { return watch.PUID(strings.Repeat("p", n)) }
+
+// gobRoundTrip encodes src and decodes into dst through a fresh stream,
+// the way one wire envelope would carry it.
+func gobRoundTrip(t *testing.T, src, dst interface{}) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(src); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(dst); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+func ct(v int64) *paillier.Ciphertext {
+	return &paillier.Ciphertext{C: big.NewInt(v)}
+}
+
+func TestSignRequestGobRoundTrip(t *testing.T) {
+	src := &SignRequest{
+		SUID:   "su-1",
+		V:      []*paillier.Ciphertext{ct(7), ct(11)},
+		Packed: true, Slots: 4, SlotBits: 20,
+	}
+	var got SignRequest
+	gobRoundTrip(t, src, &got)
+	if got.SUID != src.SUID || len(got.V) != 2 || got.V[1].C.Int64() != 11 ||
+		!got.Packed || got.Slots != 4 || got.SlotBits != 20 {
+		t.Fatalf("round trip mangled request: %+v", got)
+	}
+}
+
+// decodeFrame gob-encodes a hand-built wire frame and feeds it to
+// GobDecode directly, bypassing the (validating) encoder — the move a
+// hostile peer makes.
+func decodeFrame(t *testing.T, frame interface{}, decode func([]byte) error) error {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(frame); err != nil {
+		t.Fatalf("encode hostile frame: %v", err)
+	}
+	return decode(buf.Bytes())
+}
+
+func TestSignRequestGobRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		w    signRequestWire
+		want string
+	}{
+		{"long SUID", signRequestWire{SUID: strings.Repeat("x", maxWireIDLen+1), V: []*paillier.Ciphertext{ct(1)}}, "SUID length"},
+		{"nil value", signRequestWire{SUID: "su", V: []*paillier.Ciphertext{{}}}, "invalid ciphertext"},
+		{"non-positive", signRequestWire{SUID: "su", V: []*paillier.Ciphertext{ct(0)}}, "invalid ciphertext"},
+		{"zero slots", signRequestWire{SUID: "su", V: []*paillier.Ciphertext{ct(1)}, Packed: true, Slots: 0, SlotBits: 20}, "slot count"},
+		{"narrow slot", signRequestWire{SUID: "su", V: []*paillier.Ciphertext{ct(1)}, Packed: true, Slots: 2, SlotBits: 2}, "slot width"},
+		{"huge slot", signRequestWire{SUID: "su", V: []*paillier.Ciphertext{ct(1)}, Packed: true, Slots: 2, SlotBits: maxWireSlotBits + 1}, "slot width"},
+		{"geometry on unpacked", signRequestWire{SUID: "su", V: []*paillier.Ciphertext{ct(1)}, Slots: 4, SlotBits: 20}, "unpacked"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SignRequest{SUID: "before", V: []*paillier.Ciphertext{ct(99)}}
+			err := decodeFrame(t, &tc.w, got.GobDecode)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+			if got.SUID != "before" || got.V[0].C.Int64() != 99 {
+				t.Fatal("receiver modified by failed decode")
+			}
+		})
+	}
+}
+
+func TestSignRequestGobRejectsOversizedCiphertext(t *testing.T) {
+	wide := &paillier.Ciphertext{C: new(big.Int).Lsh(big.NewInt(1), 8*maxWireCtBytes)}
+	err := decodeFrame(t, &signRequestWire{SUID: "su", V: []*paillier.Ciphertext{wide}},
+		new(SignRequest).GobDecode)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized ciphertext accepted: %v", err)
+	}
+}
+
+func TestSignResponseGobRejectsMalformed(t *testing.T) {
+	err := decodeFrame(t, &signResponseWire{X: []*paillier.Ciphertext{ct(-3)}},
+		new(SignResponse).GobDecode)
+	if err == nil || !strings.Contains(err.Error(), "invalid ciphertext") {
+		t.Fatalf("negative ciphertext accepted: %v", err)
+	}
+}
+
+func TestPUUpdateGobRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		w    puUpdateWire
+		want string
+	}{
+		{"long PUID", puUpdateWire{PUID: watchPUID(maxWireIDLen + 1), Block: 0, Cts: []*paillier.Ciphertext{ct(1)}}, "PUID length"},
+		{"negative block", puUpdateWire{PUID: "tv", Block: -1, Cts: []*paillier.Ciphertext{ct(1)}}, "negative block"},
+		{"empty ciphertext", puUpdateWire{PUID: "tv", Block: 0, Cts: []*paillier.Ciphertext{{}}}, "invalid ciphertext"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := decodeFrame(t, &tc.w, new(PUUpdate).GobDecode)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBatchSignRequestGobRoundTrip(t *testing.T) {
+	src := &BatchSignRequest{Reqs: []*SignRequest{
+		{SUID: "su-1", V: []*paillier.Ciphertext{ct(5)}},
+		{SUID: "su-2", V: []*paillier.Ciphertext{ct(6), ct(7)}, Packed: true, Slots: 3, SlotBits: 16},
+	}}
+	var got BatchSignRequest
+	gobRoundTrip(t, src, &got)
+	if len(got.Reqs) != 2 || got.Reqs[0].SUID != "su-1" || got.Reqs[1].Slots != 3 ||
+		got.Reqs[1].V[1].C.Int64() != 7 || !got.Reqs[1].Packed {
+		t.Fatalf("round trip mangled batch: %+v", got)
+	}
+}
+
+func TestBatchSignRequestGobRejectsMalformed(t *testing.T) {
+	// Per-element validation must run inside the batch too.
+	err := decodeFrame(t, &batchSignRequestWire{Reqs: []signRequestWire{
+		{SUID: "ok", V: []*paillier.Ciphertext{ct(1)}},
+		{SUID: "bad", V: []*paillier.Ciphertext{{}}},
+	}}, new(BatchSignRequest).GobDecode)
+	if err == nil || !strings.Contains(err.Error(), "element 1") {
+		t.Fatalf("bad batch element accepted: %v", err)
+	}
+	// A hostile batch count is rejected before per-element work.
+	err = decodeFrame(t, &batchSignRequestWire{Reqs: make([]signRequestWire, maxWireBatch+1)},
+		new(BatchSignRequest).GobDecode)
+	if err == nil || !strings.Contains(err.Error(), "exceed cap") {
+		t.Fatalf("oversized batch accepted: %v", err)
+	}
+}
+
+func TestBatchSignRequestGobRejectsNilElementOnEncode(t *testing.T) {
+	if _, err := (&BatchSignRequest{Reqs: []*SignRequest{nil}}).GobEncode(); err == nil {
+		t.Fatal("nil batch element encoded")
+	}
+}
+
+func TestBatchSignResponseGobRoundTrip(t *testing.T) {
+	src := &BatchSignResponse{Resps: []*SignResponse{
+		{X: []*paillier.Ciphertext{ct(1)}},
+		{X: []*paillier.Ciphertext{ct(2), ct(3)}},
+	}}
+	var got BatchSignResponse
+	gobRoundTrip(t, src, &got)
+	if len(got.Resps) != 2 || len(got.Resps[1].X) != 2 || got.Resps[1].X[1].C.Int64() != 3 {
+		t.Fatalf("round trip mangled batch response: %+v", got)
+	}
+}
+
+func TestBatchSignResponseGobRejectsMalformed(t *testing.T) {
+	err := decodeFrame(t, &batchSignResponseWire{Resps: []signResponseWire{
+		{X: []*paillier.Ciphertext{ct(4)}},
+		{X: []*paillier.Ciphertext{ct(0)}},
+	}}, new(BatchSignResponse).GobDecode)
+	if err == nil || !strings.Contains(err.Error(), "element 1") {
+		t.Fatalf("bad batch response element accepted: %v", err)
+	}
+	err = decodeFrame(t, &batchSignResponseWire{Resps: make([]signResponseWire, maxWireBatch+1)},
+		new(BatchSignResponse).GobDecode)
+	if err == nil || !strings.Contains(err.Error(), "exceed cap") {
+		t.Fatalf("oversized batch response accepted: %v", err)
+	}
+}

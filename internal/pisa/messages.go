@@ -2,6 +2,7 @@ package pisa
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 
 	"pisa/internal/dsig"
@@ -16,6 +17,11 @@ import (
 // (public, registered) block, encrypting W(c) = T(c) - E(c) for the
 // received channel and 0 elsewhere. A switched-off receiver sends all
 // zeros.
+//
+// Updates stay one-ciphertext-per-channel even in packed deployments:
+// a PU speaks for a single block, so there is nothing to pack; the
+// SDC folds the update into the right slot of its packed budget with
+// a shift scalar (see SDC.rebuildColumn).
 type PUUpdate struct {
 	// PUID identifies the sender; its block registration is public.
 	PUID watch.PUID
@@ -27,6 +33,8 @@ type PUUpdate struct {
 
 // TransmissionRequest is the SU's spectrum-access request (Figure 5):
 // the encrypted F matrix plus the disclosed block set it covers.
+// Exactly one of F (unpacked deployments) and FP (packed deployments)
+// is set; the layouts carry the same plaintext matrix.
 type TransmissionRequest struct {
 	// SUID identifies the requester; the STP must know its public key.
 	SUID string
@@ -35,6 +43,10 @@ type TransmissionRequest struct {
 	// encryptions of zero, so the SDC cannot tell which channels or
 	// blocks matter.
 	F *matrix.Enc
+	// FP is the packed form of F: k block cells per ciphertext along
+	// the block axis, ~k times smaller on the wire. Padding slots
+	// encrypt zero. Disclosure granularity rounds up to whole groups.
+	FP *matrix.Packed
 	// Disclosure lists the block columns shipped; nil or
 	// grid-complete means full location privacy (§VI-A trade-off).
 	Disclosure []geo.BlockID
@@ -42,25 +54,89 @@ type TransmissionRequest struct {
 
 // SizeBytes reports the request's dominant wire size (the ciphertext
 // payload), the quantity Figure 6 reports as about 29 MB at paper
-// scale.
+// scale unpacked — and ~k times less with packing on.
 func (r *TransmissionRequest) SizeBytes() int {
-	if r.F == nil {
-		return 0
+	switch {
+	case r.FP != nil:
+		return r.FP.SizeBytes()
+	case r.F != nil:
+		return r.F.SizeBytes()
 	}
-	return r.F.SizeBytes()
+	return 0
 }
 
-// Digest commits to the encrypted request for license binding.
+// Ciphertexts reports how many ciphertexts the request ships — the
+// number of fresh nonces one refresh cycle consumes.
+func (r *TransmissionRequest) Ciphertexts() int {
+	switch {
+	case r.FP != nil:
+		return r.FP.Populated()
+	case r.F != nil:
+		return r.F.Populated()
+	}
+	return 0
+}
+
+// digestU32 appends a length/coordinate as fixed-width framing.
+func digestU32(buf *bytes.Buffer, v int) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(v))
+	buf.Write(b[:])
+}
+
+// Digest layout discriminators; also serve as domain separation
+// between the packed and unpacked layouts.
+const (
+	digestTag          = "pisa-request-digest-v2\x00"
+	digestModeUnpacked = byte(0)
+	digestModePacked   = byte(1)
+)
+
+// Digest commits to the encrypted request for license binding. Every
+// variable-length element is length-prefixed and every ciphertext is
+// bound to its (channel, block-group) coordinates, so distinct
+// matrices can never collide by concatenation (two adjacent cells
+// re-split differently, a cell migrating to a different coordinate,
+// or an SUID absorbing the first ciphertext's bytes).
 func (r *TransmissionRequest) Digest() ([32]byte, error) {
-	if r.F == nil {
+	if r.F == nil && r.FP == nil {
 		return [32]byte{}, fmt.Errorf("pisa: request has no F matrix")
 	}
+	if r.F != nil && r.FP != nil {
+		return [32]byte{}, fmt.Errorf("pisa: request has both packed and unpacked F")
+	}
 	var buf bytes.Buffer
+	buf.WriteString(digestTag)
+	digestU32(&buf, len(r.SUID))
 	buf.WriteString(r.SUID)
-	err := r.F.ForEach(func(c, b int, ct *paillier.Ciphertext) error {
-		buf.Write(ct.C.Bytes())
-		return nil
-	})
+	var err error
+	if r.F != nil {
+		buf.WriteByte(digestModeUnpacked)
+		digestU32(&buf, r.F.Channels())
+		digestU32(&buf, r.F.Blocks())
+		err = r.F.ForEach(func(c, b int, ct *paillier.Ciphertext) error {
+			digestU32(&buf, c)
+			digestU32(&buf, b)
+			raw := ct.C.Bytes()
+			digestU32(&buf, len(raw))
+			buf.Write(raw)
+			return nil
+		})
+	} else {
+		buf.WriteByte(digestModePacked)
+		digestU32(&buf, r.FP.Channels())
+		digestU32(&buf, r.FP.Blocks())
+		digestU32(&buf, r.FP.Slots())
+		digestU32(&buf, r.FP.Codec().SlotBits())
+		err = r.FP.ForEachGroup(func(c, g int, ct *paillier.Ciphertext) error {
+			digestU32(&buf, c)
+			digestU32(&buf, g)
+			raw := ct.C.Bytes()
+			digestU32(&buf, len(raw))
+			buf.Write(raw)
+			return nil
+		})
+	}
 	if err != nil {
 		return [32]byte{}, err
 	}
@@ -86,10 +162,32 @@ type SignRequest struct {
 	SUID string
 	// V holds the blinded ciphertexts under the group key.
 	V []*paillier.Ciphertext
+	// Packed marks slot-packed elements: each V[i] carries Slots
+	// blinded indicators in slots of SlotBits bits. The STP then
+	// unpacks each decryption, sign-tests every slot, and returns one
+	// SU-key ciphertext per element encrypting the sum of the slot
+	// signs (k when all slots pass, less otherwise).
+	Packed   bool
+	Slots    int
+	SlotBits int
 }
 
 // SignResponse carries the converted signs X~ (eq. 15) under the SU's
-// public key, positionally aligned with SignRequest.V.
+// public key, positionally aligned with SignRequest.V. For packed
+// requests X[i] encrypts the sum of V[i]'s slot signs.
 type SignResponse struct {
 	X []*paillier.Ciphertext
+}
+
+// BatchSignRequest coalesces the sign tests of many concurrent SU
+// requests into one STP round trip — the RPC that otherwise caps SDC
+// throughput at one request per STP latency.
+type BatchSignRequest struct {
+	Reqs []*SignRequest
+}
+
+// BatchSignResponse carries one SignResponse per batched request,
+// positionally aligned with BatchSignRequest.Reqs.
+type BatchSignResponse struct {
+	Resps []*SignResponse
 }

@@ -35,6 +35,11 @@ type sdcMetrics struct {
 	blindRefills   *obs.Counter // result="ok"
 	blindRefillErr *obs.Counter // result="error"
 	blindFallbacks *obs.Counter
+
+	batchSize       *obs.Histogram
+	batchFlushFull  *obs.Counter // reason="full"
+	batchFlushTimer *obs.Counter // reason="timer"
+	batchWait       *obs.Histogram
 }
 
 // requestStages enumerates the per-stage histogram labels in pipeline
@@ -74,6 +79,15 @@ func metrics() *sdcMetrics {
 				"background blinding-pool refill outcomes", obs.Labels{"result": "error"}),
 			blindFallbacks: r.Counter("pisa_sdc_blind_fallbacks_total",
 				"request cells that generated blinding factors online (pool was dry)", nil),
+			batchSize: r.Histogram("pisa_sdc_stp_batch_size",
+				"sign-test requests coalesced into one STP call",
+				nil, []float64{1, 2, 4, 8, 16, 32, 64}),
+			batchFlushFull: r.Counter("pisa_sdc_stp_batch_flushes_total",
+				"coalesced STP batch flushes by trigger", obs.Labels{"reason": "full"}),
+			batchFlushTimer: r.Counter("pisa_sdc_stp_batch_flushes_total",
+				"coalesced STP batch flushes by trigger", obs.Labels{"reason": "timer"}),
+			batchWait: r.Histogram("pisa_sdc_stp_batch_wait_seconds",
+				"time a sign-test request waited in the coalescing queue", nil, nil),
 		}
 		for _, s := range requestStages {
 			m.stage[s] = r.Histogram("pisa_sdc_request_stage_seconds",

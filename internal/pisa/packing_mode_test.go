@@ -1,0 +1,175 @@
+package pisa
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"pisa/internal/geo"
+	"pisa/internal/matrix"
+	"pisa/internal/paillier"
+	"pisa/internal/watch"
+)
+
+// newDeploymentMode builds an in-process universe plus oracle with the
+// requested request layout. The default test deployment runs packed;
+// this keeps the legacy one-cell-per-ciphertext escape hatch
+// (-packing=off) under the same oracle cross-check.
+func newDeploymentMode(t *testing.T, packed bool) *deployment {
+	t.Helper()
+	wp := testWatchParams(t)
+	params := TestParams(wp)
+	params.Packing = packed
+	stp, err := NewSTP(rand.Reader, params.PaillierBits)
+	if err != nil {
+		t.Fatalf("NewSTP: %v", err)
+	}
+	sdc, err := NewSDC("sdc-test", params, nil, stp)
+	if err != nil {
+		t.Fatalf("NewSDC: %v", err)
+	}
+	oracle, err := watch.NewSystem(wp, nil)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	return &deployment{params: params, stp: stp, sdc: sdc, oracle: oracle}
+}
+
+// TestUnpackedEquivalenceWithPlaintextWATCH is the oracle cross-check
+// for the legacy layout: with Packing off the pipeline must still
+// agree with plaintext WATCH decision for decision.
+func TestUnpackedEquivalenceWithPlaintextWATCH(t *testing.T) {
+	d := newDeploymentMode(t, false)
+	if d.sdc.Packed() {
+		t.Fatal("deployment built packed despite Packing=false")
+	}
+	su := d.newSU(t, "su-legacy", 7)
+	pu := d.newPU(t, "tv-legacy", 8)
+	weak := d.params.Watch.Quantize(d.params.Watch.SMinPUmW)
+
+	check := func(eirp map[int]int64) {
+		t.Helper()
+		req, err := su.PrepareRequest(eirp, geo.Disclosure{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.F == nil || req.FP != nil {
+			t.Fatal("unpacked deployment produced a packed request")
+		}
+		got := d.decide(t, su, req).Granted
+		if want := d.oracleDecision(t, su.Block(), eirp); got != want {
+			t.Fatalf("PISA=%v, WATCH oracle=%v (eirp=%v)", got, want, eirp)
+		}
+	}
+
+	check(map[int]int64{0: maxEIRP(d)}) // empty band: grant
+	d.tune(t, pu, 0, weak)              // nearby weak receiver: deny on 0
+	check(map[int]int64{0: maxEIRP(d)})
+	check(map[int]int64{1: 1}) // other channel stays clear
+	d.off(t, pu)
+	check(map[int]int64{0: maxEIRP(d)})
+}
+
+// TestRestoreSDCPackedUnpackedParity drives the same PU history through
+// a packed and an unpacked deployment sharing one group key, snapshots
+// and restores both, and requires the restored budget matrices to
+// decrypt identically — the packed WAL/snapshot layout must be a pure
+// re-encoding, never a semantic change.
+func TestRestoreSDCPackedUnpackedParity(t *testing.T) {
+	wp := testWatchParams(t)
+	base := TestParams(wp)
+	sk, err := paillier.GenerateKey(rand.Reader, base.PaillierBits)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	sig := wp.Quantize(wp.SMinPUmW)
+	restored := make(map[bool]*SDC, 2)
+	for _, packed := range []bool{true, false} {
+		params := base
+		params.Packing = packed
+		stp := NewSTPWithKey(rand.Reader, sk)
+		sdc, err := NewSDC("sdc-parity", params, nil, stp)
+		if err != nil {
+			t.Fatalf("NewSDC(packed=%v): %v", packed, err)
+		}
+		d := &durableDeployment{deployment: &deployment{params: params, stp: stp, sdc: sdc}, sk: sk}
+		d.update(t, d.newPU(t, "tv-1", 8), 1, sig)
+		d.update(t, d.newPU(t, "tv-2", 3), 0, 4*sig)
+		snap, err := sdc.ExportState()
+		if err != nil {
+			t.Fatalf("ExportState(packed=%v): %v", packed, err)
+		}
+		r, err := RestoreSDC("sdc-parity", params, nil, stp, snap, nil)
+		if err != nil {
+			t.Fatalf("RestoreSDC(packed=%v): %v", packed, err)
+		}
+		if r.Packed() != packed {
+			t.Fatalf("restored SDC packed=%v, want %v", r.Packed(), packed)
+		}
+		d.assertSameState(t, sdc, r)
+		restored[packed] = r
+	}
+	// Cross-mode: both restored controllers hold the same plaintext
+	// budgets even though their ciphertext layouts differ ~k-fold.
+	d := &durableDeployment{deployment: &deployment{params: base}, sk: sk}
+	if !d.budgets(t, restored[true]).Equal(d.budgets(t, restored[false])) {
+		t.Fatal("packed and unpacked restores decrypt to different budgets")
+	}
+	ps := restored[true].PackedBudgetSnapshot().SizeBytes()
+	us := restored[false].BudgetSnapshot().SizeBytes()
+	if ps >= us {
+		t.Fatalf("packed budget matrix %d B not smaller than unpacked %d B", ps, us)
+	}
+}
+
+// TestPackedRequestShrinksAtPaperScale pins the acceptance number: at
+// the paper's parameters (2048-bit keys, 100 channels, 600 blocks) the
+// packed TransmissionRequest is at least 10x smaller than the legacy
+// layout. The matrices are filled with full-width dummy values — the
+// size arithmetic, not the cryptography, is under test.
+func TestPackedRequestShrinksAtPaperScale(t *testing.T) {
+	params := Params{PaillierBits: 2048, PlaintextBits: 60, AlphaBits: 100}
+	k := params.PackSlots()
+	if k < 10 {
+		t.Fatalf("paper-scale geometry packs %d slots per ciphertext, want >= 10", k)
+	}
+	pk := &paillier.PublicKey{N: new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 2048), big.NewInt(159))}
+	full := &paillier.Ciphertext{C: new(big.Int).Sub(pk.NSquared(), big.NewInt(1))}
+	const channels, blocks = 100, 600
+
+	enc, err := matrix.NewEnc(pk, channels, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < channels; c++ {
+		for b := 0; b < blocks; b++ {
+			if err := enc.Set(c, b, full); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	codec, err := paillier.NewSlotCodec(k, params.SlotBits(), params.SlotBits()-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := matrix.NewPacked(pk, codec, channels, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := (blocks + k - 1) / k
+	for c := 0; c < channels; c++ {
+		for g := 0; g < groups; g++ {
+			if err := packed.SetGroup(c, g, full); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	legacy := (&TransmissionRequest{SUID: "su", F: enc}).SizeBytes()
+	small := (&TransmissionRequest{SUID: "su", FP: packed}).SizeBytes()
+	if small == 0 || legacy == 0 {
+		t.Fatalf("degenerate sizes: packed=%d legacy=%d", small, legacy)
+	}
+	if shrink := float64(legacy) / float64(small); shrink < 10 {
+		t.Fatalf("packed request shrinks %.1fx (%d B vs %d B), want >= 10x", shrink, small, legacy)
+	}
+}

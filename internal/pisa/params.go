@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"time"
 
 	"pisa/internal/dsig"
 	"pisa/internal/fbexp"
@@ -85,7 +86,35 @@ type Params struct {
 	// ShortExpBits is the nonce exponent width; 0 selects
 	// paillier.DefaultShortExpBits (256 = 2·λ at 112-bit security).
 	ShortExpBits int
+
+	// Packing enables ciphertext packing: along the block axis, runs
+	// of k consecutive cells share one Paillier plaintext, each in a
+	// slot of AlphaBits+PlaintextBits+2 bits (payload + blinding
+	// growth + sign), with k chosen to fill the modulus. Budgets,
+	// requests, WAL snapshots and the STP sign-test all shrink ~k-fold.
+	// The privacy trade-off: within one packed group the blinding
+	// factors alpha/epsilon are shared across slots, so the STP sees
+	// the relative sign pattern of a group's k indicators (up to a
+	// global flip) instead of k independently flipped signs. See
+	// DESIGN.md §12.
+	Packing bool
+
+	// STPBatchWindow, when positive, makes the SDC coalesce
+	// concurrent in-flight sign-test requests into one batched STP
+	// call: the first request in an empty queue waits up to this long
+	// for companions before the batch flushes. Zero disables
+	// coalescing (one RPC per request, the paper's Figure 5 shape).
+	STPBatchWindow time.Duration
+
+	// STPBatchMax caps how many requests one batch may carry; a full
+	// queue flushes immediately without waiting out the window. Zero
+	// selects DefaultSTPBatchMax when coalescing is enabled.
+	STPBatchMax int
 }
+
+// DefaultSTPBatchMax is the batch-size cap used when coalescing is
+// enabled without an explicit STPBatchMax.
+const DefaultSTPBatchMax = 16
 
 // DefaultParams returns the paper's Table I configuration on top of
 // the given WATCH parameters: 2048-bit Paillier, 60-bit plaintexts,
@@ -105,6 +134,7 @@ func DefaultParams(w watch.Params) Params {
 		SignerBits:    dsig.MaxSignerBits(2048),
 		Parallelism:   -1,   // production default: one worker per CPU
 		FastExp:       true, // fixed-base engine at default window/width
+		Packing:       true, // slot-packed ciphertexts (12 blocks/ct at 2048 bits)
 	}
 }
 
@@ -121,7 +151,45 @@ func TestParams(w watch.Params) Params {
 		EtaBits:       64,
 		SignerBits:    512,
 		FastExp:       true,
+		Packing:       true,
 	}
+}
+
+// SlotBits returns the per-slot width the packed layout needs: the
+// payload (PlaintextBits), the multiplicative blinding growth
+// (AlphaBits), one bit of additive-blinding headroom and one
+// bias/sign bit. With this width the whole eq. 11-14 pipeline —
+// budget sums, the deltaX scalar, alpha/beta blinding — stays inside
+// one slot (the additions of eq. 12-13 keep |I| within PlaintextBits
+// by the watch admission bounds; |alpha*I - beta| then has at most
+// AlphaBits+PlaintextBits+1 bits).
+func (p Params) SlotBits() int {
+	return p.AlphaBits + p.PlaintextBits + 2
+}
+
+// PackSlots returns how many block cells share one ciphertext at
+// these parameters: the largest k with k*SlotBits <= PaillierBits-2
+// (the packed plaintext must fit the centred signed domain). Returns
+// 0 when the modulus cannot hold even one slot.
+func (p Params) PackSlots() int {
+	if p.SlotBits() <= 0 {
+		return 0
+	}
+	return (p.PaillierBits - 2) / p.SlotBits()
+}
+
+// SlotCodec constructs the slot codec for these parameters, or nil
+// when packing is disabled.
+func (p Params) SlotCodec() (*paillier.SlotCodec, error) {
+	if !p.Packing {
+		return nil, nil
+	}
+	slots := p.PackSlots()
+	if slots < 1 {
+		return nil, fmt.Errorf("pisa: PaillierBits %d cannot hold one %d-bit slot; disable Packing",
+			p.PaillierBits, p.SlotBits())
+	}
+	return paillier.NewSlotCodec(slots, p.SlotBits(), p.PlaintextBits)
 }
 
 // Validate checks the cryptographic budgets are mutually consistent:
@@ -151,6 +219,10 @@ func (p Params) Validate() error {
 			p.FastExpWindow, fbexp.MaxWindow)
 	case p.ShortExpBits < 0 || (p.ShortExpBits > 0 && p.ShortExpBits < 64):
 		return fmt.Errorf("pisa: ShortExpBits %d must be 0 (default) or >= 64", p.ShortExpBits)
+	case p.STPBatchWindow < 0:
+		return fmt.Errorf("pisa: STPBatchWindow must not be negative")
+	case p.STPBatchMax < 0:
+		return fmt.Errorf("pisa: STPBatchMax must not be negative")
 	}
 	// Blinded value: |eps*(alpha*I - beta)| < 2^(AlphaBits + PlaintextBits) + 2^BetaBits.
 	// It must stay inside the centred plaintext domain (-n/2, n/2).
@@ -158,8 +230,24 @@ func (p Params) Validate() error {
 		return fmt.Errorf("pisa: alpha*I may wrap: AlphaBits %d + PlaintextBits %d + 2 > PaillierBits %d - 1",
 			p.AlphaBits, p.PlaintextBits, p.PaillierBits)
 	}
-	// Masked license: SG + eta * sum(Q), |sum(Q)| <= 2*C*B.
+	// Packed mode additionally needs at least one whole slot (the same
+	// per-slot budget as above) inside the modulus, which SlotCodec
+	// checks while deriving the geometry.
 	cells := p.Watch.Channels * p.Watch.Grid.Blocks()
+	if p.Packing {
+		codec, err := p.SlotCodec()
+		if err != nil {
+			return err
+		}
+		// The sign-test count includes padding slots: groups are whole
+		// ciphertexts, so the last group of a row rounds B up to a
+		// multiple of k.
+		k := codec.Slots()
+		groups := (p.Watch.Grid.Blocks() + k - 1) / k
+		cells = p.Watch.Channels * groups * k
+	}
+	// Masked license: SG + eta * sum(Q), |sum(Q)| <= 2*C*B (padding
+	// slots included in packed mode).
 	maskBits := p.EtaBits + 2 + bits.Len(uint(cells))
 	if p.SignerBits+2 > p.PaillierBits-1 || maskBits+2 > p.PaillierBits-1 {
 		return fmt.Errorf("pisa: license mask may wrap (signer %d, mask %d, paillier %d bits)",

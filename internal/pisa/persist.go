@@ -29,10 +29,17 @@ const (
 // and the license serial counter. Everything else the SDC holds —
 // the public E matrix, protection distances, blinding pools — is
 // either recomputed from public data or regenerable randomness.
+// Exactly one of NEnc (unpacked deployments) and NPack (packed
+// deployments, Params.Packing) is set; the Packed flag makes a mode
+// mismatch between snapshot and deployment an explicit error instead
+// of a nil-matrix crash. The fields are additive, so v1 snapshots
+// written before packing existed still decode (Packed=false).
 type sdcStateV1 struct {
 	Version int
 	Serial  uint64
+	Packed  bool
 	NEnc    *matrix.Enc
+	NPack   *matrix.Packed
 	Updates []*PUUpdate
 }
 
@@ -48,8 +55,13 @@ func (s *SDC) ExportState() ([]byte, error) {
 	st := sdcStateV1{
 		Version: sdcStateVersion,
 		Serial:  s.serial,
-		NEnc:    s.nEnc.Clone(),
 		Updates: make([]*PUUpdate, 0, len(s.puUpdates)),
+	}
+	if s.codec != nil {
+		st.Packed = true
+		st.NPack = s.nPack.Clone()
+	} else {
+		st.NEnc = s.nEnc.Clone()
 	}
 	for _, u := range s.puUpdates {
 		st.Updates = append(st.Updates, u)
@@ -88,7 +100,11 @@ func RestoreSDC(issuer string, params Params, transmitters []watch.TVTransmitter
 		return nil, err
 	}
 	if snapshot == nil {
-		if s.nEnc, err = matrix.EncryptInts(s.random, s.group, s.ePlain, s.workers); err != nil {
+		if s.codec != nil {
+			if s.nPack, err = matrix.PackEncryptInts(s.random, s.group, s.codec, s.ePlain, 1, s.workers); err != nil {
+				return nil, fmt.Errorf("pisa: encrypt initial budgets: %w", err)
+			}
+		} else if s.nEnc, err = matrix.EncryptInts(s.random, s.group, s.ePlain, s.workers); err != nil {
 			return nil, fmt.Errorf("pisa: encrypt initial budgets: %w", err)
 		}
 	} else {
@@ -99,18 +115,40 @@ func RestoreSDC(issuer string, params Params, transmitters []watch.TVTransmitter
 		if st.Version != sdcStateVersion {
 			return nil, fmt.Errorf("pisa: SDC snapshot version %d, this build reads %d", st.Version, sdcStateVersion)
 		}
-		if st.NEnc == nil {
-			return nil, fmt.Errorf("pisa: SDC snapshot has no budget matrix")
+		if st.Packed != (s.codec != nil) {
+			return nil, fmt.Errorf("pisa: snapshot packed=%v but deployment packed=%v (the packing flag must match the stored state)",
+				st.Packed, s.codec != nil)
 		}
-		if st.NEnc.Channels() != params.Watch.Channels || st.NEnc.Blocks() != params.Watch.Grid.Blocks() {
-			return nil, fmt.Errorf("pisa: snapshot budgets are %dx%d, deployment is %dx%d",
-				st.NEnc.Channels(), st.NEnc.Blocks(), params.Watch.Channels, params.Watch.Grid.Blocks())
+		if s.codec != nil {
+			if st.NPack == nil {
+				return nil, fmt.Errorf("pisa: SDC snapshot has no budget matrix")
+			}
+			if st.NPack.Channels() != params.Watch.Channels || st.NPack.Blocks() != params.Watch.Grid.Blocks() {
+				return nil, fmt.Errorf("pisa: snapshot budgets are %dx%d, deployment is %dx%d",
+					st.NPack.Channels(), st.NPack.Blocks(), params.Watch.Channels, params.Watch.Grid.Blocks())
+			}
+			if !st.NPack.Codec().Equal(s.codec) {
+				return nil, fmt.Errorf("pisa: snapshot slot codec does not match the deployment parameters")
+			}
+			if !st.NPack.Key().Equal(s.group) {
+				return nil, fmt.Errorf("pisa: snapshot encrypted under a different group key than the STP serves")
+			}
+			st.NPack.SetWorkers(s.workers)
+			s.nPack = st.NPack
+		} else {
+			if st.NEnc == nil {
+				return nil, fmt.Errorf("pisa: SDC snapshot has no budget matrix")
+			}
+			if st.NEnc.Channels() != params.Watch.Channels || st.NEnc.Blocks() != params.Watch.Grid.Blocks() {
+				return nil, fmt.Errorf("pisa: snapshot budgets are %dx%d, deployment is %dx%d",
+					st.NEnc.Channels(), st.NEnc.Blocks(), params.Watch.Channels, params.Watch.Grid.Blocks())
+			}
+			if !st.NEnc.Key().Equal(s.group) {
+				return nil, fmt.Errorf("pisa: snapshot encrypted under a different group key than the STP serves")
+			}
+			st.NEnc.SetWorkers(s.workers)
+			s.nEnc = st.NEnc
 		}
-		if !st.NEnc.Key().Equal(s.group) {
-			return nil, fmt.Errorf("pisa: snapshot encrypted under a different group key than the STP serves")
-		}
-		st.NEnc.SetWorkers(s.workers)
-		s.nEnc = st.NEnc
 		s.serial = st.Serial
 		for _, u := range st.Updates {
 			if err := s.registerRestored(u); err != nil {
@@ -136,6 +174,12 @@ func RestoreSDC(issuer string, params Params, transmitters []watch.TVTransmitter
 	// the self-healing note above.
 	dirty := make(map[geo.BlockID]bool)
 	for _, b := range s.puBlocks {
+		if s.codec != nil {
+			// Packed mode rebuilds whole slot groups; dedupe by the
+			// group's first block so a group with several PU blocks is
+			// rebuilt once, not once per block.
+			b = geo.BlockID(int(b) / s.codec.Slots() * s.codec.Slots())
+		}
 		dirty[b] = true
 	}
 	blocks := make([]geo.BlockID, 0, len(dirty))
@@ -209,10 +253,16 @@ func (s *SDC) Summary() SDCSummary {
 	for _, b := range s.puBlocks {
 		blocks[b] = true
 	}
+	cells := 0
+	if s.codec != nil {
+		cells = s.nPack.Populated()
+	} else {
+		cells = s.nEnc.Populated()
+	}
 	return SDCSummary{
 		PUs:            len(s.puUpdates),
 		BlocksWithPUs:  len(blocks),
-		PopulatedCells: s.nEnc.Populated(),
+		PopulatedCells: cells,
 		Serial:         s.serial,
 	}
 }
@@ -221,11 +271,26 @@ func (s *SDC) Summary() SDCSummary {
 // matrix N~ (sharing the immutable ciphertexts). The entries are
 // ciphertexts under the group key, so handing them out reveals nothing
 // the SDC itself could not already see; tests use this to check a
-// restored controller decrypts to the same plaintext budgets.
+// restored controller decrypts to the same plaintext budgets. Returns
+// nil on a packed deployment — use PackedBudgetSnapshot there.
 func (s *SDC) BudgetSnapshot() *matrix.Enc {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.nEnc == nil {
+		return nil
+	}
 	return s.nEnc.Clone()
+}
+
+// PackedBudgetSnapshot is BudgetSnapshot for packed deployments;
+// nil when packing is off.
+func (s *SDC) PackedBudgetSnapshot() *matrix.Packed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nPack == nil {
+		return nil
+	}
+	return s.nPack.Clone()
 }
 
 // stpRegistryV1 is the serialised SU key registry (snapshot payload

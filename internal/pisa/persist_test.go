@@ -34,9 +34,17 @@ func newDurableDeployment(t *testing.T) *durableDeployment {
 	return &durableDeployment{deployment: &deployment{params: params, stp: stp, sdc: sdc}, sk: sk}
 }
 
-// budgets decrypts an SDC's budget matrix with the group secret key.
+// budgets decrypts an SDC's budget matrix with the group secret key,
+// whichever layout the deployment uses.
 func (d *durableDeployment) budgets(t *testing.T, s *SDC) *matrix.Int {
 	t.Helper()
+	if s.Packed() {
+		m, err := matrix.DecryptPacked(d.sk, s.PackedBudgetSnapshot())
+		if err != nil {
+			t.Fatalf("DecryptPacked budgets: %v", err)
+		}
+		return m
+	}
 	m, err := matrix.Decrypt(d.sk, s.BudgetSnapshot())
 	if err != nil {
 		t.Fatalf("Decrypt budgets: %v", err)

@@ -315,7 +315,17 @@ func TestPartialDisclosureShrinksRequestAndAgrees(t *testing.T) {
 	if partial.SizeBytes() >= full.SizeBytes() {
 		t.Errorf("partial request %d B not smaller than full %d B", partial.SizeBytes(), full.SizeBytes())
 	}
-	if got, want := partial.F.Populated(), d.params.Watch.Channels*len(band.Blocks); got != want {
+	want := d.params.Watch.Channels * len(band.Blocks)
+	if partial.FP != nil {
+		// Packed disclosure rounds up to whole slot groups.
+		k := partial.FP.Slots()
+		groups := make(map[int]bool)
+		for _, b := range band.Blocks {
+			groups[int(b)/k] = true
+		}
+		want = d.params.Watch.Channels * len(groups)
+	}
+	if got := partial.Ciphertexts(); got != want {
 		t.Errorf("partial request populated %d cells, want %d", got, want)
 	}
 	gFull := d.decide(t, su, full)
@@ -364,16 +374,29 @@ func TestRefreshRequestUnlinkableSameDecision(t *testing.T) {
 	}
 	// Ciphertexts must all change...
 	same := 0
-	err = req.F.ForEach(func(c, b int, ct *paillier.Ciphertext) error {
-		other, err := fresh.F.At(c, b)
-		if err != nil {
-			return err
-		}
-		if ct.Equal(other) {
-			same++
-		}
-		return nil
-	})
+	if req.FP != nil {
+		err = req.FP.ForEachGroup(func(c, g int, ct *paillier.Ciphertext) error {
+			other, err := fresh.FP.GroupAt(c, g)
+			if err != nil {
+				return err
+			}
+			if ct.Equal(other) {
+				same++
+			}
+			return nil
+		})
+	} else {
+		err = req.F.ForEach(func(c, b int, ct *paillier.Ciphertext) error {
+			other, err := fresh.F.At(c, b)
+			if err != nil {
+				return err
+			}
+			if ct.Equal(other) {
+				same++
+			}
+			return nil
+		})
+	}
 	if err != nil {
 		t.Fatal(err)
 	}

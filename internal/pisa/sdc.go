@@ -44,8 +44,26 @@ type SDC struct {
 	now     func() time.Time
 	licTTL  time.Duration
 
+	// codec is the slot codec of a packed deployment
+	// (Params.Packing), nil otherwise. It fixes the deployment's
+	// layout: budgets live in nPack instead of nEnc, requests must
+	// arrive packed, and the STP sign test runs slot-wise.
+	codec *paillier.SlotCodec
+	// betaCodec shares codec's slot geometry but opens the payload to
+	// the full slot width: beta blinding factors are BetaBits wide,
+	// which may exceed the PlaintextBits payload budget values obey.
+	// Layout-compatible with codec (same slots x slot bits), so packed
+	// betas subtract slot-wise from packed alpha*I.
+	betaCodec *paillier.SlotCodec
+
+	// batcher coalesces concurrent sign-test round trips when
+	// Params.STPBatchWindow is set and the STP service supports
+	// batching; nil otherwise.
+	batcher *stpBatcher
+
 	mu        sync.Mutex
-	nEnc      *matrix.Enc                // N~: encrypted budgets
+	nEnc      *matrix.Enc                // N~: encrypted budgets (unpacked mode)
+	nPack     *matrix.Packed             // N~: packed budgets (packed mode)
 	puUpdates map[watch.PUID]*PUUpdate   // latest update per PU
 	puBlocks  map[watch.PUID]geo.BlockID // fixed registered locations
 	colVer    map[geo.BlockID]uint64     // bumped on every update registration
@@ -120,6 +138,17 @@ func NewSDC(issuer string, params Params, transmitters []watch.TVTransmitter, st
 	if err != nil {
 		return nil, err
 	}
+	if s.codec != nil {
+		// Packed deployments pad the slots beyond the last block with a
+		// constant 1: a padding slot's blinded test value is
+		// eps*(alpha*1 - beta), strictly positive before the flip
+		// (BetaBits < AlphaBits), so padding always "passes" and the
+		// grant test only has to offset the slot count.
+		if s.nPack, err = matrix.PackEncryptInts(s.random, s.group, s.codec, s.ePlain, 1, s.workers); err != nil {
+			return nil, fmt.Errorf("pisa: encrypt initial budgets: %w", err)
+		}
+		return s, nil
+	}
 	if s.nEnc, err = matrix.EncryptInts(s.random, s.group, s.ePlain, s.workers); err != nil {
 		return nil, fmt.Errorf("pisa: encrypt initial budgets: %w", err)
 	}
@@ -174,7 +203,45 @@ func newSDCBase(issuer string, params Params, transmitters []watch.TVTransmitter
 	if err != nil {
 		return nil, err
 	}
+	if s.codec, err = params.SlotCodec(); err != nil {
+		return nil, err
+	}
+	if s.codec != nil {
+		if err := s.codec.CheckKey(s.group); err != nil {
+			return nil, fmt.Errorf("pisa: packing: %w", err)
+		}
+		if s.betaCodec, err = paillier.NewSlotCodec(s.codec.Slots(), s.codec.SlotBits(), s.codec.SlotBits()-2); err != nil {
+			return nil, fmt.Errorf("pisa: packing: %w", err)
+		}
+	}
+	// Arm the coalescing layer when a batch window is configured and
+	// the STP service actually offers a batched entry point; otherwise
+	// every sign test keeps its own round trip.
+	if params.STPBatchWindow > 0 {
+		if bc, ok := stp.(BatchConverter); ok {
+			max := params.STPBatchMax
+			if max == 0 {
+				max = DefaultSTPBatchMax
+			}
+			if max >= 2 {
+				s.batcher = newSTPBatcher(bc, params.STPBatchWindow, max)
+			}
+		}
+	}
 	return s, nil
+}
+
+// Packed reports whether this deployment stores and processes the
+// budget matrix in packed form (Params.Packing).
+func (s *SDC) Packed() bool { return s.codec != nil }
+
+// convert routes one sign test to the STP: through the coalescing
+// batcher when armed, directly otherwise.
+func (s *SDC) convert(req *SignRequest) (*SignResponse, error) {
+	if s.batcher != nil {
+		return s.batcher.convert(req)
+	}
+	return s.stp.ConvertSigns(req)
 }
 
 // SetParallelism resizes the SDC's worker pool (see
@@ -183,7 +250,12 @@ func newSDCBase(issuer string, params Params, transmitters []watch.TVTransmitter
 // update processing.
 func (s *SDC) SetParallelism(n int) {
 	s.workers = parallel.Resolve(n)
-	s.nEnc.SetWorkers(s.workers)
+	if s.nPack != nil {
+		s.nPack.SetWorkers(s.workers)
+	}
+	if s.nEnc != nil {
+		s.nEnc.SetWorkers(s.workers)
+	}
 }
 
 // Parallelism reports the resolved worker-pool size.
@@ -329,6 +401,9 @@ func (s *SDC) SetUpdateJournal(fn func(*PUUpdate) error) {
 // the column version), the stale column is discarded and recomputed
 // from a fresh snapshot.
 func (s *SDC) rebuildColumn(b geo.BlockID) error {
+	if s.codec != nil {
+		return s.rebuildGroup(int(b) / s.codec.Slots())
+	}
 	m := metrics()
 	channels := s.params.Watch.Channels
 	for {
@@ -389,9 +464,101 @@ func (s *SDC) rebuildColumn(b geo.BlockID) error {
 	}
 }
 
-// requestCell tracks one (c, b) cell through the blinded sign test:
-// the request ciphertext, the budget snapshot, and the blinding tuple
-// (popped from the pool or generated on the fly).
+// rebuildGroup is the packed counterpart of rebuildColumn: block b's
+// budget shares its ciphertext with the other blocks of its slot
+// group, so a rebuild recomputes the whole group column — a fresh
+// packed encryption of the group's E slots (padding packs 1, the
+// always-positive indicator) with every stored W~ column at any block
+// of the group folded in at its slot via the shift scalar 2^(slot*W).
+// The staleness check covers every block version in the group.
+func (s *SDC) rebuildGroup(g int) error {
+	m := metrics()
+	channels := s.params.Watch.Channels
+	k := s.codec.Slots()
+	lo, hi := g*k, (g+1)*k
+	if blocks := s.params.Watch.Grid.Blocks(); hi > blocks {
+		hi = blocks
+	}
+	for {
+		passStart := time.Now()
+		s.mu.Lock()
+		vers := make([]uint64, hi-lo)
+		for b := lo; b < hi; b++ {
+			vers[b-lo] = s.colVer[geo.BlockID(b)]
+		}
+		var updates []*PUUpdate
+		for _, u := range s.puUpdates {
+			if int(u.Block) >= lo && int(u.Block) < hi {
+				updates = append(updates, u)
+			}
+		}
+		s.mu.Unlock()
+
+		col := make([]*paillier.Ciphertext, channels)
+		err := parallel.For(s.workers, channels, func(c int) error {
+			vals := make([]*big.Int, k)
+			for j := range vals {
+				if b := lo + j; b < hi {
+					ev, err := s.ePlain.At(c, b)
+					if err != nil {
+						return err
+					}
+					vals[j] = big.NewInt(ev)
+				} else {
+					vals[j] = big.NewInt(1)
+				}
+			}
+			acc, err := s.group.PackEncrypt(s.random, s.codec, vals)
+			if err != nil {
+				return fmt.Errorf("pisa: pack-encrypt E(%d, group %d): %w", c, g, err)
+			}
+			for _, u := range updates {
+				shifted, err := s.group.ScalarMul(s.codec.ShiftScalar(int(u.Block)-lo), u.Cts[c])
+				if err != nil {
+					return fmt.Errorf("pisa: shift update from %q: %w", u.PUID, err)
+				}
+				if acc, err = s.group.Add(acc, shifted); err != nil {
+					return fmt.Errorf("pisa: fold update from %q: %w", u.PUID, err)
+				}
+			}
+			col[c] = acc
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		s.mu.Lock()
+		stale := false
+		for b := lo; b < hi; b++ {
+			if s.colVer[geo.BlockID(b)] != vers[b-lo] {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			s.mu.Unlock()
+			m.colRebuild.ObserveSince(passStart)
+			m.colRetries.Inc()
+			continue
+		}
+		for c, ct := range col {
+			if err := s.nPack.SetGroup(c, g, ct); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.mu.Unlock()
+		m.colRebuild.ObserveSince(passStart)
+		return nil
+	}
+}
+
+// requestCell tracks one request element through the blinded sign
+// test: the request ciphertext, the budget snapshot, and the blinding
+// tuple (popped from the pool or generated on the fly). In unpacked
+// mode an element is one (channel, block) cell; in packed mode it is
+// one (channel, group) ciphertext carrying k block slots.
 type requestCell struct {
 	c, b int
 	f, n *paillier.Ciphertext
@@ -421,22 +588,47 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 			m.requestErrors.Inc()
 		}
 	}()
-	if req == nil || req.F == nil {
+	if req == nil || (req.F == nil && req.FP == nil) {
 		return nil, fmt.Errorf("pisa: nil request")
 	}
 	if req.SUID == "" {
 		return nil, fmt.Errorf("pisa: request missing SU id")
 	}
 	w := s.params.Watch
-	if req.F.Channels() != w.Channels || req.F.Blocks() != w.Grid.Blocks() {
-		return nil, fmt.Errorf("pisa: request matrix %dx%d, want %dx%d",
-			req.F.Channels(), req.F.Blocks(), w.Channels, w.Grid.Blocks())
-	}
-	if !req.F.Key().Equal(s.group) {
-		return nil, fmt.Errorf("pisa: request not encrypted under the group key")
-	}
-	if req.F.Populated() == 0 {
-		return nil, fmt.Errorf("pisa: request matrix is empty")
+	if s.codec != nil {
+		// Packed deployment: the request must arrive packed under the
+		// same slot geometry (mode is a deployment parameter; the
+		// -packing flag must agree on both sides).
+		if req.FP == nil {
+			return nil, fmt.Errorf("pisa: packed deployment requires a packed request")
+		}
+		if req.FP.Channels() != w.Channels || req.FP.Blocks() != w.Grid.Blocks() {
+			return nil, fmt.Errorf("pisa: request matrix %dx%d, want %dx%d",
+				req.FP.Channels(), req.FP.Blocks(), w.Channels, w.Grid.Blocks())
+		}
+		if !req.FP.Codec().Equal(s.codec) {
+			return nil, fmt.Errorf("pisa: request slot codec does not match the deployment")
+		}
+		if !req.FP.Key().Equal(s.group) {
+			return nil, fmt.Errorf("pisa: request not encrypted under the group key")
+		}
+		if req.FP.Populated() == 0 {
+			return nil, fmt.Errorf("pisa: request matrix is empty")
+		}
+	} else {
+		if req.F == nil {
+			return nil, fmt.Errorf("pisa: unpacked deployment cannot process a packed request")
+		}
+		if req.F.Channels() != w.Channels || req.F.Blocks() != w.Grid.Blocks() {
+			return nil, fmt.Errorf("pisa: request matrix %dx%d, want %dx%d",
+				req.F.Channels(), req.F.Blocks(), w.Channels, w.Grid.Blocks())
+		}
+		if !req.F.Key().Equal(s.group) {
+			return nil, fmt.Errorf("pisa: request not encrypted under the group key")
+		}
+		if req.F.Populated() == 0 {
+			return nil, fmt.Errorf("pisa: request matrix is empty")
+		}
 	}
 	suKey, err := s.stp.SUKey(req.SUID)
 	if err != nil {
@@ -459,12 +651,8 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 		s.mu.Unlock()
 		return nil, fmt.Errorf("pisa: background blinding refill: %w", err)
 	}
-	cells := make([]requestCell, 0, req.F.Populated())
-	err = req.F.ForEach(func(c, b int, f *paillier.Ciphertext) error {
-		n, err := s.nEnc.At(c, b)
-		if err != nil {
-			return err
-		}
+	cells := make([]requestCell, 0, req.Ciphertexts())
+	take := func(c, b int, f, n *paillier.Ciphertext) {
 		cell := requestCell{c: c, b: b, f: f, n: n}
 		if last := len(s.blindPool) - 1; last >= 0 {
 			cell.bf = s.blindPool[last]
@@ -472,8 +660,26 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 			s.blindPool = s.blindPool[:last]
 		}
 		cells = append(cells, cell)
-		return nil
-	})
+	}
+	if s.codec != nil {
+		err = req.FP.ForEachGroup(func(c, g int, f *paillier.Ciphertext) error {
+			n, err := s.nPack.GroupAt(c, g)
+			if err != nil {
+				return err
+			}
+			take(c, g, f, n)
+			return nil
+		})
+	} else {
+		err = req.F.ForEach(func(c, b int, f *paillier.Ciphertext) error {
+			n, err := s.nEnc.At(c, b)
+			if err != nil {
+				return err
+			}
+			take(c, b, f, n)
+			return nil
+		})
+	}
 	if err == nil {
 		s.maybeRefillBlindingLocked()
 	}
@@ -534,9 +740,17 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 	}
 	m.stage["blind"].ObserveSince(stageStart)
 
-	// Steps 6-8 happen at the STP.
+	// Steps 6-8 happen at the STP. Packed requests declare their slot
+	// geometry so the STP runs the sign test slot-wise and returns one
+	// sign-sum ciphertext per group.
 	stageStart = time.Now()
-	signResp, err := s.stp.ConvertSigns(&SignRequest{SUID: req.SUID, V: vs})
+	signReq := &SignRequest{SUID: req.SUID, V: vs}
+	if s.codec != nil {
+		signReq.Packed = true
+		signReq.Slots = s.codec.Slots()
+		signReq.SlotBits = s.codec.SlotBits()
+	}
+	signResp, err := s.convert(signReq)
 	if err != nil {
 		return nil, fmt.Errorf("pisa: STP conversion: %w", err)
 	}
@@ -549,6 +763,9 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 	// The epsilon scalar-muls are independent and fan out; the final
 	// sum is a cheap modular-multiplication fold (commutative, so the
 	// fold order cannot change the result): sum(Q) = sum(eps*X) - count.
+	// In packed mode every element carries k slot tests (padding slots
+	// always pass), so the count is cells x slots and the grant
+	// condition sum(Q) == 0 is unchanged.
 	stageStart = time.Now()
 	unblinded := make([]*paillier.Ciphertext, len(cells))
 	err = parallel.For(s.workers, len(cells), func(k int) error {
@@ -572,7 +789,11 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 			return nil, fmt.Errorf("pisa: accumulate Q: %w", err)
 		}
 	}
-	sumQ, err = suKey.AddPlain(sumQ, big.NewInt(-int64(len(cells))))
+	slotsPer := 1
+	if s.codec != nil {
+		slotsPer = s.codec.Slots()
+	}
+	sumQ, err = suKey.AddPlain(sumQ, big.NewInt(-int64(len(cells)*slotsPer)))
 	if err != nil {
 		return nil, fmt.Errorf("pisa: offset Q sum: %w", err)
 	}
@@ -642,6 +863,13 @@ func (s *SDC) newBlindFactors() (blindFactors, error) {
 // tuples — the offline-precomputable part of eq. 14 — on the worker
 // pool. Safe for concurrent use (the randomness source is
 // shared-reader wrapped at construction).
+//
+// In packed mode one tuple blinds one group ciphertext: alpha and
+// epsilon are shared across the group's slots (alpha*I keeps every
+// slot inside its width; the shared epsilon leaks only the group's
+// relative sign pattern to the STP, see DESIGN.md §12), while beta is
+// drawn fresh per slot and the tuple's betaEnc is a packed encryption
+// of the k betas.
 func (s *SDC) newBlindFactorsBatch(count int) ([]blindFactors, error) {
 	alphaLo := new(big.Int).Lsh(big.NewInt(1), uint(s.params.AlphaBits-1))
 	alphaHi := new(big.Int).Lsh(big.NewInt(1), uint(s.params.AlphaBits))
@@ -652,13 +880,25 @@ func (s *SDC) newBlindFactorsBatch(count int) ([]blindFactors, error) {
 		if err != nil {
 			return err
 		}
-		beta, err := paillier.RandomInRange(s.random, big.NewInt(1), betaHi)
-		if err != nil {
-			return err
-		}
-		betaEnc, err := s.group.Encrypt(s.random, beta)
-		if err != nil {
-			return err
+		var betaEnc *paillier.Ciphertext
+		if s.codec != nil {
+			betas := make([]*big.Int, s.codec.Slots())
+			for j := range betas {
+				if betas[j], err = paillier.RandomInRange(s.random, big.NewInt(1), betaHi); err != nil {
+					return err
+				}
+			}
+			if betaEnc, err = s.group.PackEncrypt(s.random, s.betaCodec, betas); err != nil {
+				return err
+			}
+		} else {
+			beta, err := paillier.RandomInRange(s.random, big.NewInt(1), betaHi)
+			if err != nil {
+				return err
+			}
+			if betaEnc, err = s.group.Encrypt(s.random, beta); err != nil {
+				return err
+			}
 		}
 		epsBit := make([]byte, 1)
 		if _, err := io.ReadFull(s.random, epsBit); err != nil {

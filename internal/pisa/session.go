@@ -51,7 +51,7 @@ func (s *Session) PrecomputeRounds(rounds int) error {
 	if rounds < 0 {
 		return fmt.Errorf("pisa: negative rounds %d", rounds)
 	}
-	return s.su.PrecomputeNonces(rounds * s.base.F.Populated())
+	return s.su.PrecomputeNonces(rounds * s.base.Ciphertexts())
 }
 
 // Submit sends one fresh (unlinkable) copy of the request and opens

@@ -25,6 +25,14 @@ type STPService interface {
 	GroupKey() *paillier.PublicKey
 }
 
+// BatchConverter is the optional batched sign-test entry point: many
+// SUs' blinded V vectors in one round trip. The SDC's coalescing
+// layer type-asserts for it and falls back to per-request
+// ConvertSigns calls when the service doesn't offer it.
+type BatchConverter interface {
+	ConvertSignsBatch(batch *BatchSignRequest) (*BatchSignResponse, error)
+}
+
 // STP is the semi-trusted third party: sole holder of the group
 // secret key, registry of SU public keys. It sees only blinded values
 // whose sign carries no information thanks to the SDC's one-time
@@ -51,7 +59,10 @@ type STP struct {
 	observer func(suID string, values []*big.Int)
 }
 
-var _ STPService = (*STP)(nil)
+var (
+	_ STPService     = (*STP)(nil)
+	_ BatchConverter = (*STP)(nil)
+)
 
 // NewSTP generates the group key pair and an empty SU registry.
 func NewSTP(random io.Reader, paillierBits int) (*STP, error) {
@@ -196,38 +207,128 @@ func (s *STP) SUKey(id string) (*paillier.PublicKey, error) {
 	return pk, nil
 }
 
+// requestCodec reconstructs and validates the slot codec a packed
+// sign request declares; nil for unpacked requests. The payload width
+// is irrelevant for unpacking, so the widest legal value is used.
+func (s *STP) requestCodec(req *SignRequest) (*paillier.SlotCodec, error) {
+	if !req.Packed {
+		return nil, nil
+	}
+	codec, err := paillier.NewSlotCodec(req.Slots, req.SlotBits, req.SlotBits-2)
+	if err != nil {
+		return nil, fmt.Errorf("pisa: sign request slot geometry: %w", err)
+	}
+	if err := codec.CheckKey(s.group.Public()); err != nil {
+		return nil, fmt.Errorf("pisa: sign request slot geometry: %w", err)
+	}
+	return codec, nil
+}
+
+// signOf maps a decrypted blinded value to its converted sign: the
+// plain eq. 15 test for scalar values, or — packed — the sum of the
+// per-slot sign tests, so the SDC's unblinded per-element q becomes
+// (slots that passed) - (slots that failed).
+func signOf(v *big.Int, codec *paillier.SlotCodec) (int64, error) {
+	if codec == nil {
+		if v.Sign() > 0 {
+			return 1, nil
+		}
+		return -1, nil
+	}
+	slots, err := codec.Unpack(v)
+	if err != nil {
+		return 0, err
+	}
+	var sum int64
+	for _, sv := range slots {
+		if sv.Sign() > 0 {
+			sum++
+		} else {
+			sum--
+		}
+	}
+	return sum, nil
+}
+
 // ConvertSigns implements STPService: eq. 15 plus key conversion.
 func (s *STP) ConvertSigns(req *SignRequest) (*SignResponse, error) {
 	if req == nil {
 		return nil, fmt.Errorf("pisa: nil sign request")
 	}
-	suKey, err := s.SUKey(req.SUID)
+	resps, err := s.convertAll([]*SignRequest{req})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*paillier.Ciphertext, len(req.V))
-	var observed []*big.Int
-	if s.observer != nil {
-		observed = make([]*big.Int, len(req.V))
+	return resps[0], nil
+}
+
+// ConvertSignsBatch implements BatchConverter: the sign tests of many
+// SU requests in one call. Beyond saving round trips, the whole batch
+// shares the hoisted per-key decryption context (paillier.DecryptBatch)
+// and resolves each SU key once instead of once per element.
+func (s *STP) ConvertSignsBatch(batch *BatchSignRequest) (*BatchSignResponse, error) {
+	if batch == nil || len(batch.Reqs) == 0 {
+		return nil, fmt.Errorf("pisa: empty batch sign request")
 	}
-	// Each element is decrypt + sign test + re-encrypt, independent of
-	// every other; positional writes keep the response (and the
-	// observer trace) in request order at any worker count.
-	err = parallel.For(s.workers, len(req.V), func(i int) error {
-		v, err := s.group.Decrypt(req.V[i])
+	resps, err := s.convertAll(batch.Reqs)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchSignResponse{Resps: resps}, nil
+}
+
+// convertAll is the shared conversion kernel. Per-request setup (SU
+// key lookup, codec validation) is hoisted out of the element loop;
+// all elements of all requests are then decrypted through one batched
+// call whose CRT context is set up once per worker, sign-tested, and
+// re-encrypted under their request's SU key.
+func (s *STP) convertAll(reqs []*SignRequest) ([]*SignResponse, error) {
+	type reqState struct {
+		suKey *paillier.PublicKey
+		codec *paillier.SlotCodec
+		off   int // offset of this request's elements in the flat batch
+	}
+	states := make([]reqState, len(reqs))
+	total := 0
+	for r, req := range reqs {
+		if req == nil {
+			return nil, fmt.Errorf("pisa: nil sign request in batch slot %d", r)
+		}
+		suKey, err := s.SUKey(req.SUID)
 		if err != nil {
-			return fmt.Errorf("pisa: decrypt V[%d]: %w", i, err)
+			return nil, err
 		}
-		if observed != nil {
-			observed[i] = new(big.Int).Set(v)
-		}
-		x := int64(-1)
-		if v.Sign() > 0 {
-			x = 1
-		}
-		enc, err := suKey.EncryptInt(s.random, x)
+		codec, err := s.requestCodec(req)
 		if err != nil {
-			return fmt.Errorf("pisa: encrypt X[%d]: %w", i, err)
+			return nil, err
+		}
+		states[r] = reqState{suKey: suKey, codec: codec, off: total}
+		total += len(req.V)
+	}
+	flat := make([]*paillier.Ciphertext, 0, total)
+	owner := make([]int, 0, total) // flat index -> request index
+	for r, req := range reqs {
+		flat = append(flat, req.V...)
+		for range req.V {
+			owner = append(owner, r)
+		}
+	}
+	vals, err := s.group.DecryptBatch(flat, s.workers)
+	if err != nil {
+		return nil, fmt.Errorf("pisa: decrypt V: %w", err)
+	}
+	out := make([]*paillier.Ciphertext, total)
+	// Sign test + re-encrypt per element; positional writes keep every
+	// response in its request's order at any worker count.
+	err = parallel.For(s.workers, total, func(i int) error {
+		st := states[owner[i]]
+		x, err := signOf(vals[i], st.codec)
+		if err != nil {
+			return fmt.Errorf("pisa: sign test V[%d]: %w", i-st.off, err)
+		}
+		enc, err := st.suKey.EncryptInt(s.random, x)
+		if err != nil {
+			return fmt.Errorf("pisa: encrypt X[%d]: %w", i-st.off, err)
 		}
 		out[i] = enc
 		return nil
@@ -235,8 +336,13 @@ func (s *STP) ConvertSigns(req *SignRequest) (*SignResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	if s.observer != nil {
-		s.observer(req.SUID, observed)
+	resps := make([]*SignResponse, len(reqs))
+	for r, req := range reqs {
+		st := states[r]
+		resps[r] = &SignResponse{X: out[st.off : st.off+len(req.V)]}
+		if s.observer != nil {
+			s.observer(req.SUID, vals[st.off:st.off+len(req.V)])
+		}
 	}
-	return &SignResponse{X: out}, nil
+	return resps, nil
 }

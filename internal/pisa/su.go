@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sort"
 
 	"pisa/internal/dsig"
 	"pisa/internal/geo"
@@ -26,6 +27,10 @@ type SU struct {
 	planner *watch.Planner
 	random  io.Reader
 	workers int
+	// codec mirrors the deployment's packing mode (Params.Packing):
+	// non-nil means requests ship as packed matrices, k block slots per
+	// ciphertext.
+	codec *paillier.SlotCodec
 	// nonces is the precomputed r^n pool for cheap request refreshes
 	// (§VI-A's ~11 s reuse path versus ~221 s fresh preparation).
 	nonces *paillier.NoncePool
@@ -61,6 +66,15 @@ func NewSU(random io.Reader, id string, block geo.BlockID, params Params, planne
 	if err := params.armFastExp(random, group); err != nil {
 		return nil, fmt.Errorf("pisa: arm group key: %w", err)
 	}
+	codec, err := params.SlotCodec()
+	if err != nil {
+		return nil, err
+	}
+	if codec != nil {
+		if err := codec.CheckKey(group); err != nil {
+			return nil, fmt.Errorf("pisa: packing: %w", err)
+		}
+	}
 	workers := parallel.Resolve(params.Parallelism)
 	return &SU{
 		id:      id,
@@ -70,6 +84,7 @@ func NewSU(random io.Reader, id string, block geo.BlockID, params Params, planne
 		planner: planner,
 		random:  random,
 		workers: workers,
+		codec:   codec,
 		nonces:  paillier.NewNoncePool(group, random, workers),
 	}, nil
 }
@@ -126,6 +141,9 @@ func (u *SU) PrepareRequest(eirpUnits map[int]int64, disclosure geo.Disclosure) 
 	if err != nil {
 		return nil, err
 	}
+	if u.codec != nil {
+		return u.preparePacked(f, disclosure)
+	}
 	enc, err := matrix.NewEnc(u.group, p.Channels, p.Grid.Blocks())
 	if err != nil {
 		return nil, err
@@ -168,6 +186,80 @@ func (u *SU) PrepareRequest(eirpUnits map[int]int64, disclosure geo.Disclosure) 
 	return &TransmissionRequest{
 		SUID:       u.id,
 		F:          enc,
+		Disclosure: append([]geo.BlockID(nil), disclosure.Blocks...),
+	}, nil
+}
+
+// preparePacked builds the packed transmission request: one ciphertext
+// per (channel, slot group) for every group touched by the disclosure.
+// Disclosure granularity rounds up to whole groups — the effective
+// disclosed region is the union of the k-block groups covering the
+// requested blocks, which only widens the region (never narrows it),
+// so the unpacked footprint check above still guarantees no
+// interference constraint is dropped. Out-of-disclosure slots inside a
+// shipped group and padding slots past the grid encrypt zero.
+func (u *SU) preparePacked(f *matrix.Int, disclosure geo.Disclosure) (*TransmissionRequest, error) {
+	p := u.planner.Params()
+	blocks := p.Grid.Blocks()
+	k := u.codec.Slots()
+	fp, err := matrix.NewPacked(u.group, u.codec, p.Channels, blocks)
+	if err != nil {
+		return nil, err
+	}
+	// Enumerate the shipped groups in ascending order, then expand
+	// group-major/channel-minor into one work list so workers=1 draws
+	// randomness in the identical sequence as any pool size.
+	seen := make(map[int]bool, len(disclosure.Blocks))
+	groups := make([]int, 0, len(disclosure.Blocks))
+	for _, b := range disclosure.Blocks {
+		if g := int(b) / k; !seen[g] {
+			seen[g] = true
+			groups = append(groups, g)
+		}
+	}
+	sort.Ints(groups)
+	type groupRef struct {
+		c, g int
+	}
+	work := make([]groupRef, 0, len(groups)*p.Channels)
+	for _, g := range groups {
+		for c := 0; c < p.Channels; c++ {
+			work = append(work, groupRef{c: c, g: g})
+		}
+	}
+	cts := make([]*paillier.Ciphertext, len(work))
+	err = parallel.For(u.workers, len(work), func(i int) error {
+		c, g := work[i].c, work[i].g
+		vals := make([]*big.Int, k)
+		for s := 0; s < k; s++ {
+			if b := g*k + s; b < blocks {
+				v, err := f.At(c, b)
+				if err != nil {
+					return err
+				}
+				vals[s] = big.NewInt(v)
+			} else {
+				vals[s] = big.NewInt(0)
+			}
+		}
+		ct, err := u.group.PackEncrypt(u.random, u.codec, vals)
+		if err != nil {
+			return fmt.Errorf("pisa: pack-encrypt F(%d, group %d): %w", c, g, err)
+		}
+		cts[i] = ct
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ct := range cts {
+		if err := fp.SetGroup(work[i].c, work[i].g, ct); err != nil {
+			return nil, err
+		}
+	}
+	return &TransmissionRequest{
+		SUID:       u.id,
+		FP:         fp,
 		Disclosure: append([]geo.BlockID(nil), disclosure.Blocks...),
 	}, nil
 }
@@ -219,11 +311,14 @@ func (u *SU) PooledNonces() int { return u.nonces.Len() }
 // PrecomputeNonces are consumed one per ciphertext; when the pool
 // runs dry the refresh falls back to fresh (slow) re-randomisation.
 func (u *SU) RefreshRequest(req *TransmissionRequest) (*TransmissionRequest, error) {
-	if req == nil || req.F == nil {
+	if req == nil || (req.F == nil && req.FP == nil) {
 		return nil, fmt.Errorf("pisa: nil request")
 	}
 	if req.SUID != u.id {
 		return nil, fmt.Errorf("pisa: request belongs to %q, not %q", req.SUID, u.id)
+	}
+	if req.FP != nil {
+		return u.refreshPacked(req)
 	}
 	fresh, err := matrix.NewEnc(u.group, req.F.Channels(), req.F.Blocks())
 	if err != nil {
@@ -265,6 +360,55 @@ func (u *SU) RefreshRequest(req *TransmissionRequest) (*TransmissionRequest, err
 	return &TransmissionRequest{
 		SUID:       req.SUID,
 		F:          fresh,
+		Disclosure: append([]geo.BlockID(nil), req.Disclosure...),
+	}, nil
+}
+
+// refreshPacked is RefreshRequest for packed requests: one pooled
+// nonce re-randomises one group ciphertext, so a refresh costs ~k
+// times fewer nonces (and modular multiplications) than the unpacked
+// layout.
+func (u *SU) refreshPacked(req *TransmissionRequest) (*TransmissionRequest, error) {
+	fresh, err := matrix.NewPacked(u.group, req.FP.Codec(), req.FP.Channels(), req.FP.Blocks())
+	if err != nil {
+		return nil, err
+	}
+	type groupRef struct {
+		c, g int
+		ct   *paillier.Ciphertext
+	}
+	var work []groupRef
+	err = req.FP.ForEachGroup(func(c, g int, ct *paillier.Ciphertext) error {
+		work = append(work, groupRef{c: c, g: g, ct: ct})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*paillier.Ciphertext, len(work))
+	err = parallel.For(u.workers, len(work), func(k int) error {
+		nonce, err := u.nonces.Get()
+		if err != nil {
+			return fmt.Errorf("pisa: refresh F(%d, group %d): %w", work[k].c, work[k].g, err)
+		}
+		rr, err := u.group.RerandomizeWith(work[k].ct, nonce)
+		if err != nil {
+			return fmt.Errorf("pisa: refresh F(%d, group %d): %w", work[k].c, work[k].g, err)
+		}
+		out[k] = rr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, rr := range out {
+		if err := fresh.SetGroup(work[k].c, work[k].g, rr); err != nil {
+			return nil, err
+		}
+	}
+	return &TransmissionRequest{
+		SUID:       req.SUID,
+		FP:         fresh,
 		Disclosure: append([]geo.BlockID(nil), req.Disclosure...),
 	}, nil
 }

@@ -47,6 +47,12 @@ const (
 	KindPartialResponse
 
 	KindAck
+
+	// Batch kinds are appended after KindAck so the numbering of the
+	// kinds above — and with it wire compatibility with earlier
+	// binaries — is preserved.
+	KindBatchConvertRequest // SDC -> STP, coalesced sign tests
+	KindBatchConvertResponse
 )
 
 // String names the kind for logs.
@@ -88,6 +94,10 @@ func (k Kind) String() string {
 		return "partial-response"
 	case KindAck:
 		return "ack"
+	case KindBatchConvertRequest:
+		return "batch-convert-request"
+	case KindBatchConvertResponse:
+		return "batch-convert-response"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -110,6 +120,11 @@ type Envelope struct {
 	Response     *pisa.Response
 	SignRequest  *pisa.SignRequest
 	SignResponse *pisa.SignResponse
+
+	// BatchSignRequest / BatchSignResponse carry coalesced sign tests
+	// (KindBatchConvertRequest / KindBatchConvertResponse).
+	BatchSignRequest  *pisa.BatchSignRequest
+	BatchSignResponse *pisa.BatchSignResponse
 
 	EColumn   []int64
 	Paillier  *paillier.PublicKey
