@@ -15,9 +15,12 @@ package repro
 // cmd/pisabench formats the same measurements as paper-style tables.
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"math/big"
+	"net"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -25,7 +28,9 @@ import (
 	"pisa/internal/bench"
 	"pisa/internal/dghv"
 	"pisa/internal/geo"
+	"pisa/internal/node"
 	"pisa/internal/paillier"
+	"pisa/internal/pir"
 	"pisa/internal/pisa"
 	"pisa/internal/seccmp"
 	"pisa/internal/watch"
@@ -245,6 +250,74 @@ func BenchmarkFigure6_PUUpdate(b *testing.B) {
 		}
 		if err := u.SDC.HandlePUUpdate(update); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// pirFleet caches one loopback PIR replica fleet over the same radio
+// parameters as figureUniverse, for the backend head-to-head.
+var pirFleet = sync.OnceValue(func() *node.PIRClient {
+	params, err := bench.SmallParams(5, 4, 3, 2048)
+	if err != nil {
+		panic(err)
+	}
+	addrs := make([]string, 3)
+	for i := range addrs {
+		db, err := pir.NewDatabase(params.Watch, nil, 0, 0, 0)
+		if err != nil {
+			panic(err)
+		}
+		srv := node.NewPIRServer(db, nil, 0)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		go srv.Serve(ln)
+		addrs[i] = ln.Addr().String()
+	}
+	c, err := node.DialPIRWith(node.Options{}, 2, addrs...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+})
+
+// BenchmarkBackendQuery measures one private spectrum query under the
+// backend selected by the PISA_BACKEND environment variable: "pir"
+// runs one XOR-PIR row fetch over a loopback replica fleet (k=2 of
+// m=3); anything else (or unset) runs the encrypted PISA pipeline
+// (fresh request preparation + SDC/STP processing) at the same
+// deployment shape. Compare with:
+//
+//	PISA_BACKEND=pisa go test -bench BackendQuery -count 5 > pisa.txt
+//	PISA_BACKEND=pir  go test -bench BackendQuery -count 5 > pir.txt
+//	benchstat pisa.txt pir.txt
+func BenchmarkBackendQuery(b *testing.B) {
+	if os.Getenv("PISA_BACKEND") == "pir" {
+		c := pirFleet()
+		m := c.Meta()
+		b.ReportMetric(float64(c.K()*(m.SelBytes()+m.RowLen(pir.TableBitmap))), "query-bytes")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Fetch(context.Background(), pir.TableBitmap, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	u := figureUniverse()
+	eirp := map[int]int64{0: u.Params.Watch.Quantize(1000)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, err := u.SU.PrepareRequest(eirp, geo.Disclosure{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := u.SDC.ProcessRequest(req); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(req.SizeBytes()+u.STP.GroupKey().CiphertextBytes()), "query-bytes")
 		}
 	}
 }

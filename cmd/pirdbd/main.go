@@ -1,0 +1,131 @@
+// Command pirdbd runs one replica of the multi-server PIR spectrum
+// database: a plaintext per-block availability table derived from the
+// same PU budget state the PISA SDC tracks, served obliviously through
+// XOR-based information-theoretic PIR (see DESIGN.md §13).
+//
+// Each replica holds the full database; privacy holds as long as the
+// k replicas an SU queries do not collude. PU churn reaches replicas
+// as plaintext replica-sync frames (the trust trade against PISA:
+// replicas learn PU state, but no replica learns what any SU asked).
+//
+// Run one pirdbd per replica address in the config's pir.addrs list:
+//
+//	pirdbd -config pisa.json -listen 127.0.0.1:7420 [-metrics host:port]
+//	       [-min-eirp-mw 100] [-bloom-bits 1600] [-bloom-hashes 11]
+//
+// With -metrics the daemon serves Prometheus metrics on /metrics and
+// net/http/pprof on /debug/pprof/: per-table query counters, rebuild
+// and answer-scan latencies, and the RPC server counters.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pisa/internal/config"
+	"pisa/internal/node"
+	"pisa/internal/obs"
+	"pisa/internal/pir"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pirdbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pirdbd", flag.ContinueOnError)
+	configPath := fs.String("config", "", "deployment config JSON (defaults built in)")
+	listen := fs.String("listen", "", "listen address (default: first entry of config pir.addrs)")
+	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
+	minEIRPmW := fs.Float64("min-eirp-mw", -1, "availability threshold in mW (overrides config pir.minEIRPmW; <0 = use config; 0 = full SU power)")
+	bloomBits := fs.Int("bloom-bits", -1, "Bloom filter bits per block (overrides config pir.bloomBits; <0 = use config; 0 = default geometry)")
+	bloomHashes := fs.Int("bloom-hashes", -1, "Bloom filter hash count (overrides config pir.bloomHashes; <0 = use config; 0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := config.Load(*configPath)
+	if err != nil {
+		return err
+	}
+	if *minEIRPmW >= 0 {
+		cfg.PIR.MinEIRPmW = *minEIRPmW
+	}
+	if *bloomBits >= 0 {
+		cfg.PIR.BloomBits = *bloomBits
+	}
+	if *bloomHashes >= 0 {
+		cfg.PIR.BloomHashes = *bloomHashes
+	}
+	addr := *listen
+	if addr == "" {
+		if targets := cfg.PIR.Targets(); len(targets) > 0 {
+			addr = targets[0]
+		}
+	}
+	if addr == "" {
+		return errors.New("no listen address: pass -listen or set pir.addrs in the config")
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	if *metricsAddr != "" {
+		obsSrv, err := obs.ListenAndServe(*metricsAddr, nil)
+		if err != nil {
+			return err
+		}
+		defer obsSrv.Close()
+		log.Info("metrics serving", "addr", obsSrv.Addr(), "endpoints", "/metrics /debug/pprof/")
+	}
+
+	db, err := buildDatabase(cfg)
+	if err != nil {
+		return err
+	}
+	pir.InstrumentDatabase(db)
+	m := db.Meta()
+	log.Info("availability database built",
+		"blocks", m.Blocks, "channels", m.Channels,
+		"rowBytes", m.RowBytes, "bloomRowBytes", m.BloomRowBytes,
+		"bloomFalsePositiveRate",
+		fmt.Sprintf("%.2e", pir.FalsePositiveRate(m.BloomBits, m.BloomHashes, m.Channels)))
+
+	srv := node.NewPIRServer(db, log, 0)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Info("PIR replica serving", "addr", ln.Addr().String())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case s := <-sig:
+		log.Info("shutting down", "signal", s.String())
+		m := db.Meta()
+		log.Info("replica summary", "version", m.Version, "activePUs", db.ActivePUs())
+		return srv.Close()
+	case err := <-errCh:
+		return err
+	}
+}
+
+// buildDatabase derives the replica's availability tables from the
+// deployment's radio parameters and PIR section.
+func buildDatabase(cfg config.File) (*pir.Database, error) {
+	wp, err := cfg.WatchParams()
+	if err != nil {
+		return nil, err
+	}
+	return pir.NewDatabase(wp, nil, cfg.PIR.MinEIRPUnits(wp),
+		cfg.PIR.BloomBits, cfg.PIR.BloomHashes)
+}

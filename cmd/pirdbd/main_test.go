@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pisa/internal/config"
+	"pisa/internal/node"
+	"pisa/internal/pir"
+)
+
+func TestRunRejectsBadConfigPath(t *testing.T) {
+	if err := run([]string{"-config", "/nonexistent/pisa.json"}); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunRejectsEmptyFleet(t *testing.T) {
+	// A nil Addrs would be omitted by Save (omitempty) and Load would
+	// resurrect the default fleet, so the empty fleet must be spelled
+	// out in the JSON itself.
+	cfgPath := filepath.Join(t.TempDir(), "pisa.json")
+	if err := os.WriteFile(cfgPath, []byte(`{"pir": {"addrs": []}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", cfgPath}); err == nil {
+		t.Fatal("no listen address accepted")
+	}
+}
+
+func TestBuildDatabaseHonoursPIRSection(t *testing.T) {
+	cfg := config.Default()
+	cfg.Channels = 3
+	cfg.GridCols = 5
+	cfg.GridRows = 4
+	cfg.PIR.BloomBits = 64
+	cfg.PIR.BloomHashes = 5
+	db, err := buildDatabase(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := db.Meta()
+	if m.Blocks != 20 || m.Channels != 3 {
+		t.Errorf("geometry %dx%d, want 20x3", m.Blocks, m.Channels)
+	}
+	if m.BloomBits != 64 || m.BloomHashes != 5 {
+		t.Errorf("bloom geometry %d/%d, want 64/5", m.BloomBits, m.BloomHashes)
+	}
+}
+
+// TestRunServesReplicas boots two daemons from one config and drives
+// a real 2-server PIR fetch plus a replica-sync through them.
+func TestRunServesReplicas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins real servers")
+	}
+	cfg := config.Default()
+	cfg.Channels = 3
+	cfg.GridCols = 5
+	cfg.GridRows = 4
+
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		probe, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, probe.Addr().String())
+		probe.Close()
+	}
+	cfg.PIR.Addrs = addrs
+	cfgPath := filepath.Join(t.TempDir(), "pisa.json")
+	if err := cfg.Save(cfgPath); err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range addrs {
+		addr := addr
+		go func() { _ = run([]string{"-config", cfgPath, "-listen", addr}) }()
+	}
+
+	// Poll until both replicas answer the meta request.
+	var c *node.PIRClient
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var err error
+		c, err = DialFleet(cfg)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas never became ready: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	defer c.Close()
+
+	wp, err := cfg.WatchParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, _, err := c.Fetch(context.Background(), pir.TableBitmap, 7)
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if !pir.BitmapHas(row, 1) {
+		t.Fatal("channel 1 not available on an empty deployment")
+	}
+	u := &pir.Update{PUID: "tv-e2e", Block: 7, Channel: 1, SignalUnits: wp.Quantize(wp.SMinPUmW)}
+	if err := c.SendUpdate(context.Background(), u); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	row, _, err = c.Fetch(context.Background(), pir.TableBitmap, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pir.BitmapHas(row, 1) {
+		t.Fatal("channel 1 still available at the PU's own block after sync")
+	}
+	// Daemons die with the test process.
+}
+
+// DialFleet connects to every replica in the config with k = all.
+func DialFleet(cfg config.File) (*node.PIRClient, error) {
+	opts, err := cfg.RPC.Options()
+	if err != nil {
+		return nil, err
+	}
+	opts.DialTimeout = time.Second
+	return node.DialPIRWith(opts, cfg.PIR.K, cfg.PIR.Targets()...)
+}

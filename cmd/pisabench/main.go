@@ -257,6 +257,11 @@ func runJSON(opt options) error {
 	if err != nil {
 		return err
 	}
+	fmt.Println("  measuring PISA vs multi-server PIR head to head (loopback replicas)...")
+	report.Backend, err = bench.MeasureBackend(5, 4, 3, opt.bits, 3, 2, max(5, opt.iters/2))
+	if err != nil {
+		return err
+	}
 	if err := report.WriteJSON(opt.jsonPath); err != nil {
 		return err
 	}
@@ -270,6 +275,13 @@ func runJSON(opt options) error {
 		report.Packing.Shrink, report.Packing.Slots)
 	fmt.Printf("  batched convert: %.1fx throughput at batch=%d\n",
 		report.Convert.Speedup, report.Convert.Batch)
+	be := report.Backend
+	fmt.Printf("  backend head-to-head: PISA %s vs PIR %s per query (%.0fx), %d B vs %d B (%.0fx); "+
+		"kill-one-of-%d survived=%v\n",
+		time.Duration(be.PISAPrepareNs+be.PISAProcessNs).Round(time.Millisecond),
+		time.Duration(be.PIRFetchNs).Round(time.Microsecond),
+		be.LatencySpeedup, be.PISAQueryBytes, be.PIRQueryBytes, be.BandwidthShrink,
+		be.K, be.PIRKillOneSurvived)
 	fmt.Printf("  table: %.1f KiB/key, report written to %s\n",
 		float64(report.TableBytes)/1024, opt.jsonPath)
 	fmt.Println()

@@ -18,6 +18,15 @@
 //	sdcd [-config pisa.json] [-listen host:port] [-stp host:port,host:port]
 //	     [-issuer name] [-store dir] [-snapshot-on-exit=true]
 //	     [-metrics host:port] [-packing=false] [-stp-batch-window ms]
+//	     [-backend pisa|pir]
+//
+// With -backend pir (or "backend": "pir" in the config) the daemon
+// serves the plaintext availability database through the multi-server
+// PIR replica protocol instead of the encrypted PISA protocol: no STP
+// is contacted, no key material is generated, and queries never reveal
+// which block an SU asked about as long as the replicas it fans out to
+// do not collude. Run k or more such daemons (or cmd/pirdbd) on the
+// config's pir.addrs. See DESIGN.md §13 for the trust-model trade.
 //
 // With -metrics (or an obs.metricsAddr in the config) the daemon
 // serves Prometheus metrics on /metrics and the net/http/pprof
@@ -40,6 +49,7 @@ import (
 	"pisa/internal/config"
 	"pisa/internal/node"
 	"pisa/internal/obs"
+	"pisa/internal/pir"
 	"pisa/internal/pisa"
 	"pisa/internal/store"
 )
@@ -62,10 +72,18 @@ func run(args []string) error {
 	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof on this address (overrides config obs.metricsAddr; empty = disabled)")
 	packing := fs.Bool("packing", true, "slot-packed ciphertexts (-packing=off via config or flag falls back to one cell per ciphertext; must match the deployment's SUs)")
 	stpBatchMS := fs.Int("stp-batch-window", -1, "coalesce concurrent sign tests into batched STP calls, waiting up to this many ms for companions (-1 = use config, 0 = off)")
+	backend := fs.String("backend", "", "spectrum-query backend: pisa (encrypted protocol) or pir (plaintext PIR replica; overrides config)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg, err := config.Load(*configPath)
+	if err != nil {
+		return err
+	}
+	if *backend != "" {
+		cfg.Backend = *backend
+	}
+	backendName, err := cfg.BackendName()
 	if err != nil {
 		return err
 	}
@@ -84,6 +102,12 @@ func run(args []string) error {
 	addr := cfg.SDCAddr
 	if *listen != "" {
 		addr = *listen
+	}
+	if backendName == config.BackendPIR {
+		if *metricsAddr != "" {
+			cfg.Obs.MetricsAddr = *metricsAddr
+		}
+		return servePIRReplica(cfg, addr)
 	}
 	stpTargets := cfg.STPTargets()
 	if *stpAddr != "" {
@@ -202,6 +226,57 @@ func run(args []string) error {
 			}
 		}
 		return err
+	case err := <-errCh:
+		return err
+	}
+}
+
+// servePIRReplica runs the daemon as one replica of the multi-server
+// PIR backend: a plaintext availability database derived from the same
+// radio parameters and PU churn the PISA budget tracks, answered
+// obliviously via XOR-PIR selection vectors. No STP, no key material.
+func servePIRReplica(cfg config.File, addr string) error {
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if cfg.Obs.Enabled() {
+		obsSrv, err := obs.ListenAndServe(cfg.Obs.MetricsAddr, nil)
+		if err != nil {
+			return err
+		}
+		defer obsSrv.Close()
+		log.Info("metrics serving", "addr", obsSrv.Addr(), "endpoints", "/metrics /debug/pprof/")
+	}
+	wp, err := cfg.WatchParams()
+	if err != nil {
+		return err
+	}
+	db, err := pir.NewDatabase(wp, nil, cfg.PIR.MinEIRPUnits(wp),
+		cfg.PIR.BloomBits, cfg.PIR.BloomHashes)
+	if err != nil {
+		return err
+	}
+	pir.InstrumentDatabase(db)
+	m := db.Meta()
+	log.Info("PIR availability database built",
+		"blocks", m.Blocks, "channels", m.Channels,
+		"rowBytes", m.RowBytes, "bloomRowBytes", m.BloomRowBytes)
+
+	srv := node.NewPIRServer(db, log, 0)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Info("PIR replica serving", "addr", ln.Addr().String(), "backend", config.BackendPIR)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case s := <-sig:
+		log.Info("shutting down", "signal", s.String())
+		m := db.Meta()
+		log.Info("replica summary", "version", m.Version, "activePUs", db.ActivePUs())
+		return srv.Close()
 	case err := <-errCh:
 		return err
 	}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"pisa/internal/geo"
+	"pisa/internal/node"
+	"pisa/internal/pir"
+)
+
+// This file measures the PISA-vs-PIR head-to-head: the paper's
+// encrypted spectrum query against the multi-server XOR-PIR backend
+// (DESIGN.md §13) on the same deployment shape. The comparison feeds
+// the committed BENCH_PISA.json (pisabench -json) so the latency /
+// bandwidth / trust-model trade is pinned next to the crypto numbers.
+
+// BackendReport is one head-to-head row. The two sides answer the
+// same question — "which channels may an SU use at its block, without
+// revealing the block?" — under different trust assumptions, recorded
+// in TrustPISA / TrustPIR.
+type BackendReport struct {
+	// Channels and Blocks describe the measured deployment shape;
+	// PaillierBits is the PISA side's modulus.
+	Channels     int `json:"channels"`
+	Blocks       int `json:"blocks"`
+	PaillierBits int `json:"paillierBits"`
+	// Replicas is the PIR fleet size m; K how many replicas each query
+	// fans out to (m > k leaves spares for failover).
+	Replicas int `json:"replicas"`
+	K        int `json:"k"`
+
+	// PISAPrepareNs and PISAProcessNs are one fresh SU request
+	// preparation and one end-to-end SDC+STP processing; their sum is
+	// the PISA side's query latency (in-process, so no network time —
+	// a handicap for the PIR side, which is measured over real TCP).
+	PISAPrepareNs int64 `json:"pisaPrepareNs"`
+	PISAProcessNs int64 `json:"pisaProcessNs"`
+	// PISAQueryBytes is the request plus the single-ciphertext
+	// response.
+	PISAQueryBytes int `json:"pisaQueryBytes"`
+
+	// PIRFetchNs is the mean oblivious bitmap-row fetch over loopback
+	// TCP (vector build + k-way fan-out + XOR reconstruct);
+	// PIRBloomFetchNs the same against the Bloom table.
+	PIRFetchNs      int64 `json:"pirFetchNs"`
+	PIRBloomFetchNs int64 `json:"pirBloomFetchNs"`
+	// PIRQueryBytes is the per-query traffic: k selection vectors up,
+	// k rows down. PIRBloomQueryBytes is the Bloom-table equivalent.
+	PIRQueryBytes      int `json:"pirQueryBytes"`
+	PIRBloomQueryBytes int `json:"pirBloomQueryBytes"`
+	// BloomFalsePositiveRate is the Bloom table's analytic FP rate at
+	// this geometry (the bitmap table is exact).
+	BloomFalsePositiveRate float64 `json:"bloomFalsePositiveRate"`
+
+	// PIRKillOneFetchNs is the mean fetch after one of the k replicas
+	// serving shares was killed mid-run: the spare takes over the dead
+	// replica's share (m > k). PIRKillOneSurvived records that every
+	// post-kill fetch succeeded and matched the pre-kill row.
+	PIRKillOneFetchNs  int64 `json:"pirKillOneFetchNs"`
+	PIRKillOneSurvived bool  `json:"pirKillOneSurvived"`
+
+	// LatencySpeedup is (PISA prepare+process) / PIR fetch;
+	// BandwidthShrink is PISAQueryBytes / PIRQueryBytes.
+	LatencySpeedup  float64 `json:"latencySpeedup"`
+	BandwidthShrink float64 `json:"bandwidthShrink"`
+
+	// TrustPISA and TrustPIR state what each side assumes and leaks.
+	TrustPISA string `json:"trustPISA"`
+	TrustPIR  string `json:"trustPIR"`
+}
+
+// MeasureBackend stands up both backends on the same deployment shape
+// and measures one private spectrum query through each. The PISA side
+// runs in process (no network, flattering it); the PIR side runs over
+// loopback TCP through the resilient node client, including the
+// kill-one-of-k failover run. replicas must exceed k so a spare
+// exists to take over the killed replica's share.
+func MeasureBackend(channels, cols, rows, bits, replicas, k, iters int) (*BackendReport, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("bench: PIR needs k >= 2 (k=1 is a plaintext lookup), got %d", k)
+	}
+	if replicas <= k {
+		return nil, fmt.Errorf("bench: need replicas > k for the kill-one run, got m=%d k=%d", replicas, k)
+	}
+	if iters < 1 {
+		return nil, fmt.Errorf("bench: iters must be positive, got %d", iters)
+	}
+	report := &BackendReport{
+		Channels: channels, Blocks: cols * rows, PaillierBits: bits,
+		Replicas: replicas, K: k,
+		TrustPISA: "queries hidden cryptographically (Paillier); SDC and STP must not collude; PU state encrypted",
+		TrustPIR: fmt.Sprintf("queries hidden unless all %d contacted replicas collude; "+
+			"replicas hold plaintext PU-derived availability", k),
+	}
+
+	// PISA side: one fresh prepare + one end-to-end processing, as in
+	// the Figure 6 pipeline.
+	params, err := SmallParams(channels, cols, rows, bits)
+	if err != nil {
+		return nil, err
+	}
+	u, err := NewUniverse(params)
+	if err != nil {
+		return nil, err
+	}
+	eirp := map[int]int64{0: params.Watch.Quantize(1000)}
+	start := time.Now()
+	req, err := u.SU.PrepareRequest(eirp, geo.Disclosure{})
+	if err != nil {
+		return nil, err
+	}
+	report.PISAPrepareNs = time.Since(start).Nanoseconds()
+	start = time.Now()
+	if _, err := u.SDC.ProcessRequest(req); err != nil {
+		return nil, err
+	}
+	report.PISAProcessNs = time.Since(start).Nanoseconds()
+	report.PISAQueryBytes = req.SizeBytes() + u.STP.GroupKey().CiphertextBytes()
+
+	// PIR side: a real replica fleet over loopback TCP, with one PU
+	// registered so the availability tables are not all-ones.
+	servers := make([]*node.PIRServer, replicas)
+	addrs := make([]string, replicas)
+	for i := range servers {
+		db, err := pir.NewDatabase(params.Watch, nil, 0, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		pu := &pir.Update{PUID: "bench-tv", Block: 1, Channel: 0,
+			SignalUnits: params.Watch.Quantize(params.Watch.SMinPUmW)}
+		if err := db.ApplyUpdate(pu); err != nil {
+			return nil, err
+		}
+		srv := node.NewPIRServer(db, nil, 0)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go srv.Serve(ln)
+		defer srv.Close()
+		servers[i] = srv
+		addrs[i] = ln.Addr().String()
+	}
+	opts := node.Options{DialTimeout: 2 * time.Second, CallTimeout: 30 * time.Second,
+		Retry: node.RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond,
+			MaxDelay: 50 * time.Millisecond}}
+	c, err := node.DialPIRWith(opts, k, addrs...)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	m := c.Meta()
+	report.PIRQueryBytes = k * (m.SelBytes() + m.RowLen(pir.TableBitmap))
+	report.PIRBloomQueryBytes = k * (m.SelBytes() + m.RowLen(pir.TableBloom))
+	report.BloomFalsePositiveRate = pir.FalsePositiveRate(m.BloomBits, m.BloomHashes, m.Channels)
+
+	ctx := context.Background()
+	block := geo.BlockID(0)
+	// Warm-up primes the connection pools and gob type streams.
+	baseline, _, err := c.Fetch(ctx, pir.TableBitmap, block)
+	if err != nil {
+		return nil, err
+	}
+	timeFetch := func(t pir.Table, n int) (int64, error) {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, _, err := c.Fetch(ctx, t, block); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Nanoseconds() / int64(n), nil
+	}
+	if report.PIRFetchNs, err = timeFetch(pir.TableBitmap, iters); err != nil {
+		return nil, err
+	}
+	if _, _, err := c.Fetch(ctx, pir.TableBloom, block); err != nil {
+		return nil, err
+	}
+	if report.PIRBloomFetchNs, err = timeFetch(pir.TableBloom, iters); err != nil {
+		return nil, err
+	}
+
+	// Kill one of the k replicas actively serving shares (the client
+	// orders healthy replicas first, so the initial k are servers
+	// 0..k-1) and keep querying: the spare must take over.
+	servers[0].Close()
+	report.PIRKillOneSurvived = true
+	killStart := time.Now()
+	for i := 0; i < iters; i++ {
+		row, _, err := c.Fetch(ctx, pir.TableBitmap, block)
+		if err != nil {
+			return nil, fmt.Errorf("bench: post-kill fetch %d: %w", i, err)
+		}
+		if string(row) != string(baseline) {
+			return nil, fmt.Errorf("bench: post-kill fetch %d returned a different row", i)
+		}
+	}
+	report.PIRKillOneFetchNs = time.Since(killStart).Nanoseconds() / int64(iters)
+
+	if report.PIRFetchNs > 0 {
+		report.LatencySpeedup = float64(report.PISAPrepareNs+report.PISAProcessNs) /
+			float64(report.PIRFetchNs)
+	}
+	if report.PIRQueryBytes > 0 {
+		report.BandwidthShrink = float64(report.PISAQueryBytes) / float64(report.PIRQueryBytes)
+	}
+	return report, nil
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestMeasureBackend runs the head-to-head at a tiny key size: both
+// sides measured, the kill-one-of-k run survives, and the report
+// round-trips through JSON.
+func TestMeasureBackend(t *testing.T) {
+	report, err := MeasureBackend(3, 4, 3, 768, 3, 2, 2)
+	if err != nil {
+		t.Fatalf("MeasureBackend: %v", err)
+	}
+	if report.PISAPrepareNs <= 0 || report.PISAProcessNs <= 0 {
+		t.Errorf("PISA side not measured: prepare %d, process %d",
+			report.PISAPrepareNs, report.PISAProcessNs)
+	}
+	if report.PIRFetchNs <= 0 || report.PIRBloomFetchNs <= 0 {
+		t.Errorf("PIR side not measured: bitmap %d, bloom %d",
+			report.PIRFetchNs, report.PIRBloomFetchNs)
+	}
+	if !report.PIRKillOneSurvived || report.PIRKillOneFetchNs <= 0 {
+		t.Errorf("kill-one run: survived=%v, ns=%d",
+			report.PIRKillOneSurvived, report.PIRKillOneFetchNs)
+	}
+	if report.PISAQueryBytes <= report.PIRQueryBytes {
+		t.Errorf("PISA query %d B should dwarf PIR query %d B",
+			report.PISAQueryBytes, report.PIRQueryBytes)
+	}
+	if report.LatencySpeedup <= 1 {
+		t.Errorf("latency speedup %.2f: the crypto pipeline should not beat an XOR scan",
+			report.LatencySpeedup)
+	}
+	if report.BloomFalsePositiveRate <= 0 || report.BloomFalsePositiveRate >= 1 {
+		t.Errorf("implausible bloom FP rate %g", report.BloomFalsePositiveRate)
+	}
+	if report.TrustPISA == "" || report.TrustPIR == "" {
+		t.Error("trust-model strings missing")
+	}
+	raw, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BackendReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.K != 2 || back.Replicas != 3 {
+		t.Errorf("round trip lost fleet shape: m=%d k=%d", back.Replicas, back.K)
+	}
+}
+
+// TestMeasureBackendRejectsBadShape covers the argument guards.
+func TestMeasureBackendRejectsBadShape(t *testing.T) {
+	if _, err := MeasureBackend(3, 4, 3, 768, 3, 1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := MeasureBackend(3, 4, 3, 768, 2, 2, 1); err == nil {
+		t.Error("m=k accepted (no spare for the kill run)")
+	}
+	if _, err := MeasureBackend(3, 4, 3, 768, 3, 2, 0); err == nil {
+		t.Error("iters=0 accepted")
+	}
+}

@@ -57,6 +57,11 @@ type MicroReport struct {
 	// Convert, when present, compares batched vs sequential sign-test
 	// RPCs over a loopback STP server.
 	Convert *ConvertReport `json:"convert,omitempty"`
+	// Backend, when present, is the PISA-vs-PIR head-to-head: the
+	// encrypted query pipeline against the multi-server XOR-PIR
+	// backend on the same deployment shape (latency, per-query
+	// bandwidth, trust model, kill-one-of-k failover).
+	Backend *BackendReport `json:"backend,omitempty"`
 }
 
 // measureOp times iters runs of op and samples the allocation rate.

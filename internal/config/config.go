@@ -133,6 +133,16 @@ type File struct {
 	STPAddr  string   `json:"stpAddr"`
 	STPAddrs []string `json:"stpAddrs,omitempty"`
 
+	// Backend selects the spectrum-query protocol family: "pisa" (the
+	// paper's homomorphic sign tests through an STP; the default) or
+	// "pir" (k-server information-theoretic PIR against plaintext
+	// replicas; internal/pir). The tools' -backend flag overrides it.
+	Backend string `json:"backend,omitempty"`
+
+	// PIR configures the multi-server PIR backend; only consulted when
+	// Backend (or -backend) selects "pir".
+	PIR PIRSpec `json:"pir,omitempty"`
+
 	// RPC tunes the client resilience layer (internal/node): dial vs
 	// call deadlines, retry budget, pool size, circuit breaker.
 	RPC RPCSpec `json:"rpc,omitempty"`
@@ -227,6 +237,70 @@ func (r RPCSpec) Options() (node.Options, error) {
 			Cooldown:         time.Duration(r.BreakerCooldownMS) * time.Millisecond,
 		},
 	}, nil
+}
+
+// Backend names.
+const (
+	BackendPISA = "pisa"
+	BackendPIR  = "pir"
+)
+
+// BackendName resolves the configured backend: empty selects PISA.
+func (f File) BackendName() (string, error) {
+	switch f.Backend {
+	case "", BackendPISA:
+		return BackendPISA, nil
+	case BackendPIR:
+		return BackendPIR, nil
+	default:
+		return "", fmt.Errorf("config: unknown backend %q (want %q or %q)", f.Backend, BackendPISA, BackendPIR)
+	}
+}
+
+// PIRSpec configures the k-server PIR backend: the replica fleet, the
+// non-collusion threshold, and the availability/Bloom geometry.
+type PIRSpec struct {
+	// Addrs lists the replica daemons (cmd/pirdbd). Unlike STPAddrs
+	// these are NOT interchangeable failover targets: each query share
+	// must reach a DIFFERENT replica, and privacy rests on fewer than
+	// K of them colluding.
+	Addrs []string `json:"addrs,omitempty"`
+	// K is the shares-per-query threshold; 0 uses every configured
+	// replica (no spares). Replicas beyond K are spares that take over
+	// a share when a primary fails.
+	K int `json:"k,omitempty"`
+	// MinEIRPmW is the availability threshold the replicas build their
+	// tables at: a (channel, block) bit is set iff at least this EIRP
+	// could be granted there. 0 uses the regulatory cap (suMaxEIRPmW)
+	// — "where is full power available?".
+	MinEIRPmW float64 `json:"minEIRPmW,omitempty"`
+	// BloomBits and BloomHashes size the per-block Bloom filter rows
+	// (0, 0 = 16 bits/channel with the optimal hash count).
+	BloomBits   int `json:"bloomBits,omitempty"`
+	BloomHashes int `json:"bloomHashes,omitempty"`
+}
+
+// MinEIRPUnits quantises the availability threshold for the replica
+// database; 0 lets pir.NewDatabase fall back to the regulatory cap.
+func (p PIRSpec) MinEIRPUnits(wp watch.Params) int64 {
+	if p.MinEIRPmW <= 0 {
+		return 0
+	}
+	return wp.Quantize(p.MinEIRPmW)
+}
+
+// Targets returns the deduplicated replica list.
+func (p PIRSpec) Targets() []string {
+	targets := []string{}
+	seen := map[string]bool{}
+	for _, a := range p.Addrs {
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		targets = append(targets, a)
+	}
+	return targets
 }
 
 // SplitAddrs parses a comma-separated address list (the form the
@@ -329,6 +403,12 @@ func Default() File {
 			DialTimeoutMS: 10_000, CallTimeoutMS: 300_000, PoolSize: 4,
 			RetryAttempts: 4, RetryBaseMS: 50, RetryMaxMS: 2_000,
 			BreakerFailures: 3, BreakerCooldownMS: 3_000,
+		},
+		// The PIR replica fleet is spelled out so generated configs
+		// document the alternative backend: 3 replicas, every one used
+		// per query (k = 0 -> 3), availability at the regulatory cap.
+		PIR: PIRSpec{
+			Addrs: []string{"127.0.0.1:7420", "127.0.0.1:7421", "127.0.0.1:7422"},
 		},
 	}
 }

@@ -100,13 +100,114 @@ func TestSTPTargets(t *testing.T) {
 }
 
 func TestSplitAddrs(t *testing.T) {
-	got := SplitAddrs(" 10.0.0.1:7411, ,10.0.0.2:7411 ,")
-	want := []string{"10.0.0.1:7411", "10.0.0.2:7411"}
-	if !reflect.DeepEqual(got, want) {
-		t.Errorf("SplitAddrs = %v, want %v", got, want)
+	cases := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"mixed", " 10.0.0.1:7411, ,10.0.0.2:7411 ,", []string{"10.0.0.1:7411", "10.0.0.2:7411"}},
+		{"empty", "", nil},
+		{"only-commas", ",,,", nil},
+		{"only-whitespace", "  \t ", nil},
+		{"whitespace-between-commas", " , \t,  ", nil},
+		{"single", "10.0.0.1:7411", []string{"10.0.0.1:7411"}},
+		{"trailing-comma", "a:1,b:2,", []string{"a:1", "b:2"}},
+		{"leading-comma", ",a:1", []string{"a:1"}},
+		{"surrounding-whitespace", "\t a:1 \t", []string{"a:1"}},
+		{"tabs-and-newlines", "a:1,\n b:2\t,\nc:3", []string{"a:1", "b:2", "c:3"}},
+		{"duplicates-kept", "a:1,a:1", []string{"a:1", "a:1"}},
 	}
-	if got := SplitAddrs(""); got != nil {
-		t.Errorf("SplitAddrs(\"\") = %v, want nil", got)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := SplitAddrs(c.in); !reflect.DeepEqual(got, c.want) {
+				t.Errorf("SplitAddrs(%q) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestBackendName(t *testing.T) {
+	f := Default()
+	if name, err := f.BackendName(); err != nil || name != BackendPISA {
+		t.Errorf("default backend = %q, %v; want %q", name, err, BackendPISA)
+	}
+	f.Backend = "pir"
+	if name, err := f.BackendName(); err != nil || name != BackendPIR {
+		t.Errorf("pir backend = %q, %v", name, err)
+	}
+	f.Backend = "carrier-pigeon"
+	if _, err := f.BackendName(); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestPIRSpecTargets(t *testing.T) {
+	p := PIRSpec{Addrs: []string{"a:1", "", "b:2", "a:1"}}
+	want := []string{"a:1", "b:2"}
+	if got := p.Targets(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Targets = %v, want %v (deduplicated, empties dropped)", got, want)
+	}
+	if got := (PIRSpec{}).Targets(); len(got) != 0 {
+		t.Errorf("empty spec targets = %v", got)
+	}
+}
+
+func TestPIRMinEIRPUnits(t *testing.T) {
+	f := Default()
+	wp, err := f.WatchParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := (PIRSpec{}).MinEIRPUnits(wp); got != 0 {
+		t.Errorf("zero threshold = %d, want 0 (cap fallback)", got)
+	}
+	spec := PIRSpec{MinEIRPmW: 100}
+	if got, want := spec.MinEIRPUnits(wp), wp.Quantize(100); got != want {
+		t.Errorf("MinEIRPUnits = %d, want %d", got, want)
+	}
+}
+
+// TestSaveLoadRoundTripBackendPIR covers the new backend/pir sections:
+// every field must survive Save then Load.
+func TestSaveLoadRoundTripBackendPIR(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pir.json")
+	f := Default()
+	f.Backend = BackendPIR
+	f.PIR = PIRSpec{
+		Addrs:       []string{"10.0.0.1:7420", "10.0.0.2:7420", "10.0.0.3:7420", "10.0.0.4:7420"},
+		K:           3,
+		MinEIRPmW:   250,
+		BloomBits:   2048,
+		BloomHashes: 7,
+	}
+	if err := f.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Errorf("round trip changed the config:\n got %+v\nwant %+v", got, f)
+	}
+	if name, err := got.BackendName(); err != nil || name != BackendPIR {
+		t.Errorf("backend after round trip = %q, %v", name, err)
+	}
+	// A config written before the backend existed loads as PISA with
+	// the default replica fleet (Load starts from Default()).
+	legacy := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`{"channels": 5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := Load(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, _ := old.BackendName(); name != BackendPISA {
+		t.Errorf("legacy config backend = %q", name)
+	}
+	if len(old.PIR.Targets()) == 0 {
+		t.Error("legacy config lost the default PIR fleet")
 	}
 }
 

@@ -109,14 +109,17 @@ func Retryable(err error) bool {
 // sign conversion (a pure function of the request) and the co-STP
 // partial-decryption fan-out all qualify; SU registration does too
 // because the STP registry treats a same-key re-registration as a
-// no-op. PU updates and SU transmission requests mutate budget state
-// and are sent at most once per transport attempt that reaches the
-// wire.
+// no-op. The PIR kinds all qualify: metadata and selection-vector
+// queries are pure reads, and a replica-sync update re-applies as the
+// same set-registration (only the version counter advances). PU
+// updates and SU transmission requests mutate budget state and are
+// sent at most once per transport attempt that reaches the wire.
 func idempotentKind(k wire.Kind) bool {
 	switch k {
 	case wire.KindGroupKeyRequest, wire.KindSUKeyRequest, wire.KindEColumnRequest,
 		wire.KindVerifyKeyRequest, wire.KindConvertRequest, wire.KindBatchConvertRequest,
-		wire.KindPartialRequest, wire.KindRegisterSU:
+		wire.KindPartialRequest, wire.KindRegisterSU,
+		wire.KindPIRMetaRequest, wire.KindPIRQuery, wire.KindPIRSync:
 		return true
 	}
 	return false

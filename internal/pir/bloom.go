@@ -1,0 +1,62 @@
+package pir
+
+import "encoding/binary"
+
+// Per-block Bloom filters over the available channel set — the
+// compact set-membership variant of the availability row. The filter
+// must be a deterministic function of the channel set alone so every
+// replica builds bit-identical rows (the XOR reconstruction breaks
+// otherwise): positions come from FNV-64 double hashing,
+// g_i = h1 + i*h2 mod m, with h2 forced odd so it generates the whole
+// ring even when m is a power of two.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnv64 hashes an 8-byte little-endian encoding of v with FNV-1a,
+// seeded to split one hash function into a family.
+func fnv64(seed byte, v int) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+	h := uint64(fnvOffset) ^ uint64(seed)*fnvPrime
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// bloomPositions yields the h probe positions for channel c in an
+// m-bit filter via double hashing.
+func bloomPositions(m, h, c int, visit func(pos int)) {
+	h1 := fnv64(1, c)
+	h2 := fnv64(2, c) | 1 // odd => full period for any m
+	for i := 0; i < h; i++ {
+		visit(int((h1 + uint64(i)*h2) % uint64(m)))
+	}
+}
+
+// bloomInsert sets channel c's probe bits in an m-bit filter row.
+func bloomInsert(row []byte, m, h, c int) {
+	bloomPositions(m, h, c, func(pos int) {
+		row[pos/8] |= 1 << (pos % 8)
+	})
+}
+
+// BloomHas probes a reconstructed Bloom row for channel c: true means
+// "probably available" (false-positive rate per FalsePositiveRate),
+// false is definitive.
+func BloomHas(row []byte, m, h, c int) bool {
+	if m <= 0 || h <= 0 || (m+7)/8 > len(row) {
+		return false
+	}
+	ok := true
+	bloomPositions(m, h, c, func(pos int) {
+		if row[pos/8]>>(pos%8)&1 == 0 {
+			ok = false
+		}
+	})
+	return ok
+}

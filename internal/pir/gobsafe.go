@@ -1,0 +1,144 @@
+package pir
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"pisa/internal/geo"
+	"pisa/internal/watch"
+)
+
+// Hardened gob codecs for the PIR wire frames, extending the PR 6
+// pattern (internal/pisa/gobsafe.go) to the new protocol family: a
+// hostile replica (or a hostile client) could otherwise declare
+// selection-vector or answer-row lengths that make the decoder
+// allocate unbounded memory before the database's own geometry checks
+// run. Caps are far above any real deployment but low enough that a
+// hostile length prefix cannot pre-allocate gigabytes. The receiver
+// is unmodified on failure.
+const (
+	// maxWireSelBytes caps a selection vector: 1 MiB covers 8M grid
+	// blocks, ~4000x the paper-scale grid.
+	maxWireSelBytes = 1 << 20
+	// maxWireRowBytes caps an answer row: 1 MiB covers 8M channels of
+	// bitmap or an 8M-bit Bloom row.
+	maxWireRowBytes = 1 << 20
+	// maxWirePUIDLen caps the replica-sync PU identifier, matching the
+	// pisa wire ID cap.
+	maxWirePUIDLen = 4096
+)
+
+// queryWire mirrors Query for encoding; the separate type keeps gob
+// off the GobEncoder method set (infinite recursion otherwise).
+type queryWire struct {
+	Table Table
+	Sel   []byte
+}
+
+// GobEncode implements gob.GobEncoder.
+func (q *Query) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&queryWire{Table: q.Table, Sel: q.Sel}); err != nil {
+		return nil, fmt.Errorf("pir: encode query: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder with table and vector-size
+// validation. Exact geometry (vector length == ceil(blocks/8)) stays
+// with Database.Answer, which knows the deployment.
+func (q *Query) GobDecode(data []byte) error {
+	var w queryWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("pir: decode query: %w", err)
+	}
+	if !w.Table.Valid() {
+		return fmt.Errorf("pir: decode query: unknown table %d", uint8(w.Table))
+	}
+	if len(w.Sel) == 0 {
+		return fmt.Errorf("pir: decode query: empty selection vector")
+	}
+	if len(w.Sel) > maxWireSelBytes {
+		return fmt.Errorf("pir: decode query: selection vector %d bytes exceeds cap %d", len(w.Sel), maxWireSelBytes)
+	}
+	*q = Query{Table: w.Table, Sel: w.Sel}
+	return nil
+}
+
+// answerWire mirrors Answer for encoding.
+type answerWire struct {
+	Version uint64
+	Row     []byte
+}
+
+// GobEncode implements gob.GobEncoder.
+func (a *Answer) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&answerWire{Version: a.Version, Row: a.Row}); err != nil {
+		return nil, fmt.Errorf("pir: encode answer: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder with row-size validation; the
+// client additionally checks the row length against the Meta it
+// fetched at dial time.
+func (a *Answer) GobDecode(data []byte) error {
+	var w answerWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("pir: decode answer: %w", err)
+	}
+	if len(w.Row) == 0 {
+		return fmt.Errorf("pir: decode answer: empty row")
+	}
+	if len(w.Row) > maxWireRowBytes {
+		return fmt.Errorf("pir: decode answer: row %d bytes exceeds cap %d", len(w.Row), maxWireRowBytes)
+	}
+	*a = Answer{Version: w.Version, Row: w.Row}
+	return nil
+}
+
+// updateWire mirrors Update for encoding.
+type updateWire struct {
+	PUID        watch.PUID
+	Block       geo.BlockID
+	Channel     int
+	SignalUnits int64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (u *Update) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&updateWire{
+		PUID: u.PUID, Block: u.Block, Channel: u.Channel, SignalUnits: u.SignalUnits,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pir: encode update: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder with identifier and coordinate
+// validation. Channel semantics (inside the deployment, or negative
+// for switch-off) stay with watch.System.UpdatePU.
+func (u *Update) GobDecode(data []byte) error {
+	var w updateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("pir: decode update: %w", err)
+	}
+	if len(w.PUID) == 0 {
+		return fmt.Errorf("pir: decode update: empty PUID")
+	}
+	if len(w.PUID) > maxWirePUIDLen {
+		return fmt.Errorf("pir: decode update: PUID length %d exceeds cap %d", len(w.PUID), maxWirePUIDLen)
+	}
+	if w.Block < 0 {
+		return fmt.Errorf("pir: decode update: negative block %d", w.Block)
+	}
+	if w.SignalUnits < 0 {
+		return fmt.Errorf("pir: decode update: negative signal %d", w.SignalUnits)
+	}
+	*u = Update{PUID: w.PUID, Block: w.Block, Channel: w.Channel, SignalUnits: w.SignalUnits}
+	return nil
+}

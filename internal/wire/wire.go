@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pisa/internal/paillier"
+	"pisa/internal/pir"
 	"pisa/internal/pisa"
 )
 
@@ -53,6 +54,16 @@ const (
 	// binaries — is preserved.
 	KindBatchConvertRequest // SDC -> STP, coalesced sign tests
 	KindBatchConvertResponse
+
+	// PIR kinds (appended for the same numbering reason): the
+	// multi-server spectrum-query backend. An SU fans one
+	// KindPIRQuery out to each of k replicas; KindPIRSync carries
+	// plaintext PU churn to every replica.
+	KindPIRMetaRequest // SU -> replica, database geometry fetch
+	KindPIRMeta
+	KindPIRQuery // SU -> replica, one selection-vector share
+	KindPIRAnswer
+	KindPIRSync // PU feed -> replica, reply KindAck
 )
 
 // String names the kind for logs.
@@ -98,6 +109,16 @@ func (k Kind) String() string {
 		return "batch-convert-request"
 	case KindBatchConvertResponse:
 		return "batch-convert-response"
+	case KindPIRMetaRequest:
+		return "pir-meta-request"
+	case KindPIRMeta:
+		return "pir-meta"
+	case KindPIRQuery:
+		return "pir-query"
+	case KindPIRAnswer:
+		return "pir-answer"
+	case KindPIRSync:
+		return "pir-sync"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -134,6 +155,13 @@ type Envelope struct {
 	// between the DistSTP combiner and co-STP share holders.
 	Ciphertexts []*paillier.Ciphertext
 	Partials    []*paillier.Partial
+
+	// PIR fields carry the multi-server spectrum-query backend's
+	// frames (KindPIRMetaRequest/Meta/Query/Answer/Sync).
+	PIRMeta   *pir.Meta
+	PIRQuery  *pir.Query
+	PIRAnswer *pir.Answer
+	PIRSync   *pir.Update
 }
 
 // RemoteError is an error reported by the peer (as opposed to a
@@ -141,10 +169,18 @@ type Envelope struct {
 type RemoteError struct {
 	// Msg is the peer-provided error text.
 	Msg string
+	// Addr names the peer that reported the error, so failures in a
+	// k-way replica fan-out are attributable. Empty when unknown.
+	Addr string
 }
 
 // Error implements error.
-func (e *RemoteError) Error() string { return "remote: " + e.Msg }
+func (e *RemoteError) Error() string {
+	if e.Addr != "" {
+		return "remote " + e.Addr + ": " + e.Msg
+	}
+	return "remote: " + e.Msg
+}
 
 // Conn wraps a net.Conn with gob framing and per-operation deadlines.
 // It is not safe for concurrent use; callers serialise access.
@@ -249,12 +285,21 @@ func (c *Conn) CallContext(ctx context.Context, req *Envelope, want Kind) (*Enve
 		return nil, err
 	}
 	if resp.Kind == KindError {
-		return nil, &RemoteError{Msg: resp.Err}
+		return nil, &RemoteError{Msg: resp.Err, Addr: c.RemoteAddr()}
 	}
 	if resp.Kind != want {
-		return nil, fmt.Errorf("wire: got %s, want %s", resp.Kind, want)
+		return nil, fmt.Errorf("wire: %s sent %s, want %s", c.RemoteAddr(), resp.Kind, want)
 	}
 	return resp, nil
+}
+
+// RemoteAddr names the peer, for error attribution; empty when the
+// underlying transport has no address.
+func (c *Conn) RemoteAddr() string {
+	if addr := c.conn.RemoteAddr(); addr != nil {
+		return addr.String()
+	}
+	return ""
 }
 
 // ctxErr attributes an I/O failure to the context when the context is

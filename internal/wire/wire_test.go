@@ -8,11 +8,13 @@ import (
 	"errors"
 	"net"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"pisa/internal/paillier"
+	"pisa/internal/pir"
 )
 
 // pipePair returns two framed connections joined by an in-memory pipe.
@@ -83,6 +85,36 @@ func TestEnvelopeCarriesCiphertexts(t *testing.T) {
 	}
 }
 
+func TestEnvelopeCarriesPIRFrames(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		_ = a.Send(&Envelope{
+			Kind:     KindPIRQuery,
+			PIRQuery: &pir.Query{Table: pir.TableBitmap, Sel: []byte{0xA5, 0x01}},
+		})
+		_ = a.Send(&Envelope{
+			Kind:      KindPIRAnswer,
+			PIRAnswer: &pir.Answer{Version: 3, Row: []byte{0x0F}},
+		})
+		_ = a.Send(&Envelope{
+			Kind:    KindPIRSync,
+			PIRSync: &pir.Update{PUID: "pu-1", Block: 7, Channel: 2, SignalUnits: 5},
+		})
+	}()
+	q, err := b.Recv()
+	if err != nil || q.PIRQuery == nil || q.PIRQuery.Table != pir.TableBitmap || !bytes.Equal(q.PIRQuery.Sel, []byte{0xA5, 0x01}) {
+		t.Fatalf("query frame mangled: %+v, %v", q, err)
+	}
+	ans, err := b.Recv()
+	if err != nil || ans.PIRAnswer == nil || ans.PIRAnswer.Version != 3 || !bytes.Equal(ans.PIRAnswer.Row, []byte{0x0F}) {
+		t.Fatalf("answer frame mangled: %+v, %v", ans, err)
+	}
+	u, err := b.Recv()
+	if err != nil || u.PIRSync == nil || u.PIRSync.PUID != "pu-1" || u.PIRSync.Block != 7 {
+		t.Fatalf("sync frame mangled: %+v, %v", u, err)
+	}
+}
+
 func TestCallMatchesKinds(t *testing.T) {
 	a, b := pipePair(t)
 	go func() {
@@ -119,6 +151,21 @@ func TestCallSurfacesRemoteError(t *testing.T) {
 	if remote.Msg != "budget exceeded" {
 		t.Fatalf("msg = %q", remote.Msg)
 	}
+	// The error names the peer so k-way fan-out failures are
+	// attributable (net.Pipe's address is the literal "pipe").
+	if remote.Addr != a.RemoteAddr() || remote.Addr == "" {
+		t.Fatalf("remote error addr = %q, conn says %q", remote.Addr, a.RemoteAddr())
+	}
+	if want := "remote " + remote.Addr + ": budget exceeded"; err.Error() != want {
+		t.Fatalf("error text %q, want %q", err.Error(), want)
+	}
+}
+
+func TestRemoteErrorWithoutAddr(t *testing.T) {
+	err := &RemoteError{Msg: "boom"}
+	if err.Error() != "remote: boom" {
+		t.Fatalf("addrless remote error = %q", err.Error())
+	}
 }
 
 func TestCallRejectsWrongKind(t *testing.T) {
@@ -131,6 +178,23 @@ func TestCallRejectsWrongKind(t *testing.T) {
 	}()
 	if _, err := a.Call(&Envelope{Kind: KindSURequest}, KindSUResponse); err == nil {
 		t.Fatal("mismatched reply kind accepted")
+	}
+}
+
+func TestCallKindMismatchNamesPeer(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		if _, err := b.Recv(); err != nil {
+			return
+		}
+		_ = b.Send(&Envelope{Kind: KindAck})
+	}()
+	_, err := a.Call(&Envelope{Kind: KindSURequest}, KindSUResponse)
+	if err == nil {
+		t.Fatal("mismatched reply kind accepted")
+	}
+	if !strings.Contains(err.Error(), a.RemoteAddr()) {
+		t.Fatalf("kind-mismatch error %q does not name peer %q", err, a.RemoteAddr())
 	}
 }
 
@@ -155,6 +219,8 @@ func TestKindStrings(t *testing.T) {
 		KindEColumnRequest, KindEColumn, KindVerifyKeyRequest, KindVerifyKey,
 		KindConvertRequest, KindConvertResponse, KindSUKeyRequest, KindSUKey,
 		KindGroupKeyRequest, KindGroupKey, KindRegisterSU, KindAck,
+		KindBatchConvertRequest, KindBatchConvertResponse,
+		KindPIRMetaRequest, KindPIRMeta, KindPIRQuery, KindPIRAnswer, KindPIRSync,
 	}
 	seen := make(map[string]bool, len(kinds))
 	for _, k := range kinds {
