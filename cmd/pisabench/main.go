@@ -28,10 +28,13 @@
 //
 // -engine=false disables the fixed-base exponentiation engine in the
 // end-to-end experiments (it is armed by default); -window and
-// -shortbits tune it. -json PATH runs the Paillier hot-path
-// micro-benchmark with the engine off and on and writes the rows
-// (op, ns/op, allocs/op, parallelism, engine) plus speedups as JSON —
-// the committed BENCH_PISA.json is produced this way.
+// -shortbits tune it. -cache N arms the SDC's encrypted-decision
+// cache (DESIGN.md §14) in the end-to-end experiments; it defaults to
+// off so repeated measurements stay cold. -json PATH runs the
+// Paillier hot-path micro-benchmark with the engine off and on and
+// writes the rows (op, ns/op, allocs/op, parallelism, engine) plus
+// speedups as JSON — the committed BENCH_PISA.json is produced this
+// way, including the cache's fleet-concentration sweep.
 package main
 
 import (
@@ -43,6 +46,7 @@ import (
 	"time"
 
 	"pisa/internal/bench"
+	"pisa/internal/config"
 	"pisa/internal/obs"
 	"pisa/internal/pisa"
 )
@@ -66,6 +70,8 @@ type options struct {
 	shortBits                                               int
 	packing                                                 bool
 	stpBatch                                                int
+	cache                                                   string
+	cacheEntries                                            int
 	jsonPath                                                string
 	metricsDump                                             string
 }
@@ -97,6 +103,9 @@ func run(args []string) error {
 		"slot-packed ciphertexts in end-to-end experiments (-packing=false measures the legacy layout)")
 	fs.IntVar(&opt.stpBatch, "stp-batch", 0,
 		"compare batched vs sequential sign-test RPCs over a loopback STP at this batch size (0 = skip)")
+	fs.StringVar(&opt.cache, "cache", "off",
+		"decision cache in end-to-end experiments: entry count or 'off' (default off so repeated "+
+			"measurements stay cold; the -json cache sweep always runs cache-enabled)")
 	fs.StringVar(&opt.jsonPath, "json", "",
 		"write the hot-path micro-benchmark (engine off vs on) as JSON to this path")
 	fs.StringVar(&opt.metricsDump, "metrics-dump", "",
@@ -104,6 +113,11 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	entries, err := config.ParseCacheFlag(opt.cache)
+	if err != nil {
+		return err
+	}
+	opt.cacheEntries = entries
 	if *all {
 		opt.table1, opt.table2, opt.figure6 = true, true, true
 		opt.tradeoff, opt.sizes, opt.fhe, opt.ablation = true, true, true, true
@@ -221,14 +235,17 @@ func runTable2(opt options) error {
 	return nil
 }
 
-// applyEngine writes the engine and layout flags into end-to-end
-// params (bench.SmallParams arms both by default; -engine=false and
-// -packing=false turn them off for baseline runs).
+// applyEngine writes the engine, layout and cache flags into
+// end-to-end params (bench.SmallParams arms the engine and packing by
+// default; -engine=false and -packing=false turn them off for
+// baseline runs, -cache N opts repeated measurements into the
+// decision cache).
 func applyEngine(params *pisa.Params, opt options) {
 	params.FastExp = opt.engine
 	params.FastExpWindow = opt.window
 	params.ShortExpBits = opt.shortBits
 	params.Packing = opt.packing
+	params.CacheEntries = opt.cacheEntries
 }
 
 // runJSON produces the machine-readable engine-off-vs-on report
@@ -262,6 +279,11 @@ func runJSON(opt options) error {
 	if err != nil {
 		return err
 	}
+	fmt.Println("  measuring decision-cache hit vs cold aggregate (fleet concentration sweep)...")
+	report.Cache, err = bench.MeasureCache(5, 4, 3, opt.bits, 1024, []int{1, 10, 100})
+	if err != nil {
+		return err
+	}
 	if err := report.WriteJSON(opt.jsonPath); err != nil {
 		return err
 	}
@@ -282,6 +304,13 @@ func runJSON(opt options) error {
 		time.Duration(be.PIRFetchNs).Round(time.Microsecond),
 		be.LatencySpeedup, be.PISAQueryBytes, be.PIRQueryBytes, be.BandwidthShrink,
 		be.K, be.PIRKillOneSurvived)
+	if rows := report.Cache.Rows; len(rows) > 0 {
+		top := rows[len(rows)-1]
+		fmt.Printf("  decision cache at %dx concentration: hit rate %.2f, aggregate %s hit vs %s cold (%.1fx)\n",
+			top.Concentration, top.HitRate,
+			time.Duration(top.AggregateHitNs).Round(time.Microsecond),
+			time.Duration(top.AggregateMissNs).Round(time.Microsecond), top.Speedup)
+	}
 	fmt.Printf("  table: %.1f KiB/key, report written to %s\n",
 		float64(report.TableBytes)/1024, opt.jsonPath)
 	fmt.Println()

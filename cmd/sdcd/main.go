@@ -18,7 +18,14 @@
 //	sdcd [-config pisa.json] [-listen host:port] [-stp host:port,host:port]
 //	     [-issuer name] [-store dir] [-snapshot-on-exit=true]
 //	     [-metrics host:port] [-packing=false] [-stp-batch-window ms]
-//	     [-backend pisa|pir]
+//	     [-cache entries|off] [-backend pisa|pir]
+//
+// The SDC memoises the aggregate pass of repeated request shapes in an
+// encrypted-decision cache (DESIGN.md §14): hits replace the eq. 11-12
+// recompute with one re-randomisation per ciphertext, invalidated
+// exactly when a PU update is folded into a footprint block. -cache
+// bounds the entry count; -cache=off (or "cacheEntries": 0) disables
+// it.
 //
 // With -backend pir (or "backend": "pir" in the config) the daemon
 // serves the plaintext availability database through the multi-server
@@ -72,6 +79,7 @@ func run(args []string) error {
 	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof on this address (overrides config obs.metricsAddr; empty = disabled)")
 	packing := fs.Bool("packing", true, "slot-packed ciphertexts (-packing=off via config or flag falls back to one cell per ciphertext; must match the deployment's SUs)")
 	stpBatchMS := fs.Int("stp-batch-window", -1, "coalesce concurrent sign tests into batched STP calls, waiting up to this many ms for companions (-1 = use config, 0 = off)")
+	cacheFlag := fs.String("cache", "", "encrypted-decision cache entry bound, or 'off' (overrides config cacheEntries)")
 	backend := fs.String("backend", "", "spectrum-query backend: pisa (encrypted protocol) or pir (plaintext PIR replica; overrides config)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +107,13 @@ func run(args []string) error {
 			}
 		}
 	})
+	if *cacheFlag != "" {
+		entries, err := config.ParseCacheFlag(*cacheFlag)
+		if err != nil {
+			return err
+		}
+		cfg.CacheEntries = entries
+	}
 	addr := cfg.SDCAddr
 	if *listen != "" {
 		addr = *listen

@@ -565,6 +565,10 @@ func SmallParams(channels, cols, rows, paillierBits int) (pisa.Params, error) {
 		SignerBits:    paillierBits - 64,
 		FastExp:       true,
 		Packing:       true, // production default; callers flip it off to bench the legacy layout
+		// The decision cache stays off so repeated-request benchmarks
+		// measure the cold pipeline; the cache sweep (MeasureCache) and
+		// the PISA_CACHE-gated benchmarks opt in explicitly.
+		CacheEntries: 0,
 	}
 	return p, p.Validate()
 }

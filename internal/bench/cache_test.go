@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestMeasureCache runs the concentration sweep at a tiny key size:
+// hit accounting must match the shape of the sweep, the hit path must
+// beat the recompute path, and the report must round-trip as JSON.
+func TestMeasureCache(t *testing.T) {
+	report, err := MeasureCache(3, 4, 3, 768, 64, []int{1, 4})
+	if err != nil {
+		t.Fatalf("MeasureCache: %v", err)
+	}
+	if len(report.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(report.Rows))
+	}
+	lone, packed := report.Rows[0], report.Rows[1]
+	if lone.Hits != 0 || lone.HitRate != 0 {
+		t.Errorf("concentration 1 recorded %d hits (rate %.2f), want 0", lone.Hits, lone.HitRate)
+	}
+	if lone.AggregateMissNs <= 0 {
+		t.Error("concentration 1 did not measure a cold aggregate")
+	}
+	if packed.Hits != 3 || packed.Requests != 4 {
+		t.Errorf("concentration 4: %d hits of %d requests, want 3 of 4", packed.Hits, packed.Requests)
+	}
+	if packed.AggregateHitNs <= 0 || packed.AggregateMissNs <= 0 {
+		t.Errorf("concentration 4 paths not measured: hit %d, miss %d",
+			packed.AggregateHitNs, packed.AggregateMissNs)
+	}
+	if packed.Speedup <= 1 {
+		t.Errorf("cache hit speedup %.2f: re-randomising should beat the eq. 11-12 recompute",
+			packed.Speedup)
+	}
+	raw, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CacheReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Entries != 64 || len(back.Rows) != 2 {
+		t.Errorf("round trip lost shape: entries=%d rows=%d", back.Entries, len(back.Rows))
+	}
+}
+
+// TestMeasureCacheRejectsBadShape covers the argument guards.
+func TestMeasureCacheRejectsBadShape(t *testing.T) {
+	if _, err := MeasureCache(3, 4, 3, 768, 0, []int{1}); err == nil {
+		t.Error("entries=0 accepted (a cache sweep without a cache)")
+	}
+	if _, err := MeasureCache(3, 4, 3, 768, 64, []int{0}); err == nil {
+		t.Error("concentration 0 accepted")
+	}
+}

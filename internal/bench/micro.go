@@ -62,6 +62,10 @@ type MicroReport struct {
 	// backend on the same deployment shape (latency, per-query
 	// bandwidth, trust model, kill-one-of-k failover).
 	Backend *BackendReport `json:"backend,omitempty"`
+	// Cache, when present, is the encrypted-decision cache sweep:
+	// aggregate-stage hit vs miss cost at rising fleet concentration
+	// (DESIGN.md §14).
+	Cache *CacheReport `json:"cache,omitempty"`
 }
 
 // measureOp times iters runs of op and samples the allocation rate.

@@ -126,6 +126,15 @@ type File struct {
 	// STPBatchMax caps the coalesced batch size (0 = pisa default, 16).
 	STPBatchMax int `json:"stpBatchMax,omitempty"`
 
+	// CacheEntries bounds the SDC's encrypted-decision cache (LRU over
+	// request shapes; pisa.Params.CacheEntries). 0 disables it. Load
+	// starts from Default(), which enables 1024 entries — an explicit
+	// "cacheEntries": 0 (or the daemons' -cache=off) switches it off.
+	CacheEntries int `json:"cacheEntries"`
+	// CacheTTLSec additionally age-bounds cached decisions; 0 (the
+	// default) relies on exact content-version invalidation alone.
+	CacheTTLSec int `json:"cacheTTLSec,omitempty"`
+
 	// Network addresses. STPAddrs lists additional equivalent STP
 	// replicas (same group key, shared SU registry) that clients fail
 	// over to when STPAddr stops answering.
@@ -303,6 +312,20 @@ func (p PIRSpec) Targets() []string {
 	return targets
 }
 
+// ParseCacheFlag parses the tools' -cache flag value: "off" (or "0")
+// disables the encrypted-decision cache, a positive integer bounds its
+// entry count.
+func ParseCacheFlag(v string) (int, error) {
+	if strings.EqualFold(v, "off") {
+		return 0, nil
+	}
+	var entries int
+	if _, err := fmt.Sscanf(v, "%d", &entries); err != nil || entries < 0 {
+		return 0, fmt.Errorf("config: -cache wants a non-negative entry count or 'off', got %q", v)
+	}
+	return entries, nil
+}
+
 // SplitAddrs parses a comma-separated address list (the form the
 // -stp/-sdc flags accept), trimming whitespace and dropping empties.
 func SplitAddrs(s string) []string {
@@ -391,6 +414,7 @@ func Default() File {
 		SignerBits:      512,
 		FastExp:         true,
 		Packing:         true,
+		CacheEntries:    1024,
 		SDCAddr:         "127.0.0.1:7410",
 		STPAddr:         "127.0.0.1:7411",
 		// Durability stays off until a state directory is configured
@@ -493,6 +517,9 @@ func (f File) PisaParams() (pisa.Params, error) {
 	if f.STPBatchWindowMS < 0 || f.STPBatchMax < 0 {
 		return pisa.Params{}, fmt.Errorf("config: stp batch values must be non-negative")
 	}
+	if f.CacheEntries < 0 || f.CacheTTLSec < 0 {
+		return pisa.Params{}, fmt.Errorf("config: cache values must be non-negative")
+	}
 	p := pisa.Params{
 		Watch:          wp,
 		PaillierBits:   f.PaillierBits,
@@ -508,6 +535,8 @@ func (f File) PisaParams() (pisa.Params, error) {
 		Packing:        f.Packing,
 		STPBatchWindow: time.Duration(f.STPBatchWindowMS) * time.Millisecond,
 		STPBatchMax:    f.STPBatchMax,
+		CacheEntries:   f.CacheEntries,
+		CacheTTL:       time.Duration(f.CacheTTLSec) * time.Second,
 	}
 	return p, p.Validate()
 }

@@ -65,6 +65,25 @@ func (b *breaker) allow(now time.Time) bool {
 	}
 }
 
+// viable is the read-only companion of allow: it reports whether a
+// call issued now would be admitted, WITHOUT consuming the open →
+// half-open probe. Health ordering must use this — allow is
+// state-mutating (exactly one caller per cooldown window gets the
+// probe), so probing it twice for the same decision both burns the
+// probe on a non-call and gives the two reads different answers.
+func (b *breaker) viable(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return now.Sub(b.openedAt) >= b.cfg.Cooldown
+	default: // half-open: the in-flight probe decides
+		return false
+	}
+}
+
 // success resets the breaker to closed.
 func (b *breaker) success() {
 	b.mu.Lock()

@@ -78,11 +78,12 @@ type pirReplica struct {
 	c    *client
 }
 
-// healthy reports whether the replica's breaker currently admits
+// healthy reports whether the replica's breaker would currently admit
 // traffic (used to order the fan-out: open-breaker replicas become
-// last-resort spares).
+// last-resort spares). Read-only: it must not consume the breaker's
+// half-open probe, which belongs to the share that actually calls.
 func (r *pirReplica) healthy(now time.Time) bool {
-	return r.c.endpoints[0].brk.allow(now)
+	return r.c.endpoints[0].brk.viable(now)
 }
 
 // PIRClient drives the k-way PIR fan-out: it splits each fetch into k
@@ -289,15 +290,25 @@ func (c *PIRClient) fetchOnce(ctx context.Context, table pir.Table, b geo.BlockI
 	// Order replicas healthy-first; the first k are the primaries, the
 	// rest are spares. Every replica serves at most one share per
 	// query — consuming assignments from a shared channel enforces it.
+	// Health is evaluated exactly once per replica: evaluating it per
+	// partition double-listed a replica whose breaker flipped between
+	// the two reads (allow() used to consume the open → half-open probe
+	// on the first read), letting two shares of one query reach the
+	// same replica — exactly what the k-distinct-replicas fan-out
+	// exists to prevent.
 	order := make([]*pirReplica, 0, len(c.replicas))
 	now := time.Now()
-	for _, r := range c.replicas {
-		if r.healthy(now) {
+	isHealthy := make([]bool, len(c.replicas))
+	for i, r := range c.replicas {
+		isHealthy[i] = r.healthy(now)
+	}
+	for i, r := range c.replicas {
+		if isHealthy[i] {
 			order = append(order, r)
 		}
 	}
-	for _, r := range c.replicas {
-		if !r.healthy(now) {
+	for i, r := range c.replicas {
+		if !isHealthy[i] {
 			order = append(order, r)
 		}
 	}

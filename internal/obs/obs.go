@@ -333,6 +333,16 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Mean returns the average observed value, or 0 before the first
+// observation — the convenient form for benchmark harnesses that
+// report per-stage costs from live histograms.
+func (h *Histogram) Mean() float64 {
+	if c := h.Count(); c > 0 {
+		return h.Sum() / float64(c)
+	}
+	return 0
+}
+
 func (h *Histogram) sample(name, labels string) []string {
 	// Per-bucket counts are read without a snapshot barrier; the
 	// cumulative sums are still monotone within one scrape, which is

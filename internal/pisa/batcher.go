@@ -1,10 +1,18 @@
 package pisa
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 )
+
+// errSTPBatcherClosed is fanned out to every request drained from the
+// coalescing queue by close, and returned to requests that enqueue
+// after it. It is a routing signal, not a failure: SDC.convert catches
+// it and retries the sign test as a direct STP round trip, so callers
+// caught in a closing window still complete.
+var errSTPBatcherClosed = errors.New("pisa: STP batcher closed")
 
 // stpBatcher coalesces concurrent in-flight sign-test requests into
 // batched STP calls. The first request to land in an empty queue arms
@@ -26,6 +34,7 @@ type stpBatcher struct {
 	pending []*batchItem
 	timer   *time.Timer
 	gen     uint64 // generation counter: lets a timer detect it fired for an already-flushed batch
+	closed  bool   // close called: drain pending, route new arrivals back to the caller
 }
 
 // batchItem is one queued request and the channel its caller blocks on.
@@ -52,6 +61,10 @@ func newSTPBatcher(svc BatchConverter, window time.Duration, max int) *stpBatche
 func (b *stpBatcher) convert(req *SignRequest) (*SignResponse, error) {
 	item := &batchItem{req: req, enqueued: time.Now(), done: make(chan batchResult, 1)}
 	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, errSTPBatcherClosed
+	}
 	b.pending = append(b.pending, item)
 	switch {
 	case len(b.pending) >= b.max:
@@ -102,6 +115,24 @@ func (b *stpBatcher) timerFlush(gen uint64) {
 	}
 	metrics().batchFlushTimer.Inc()
 	b.flush(batch)
+}
+
+// close drains the coalescing queue: every request still waiting
+// inside an open window is woken immediately with errSTPBatcherClosed
+// (its caller retries direct), the armed timer is cancelled, and later
+// enqueues bounce with the same sentinel. Without the drain, a request
+// that joined a batch just before shutdown would sleep out the full
+// window — or forever, if its timer goroutine lost the race — inside
+// SDC.Close's contract that request processing keeps working. Safe to
+// call more than once.
+func (b *stpBatcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	for _, item := range batch {
+		item.done <- batchResult{err: errSTPBatcherClosed}
+	}
 }
 
 // flush issues one batched STP call and fans the results back out to

@@ -1,0 +1,668 @@
+package pisa
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pisa/internal/geo"
+	"pisa/internal/watch"
+)
+
+// newCacheDeployment builds a test universe with the params mutated
+// first (cache size, batching, packing...).
+func newCacheDeployment(t *testing.T, mutate func(*Params)) *deployment {
+	t.Helper()
+	wp := testWatchParams(t)
+	params := TestParams(wp)
+	if mutate != nil {
+		mutate(&params)
+	}
+	stp, err := NewSTP(rand.Reader, params.PaillierBits)
+	if err != nil {
+		t.Fatalf("NewSTP: %v", err)
+	}
+	sdc, err := NewSDC("sdc-test", params, nil, stp)
+	if err != nil {
+		t.Fatalf("NewSDC: %v", err)
+	}
+	t.Cleanup(sdc.Close)
+	oracle, err := watch.NewSystem(wp, nil)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	return &deployment{params: params, stp: stp, sdc: sdc, oracle: oracle}
+}
+
+// cacheEventCounts snapshots the cache event counters (process-global,
+// so tests always compare deltas).
+type cacheEventCounts struct{ hits, misses, stale, bypass uint64 }
+
+func snapshotCacheEvents() cacheEventCounts {
+	m := metrics()
+	return cacheEventCounts{
+		hits:   m.cacheHits.Value(),
+		misses: m.cacheMisses.Value(),
+		stale:  m.cacheStale.Value(),
+		bypass: m.cacheBypass.Value(),
+	}
+}
+
+func (c cacheEventCounts) deltaFrom(prev cacheEventCounts) cacheEventCounts {
+	return cacheEventCounts{
+		hits:   c.hits - prev.hits,
+		misses: c.misses - prev.misses,
+		stale:  c.stale - prev.stale,
+		bypass: c.bypass - prev.bypass,
+	}
+}
+
+// TestCacheHitOracleParity runs the same scenario with the cache on
+// and off, in both request layouts: two SUs sharing a request shape,
+// decisions checked against the plaintext oracle in both the empty
+// band and the PU-denied state. With the cache on, the second SU's
+// aggregate must be served from the cache (hit counted) and still
+// yield the per-SU correct, oracle-identical decision.
+func TestCacheHitOracleParity(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		packed  bool
+		entries int
+	}{
+		{"packed/on", true, 256},
+		{"packed/off", true, 0},
+		{"unpacked/on", false, 256},
+		{"unpacked/off", false, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newCacheDeployment(t, func(p *Params) {
+				p.Packing = tc.packed
+				p.CacheEntries = tc.entries
+			})
+			su1 := d.newSU(t, "su-a", 7)
+			su2 := d.newSU(t, "su-b", 7)
+			eirp := map[int]int64{1: maxEIRP(d)}
+
+			check := func(wantHits, wantMisses uint64) {
+				t.Helper()
+				before := snapshotCacheEvents()
+				req1, err := su1.PrepareRequest(eirp, geo.Disclosure{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				req2, err := su2.PrepareRequest(eirp, geo.Disclosure{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if req1.ShapeDigest != req2.ShapeDigest {
+					t.Fatal("same-shape requests disagree on the digest")
+				}
+				want := d.oracleDecision(t, 7, eirp)
+				if got := d.decide(t, su1, req1).Granted; got != want {
+					t.Fatalf("su-a: PISA=%v, oracle=%v", got, want)
+				}
+				if got := d.decide(t, su2, req2).Granted; got != want {
+					t.Fatalf("su-b (cache-served): PISA=%v, oracle=%v", got, want)
+				}
+				delta := snapshotCacheEvents().deltaFrom(before)
+				if delta.hits != wantHits || delta.misses != wantMisses {
+					t.Fatalf("cache events = %+v, want %d hits / %d misses", delta, wantHits, wantMisses)
+				}
+			}
+
+			if tc.entries > 0 {
+				check(1, 1) // su-a misses and fills; su-b hits
+			} else {
+				check(0, 0) // disabled: no cache traffic at all
+			}
+
+			// A PU landing next door flips the decision; parity must hold
+			// through the invalidation too.
+			pu := d.newPU(t, "tv-1", 8)
+			d.tune(t, pu, 1, d.params.Watch.Quantize(d.params.Watch.SMinPUmW))
+			if tc.entries > 0 {
+				check(1, 0) // old entry went stale silently... see below
+			} else {
+				check(0, 0)
+			}
+		})
+	}
+}
+
+// TestCacheStaleAfterPUUpdate pins the invalidation discipline: a
+// cached decision keyed on the pre-update content version must be
+// detected as stale (counted, dropped, recomputed) the moment the
+// update's rebuild commits — and the recomputed decision must reflect
+// the new spectrum state.
+func TestCacheStaleAfterPUUpdate(t *testing.T) {
+	d := newDeployment(t)
+	su := d.newSU(t, "su-1", 7)
+	eirp := map[int]int64{1: maxEIRP(d)}
+	req, err := su.PrepareRequest(eirp, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.decide(t, su, req).Granted {
+		t.Fatal("empty band denied")
+	}
+
+	pu := d.newPU(t, "tv-1", 8)
+	d.tune(t, pu, 1, d.params.Watch.Quantize(d.params.Watch.SMinPUmW))
+
+	before := snapshotCacheEvents()
+	refreshed, err := su.RefreshRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refreshed.ShapeDigest != req.ShapeDigest {
+		t.Fatal("refresh changed the shape digest")
+	}
+	if d.decide(t, su, refreshed).Granted {
+		t.Fatal("stale cached grant served after a PU update")
+	}
+	if d.oracleDecision(t, 7, eirp) {
+		t.Fatal("oracle disagrees with post-update denial")
+	}
+	delta := snapshotCacheEvents().deltaFrom(before)
+	if delta.stale != 1 || delta.hits != 0 {
+		t.Fatalf("cache events = %+v, want exactly one stale and no hit", delta)
+	}
+
+	// The recompute refilled the cache at the new version: a further
+	// refresh is a hit and still denies.
+	before = snapshotCacheEvents()
+	again, err := su.RefreshRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.decide(t, su, again).Granted {
+		t.Fatal("cache-served post-update decision flipped back to grant")
+	}
+	if delta := snapshotCacheEvents().deltaFrom(before); delta.hits != 1 {
+		t.Fatalf("cache events = %+v, want one hit at the new version", delta)
+	}
+}
+
+// TestCacheBypassWithoutDigest: a request carrying no shape digest
+// (an SU predating the feature, or one opting out of shape-equality
+// leakage) must be processed correctly and never touch cache state.
+func TestCacheBypassWithoutDigest(t *testing.T) {
+	d := newDeployment(t)
+	su := d.newSU(t, "su-1", 7)
+	eirp := map[int]int64{1: maxEIRP(d)}
+	req, err := su.PrepareRequest(eirp, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ShapeDigest = [32]byte{}
+
+	before := snapshotCacheEvents()
+	entriesBefore := d.sdc.CachedDecisions()
+	want := d.oracleDecision(t, 7, eirp)
+	for i := 0; i < 2; i++ {
+		if got := d.decide(t, su, req).Granted; got != want {
+			t.Fatalf("digest-less request %d: PISA=%v, oracle=%v", i, got, want)
+		}
+	}
+	delta := snapshotCacheEvents().deltaFrom(before)
+	if delta.bypass != 2 || delta.hits != 0 || delta.misses != 0 {
+		t.Fatalf("cache events = %+v, want two bypasses and nothing else", delta)
+	}
+	if got := d.sdc.CachedDecisions(); got != entriesBefore {
+		t.Fatalf("bypass requests changed the cache population: %d -> %d", entriesBefore, got)
+	}
+}
+
+// TestCacheRerandomizedUnlinkable is the ciphertext-distinguishability
+// check: what the hit path serves must decrypt to exactly the cached
+// aggregate, yet be bitwise unlinkable to the stored entry and to any
+// other serving of the same entry — otherwise an observer of two SDC
+// responses could tell "these two SUs asked the same thing" from the
+// ciphertexts themselves (the shape digest deliberately leaks that to
+// the SDC, never to the wire).
+func TestCacheRerandomizedUnlinkable(t *testing.T) {
+	d := newDeployment(t)
+	su := d.newSU(t, "su-1", 7)
+	eirp := map[int]int64{1: maxEIRP(d)}
+	req, err := su.PrepareRequest(eirp, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.decide(t, su, req) // fills the cache
+
+	d.sdc.mu.Lock()
+	entry := d.sdc.cache.get(req.ShapeDigest)
+	d.sdc.mu.Unlock()
+	if entry == nil {
+		t.Fatal("request did not fill the cache")
+	}
+	stored := make([]*big.Int, len(entry.is))
+	for i, ct := range entry.is {
+		stored[i] = new(big.Int).Set(ct.C)
+	}
+
+	serveA, err := d.sdc.cacheNonces.RerandomizeBatch(entry.is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveB, err := d.sdc.cacheNonces.RerandomizeBatch(entry.is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range entry.is {
+		if entry.is[i].C.Cmp(stored[i]) != 0 {
+			t.Fatalf("re-randomisation mutated cached ciphertext %d in place", i)
+		}
+		if serveA[i].C.Cmp(stored[i]) == 0 || serveB[i].C.Cmp(stored[i]) == 0 {
+			t.Fatalf("served ciphertext %d linkable to the cache entry", i)
+		}
+		if serveA[i].C.Cmp(serveB[i].C) == 0 {
+			t.Fatalf("two servings of cached ciphertext %d are linkable to each other", i)
+		}
+		// Same plaintext under the group key — that is what makes the
+		// re-randomised serving a correct aggregate.
+		want, err := d.stp.group.Decrypt(entry.is[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotA, err := d.stp.group.Decrypt(serveA[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotB, err := d.stp.group.Decrypt(serveB[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Cmp(gotA) != 0 || want.Cmp(gotB) != 0 {
+			t.Fatalf("re-randomised ciphertext %d decrypts differently", i)
+		}
+	}
+}
+
+// TestSDCCloseDrainsBatcher is the lifecycle regression (a request
+// caught inside an open STP coalescing window when the SDC shuts
+// down): Close must wake the queued request immediately, and the
+// request must COMPLETE — the drained caller retries its sign test as
+// a direct round trip, honouring Close's request-processing-keeps-
+// working contract. The window is set to an hour so only the drain
+// (not the timer) can possibly unblock it.
+func TestSDCCloseDrainsBatcher(t *testing.T) {
+	d := newCacheDeployment(t, func(p *Params) {
+		p.STPBatchWindow = time.Hour
+		p.STPBatchMax = 16
+	})
+	if d.sdc.batcher == nil {
+		t.Fatal("batcher not armed")
+	}
+	su := d.newSU(t, "su-1", 7)
+	req, err := su.PrepareRequest(map[int]int64{1: maxEIRP(d)}, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		resp *Response
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := d.sdc.ProcessRequest(req)
+		done <- result{resp, err}
+	}()
+
+	// Wait until the request is actually parked in the coalescing queue.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		d.sdc.batcher.mu.Lock()
+		queued := len(d.sdc.batcher.pending)
+		d.sdc.batcher.mu.Unlock()
+		if queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the coalescing queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	d.sdc.Close()
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatalf("request drained by Close failed instead of retrying direct: %v", res.err)
+		}
+		grant, err := su.OpenResponse(res.resp, req, d.sdc.VerifyKey())
+		if err != nil {
+			t.Fatalf("OpenResponse: %v", err)
+		}
+		if !grant.Granted {
+			t.Fatal("empty-band request denied after batcher drain")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("request still parked in the coalescing window after Close")
+	}
+
+	// New requests after Close also complete (enqueue bounces to the
+	// direct path).
+	req2, err := su.RefreshRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.sdc.ProcessRequest(req2); err != nil {
+		t.Fatalf("request after Close failed: %v", err)
+	}
+}
+
+// hookReader wraps crypto/rand with a one-shot trap: the first read
+// after arm() fires the callback (or fails, when armed with an error)
+// and disarms itself. Rebuild passes read randomness outside the state
+// lock, so the trap is where a test injects "a concurrent update
+// registered mid-rebuild" or "entropy failed mid-rebuild"
+// deterministically.
+type hookReader struct {
+	armed  atomic.Bool
+	fail   atomic.Bool
+	onRead func()
+}
+
+func (h *hookReader) Read(p []byte) (int, error) {
+	if h.armed.CompareAndSwap(true, false) {
+		if h.fail.Load() {
+			return 0, fmt.Errorf("injected entropy failure")
+		}
+		if h.onRead != nil {
+			h.onRead()
+		}
+	}
+	return rand.Read(p)
+}
+
+// TestRebuildMetricsOutcomes pins satellite 2: every rebuild pass is
+// observed exactly once under its outcome label — including the error
+// paths, which the pre-label histogram silently dropped (undercounting
+// exactly when rebuilds failed).
+func TestRebuildMetricsOutcomes(t *testing.T) {
+	hr := &hookReader{}
+	wp := testWatchParams(t)
+	params := TestParams(wp)
+	// No cache: its nonce pool's background refill reads s.random too,
+	// and would race the rebuild for the armed one-shot trap.
+	params.CacheEntries = 0
+	stp, err := NewSTP(rand.Reader, params.PaillierBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdc, err := NewSDC("sdc-test", params, nil, stp, WithRandom(hr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdc.Close()
+	col, err := sdc.EColumn(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pu, err := NewPU(rand.Reader, "tv-1", 8, col, stp.GroupKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metrics()
+	weak := wp.Quantize(wp.SMinPUmW)
+
+	// Unarmed baseline: one clean rebuild, outcome ok.
+	u, err := pu.Tune(1, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok0, stale0, err0 := m.colRebuildOK.Count(), m.colRebuildStale.Count(), m.colRebuildErr.Count()
+	retries0 := m.colRetries.Value()
+	if err := sdc.HandlePUUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.colRebuildOK.Count() - ok0; d != 1 {
+		t.Fatalf("clean rebuild observed %d ok passes, want 1", d)
+	}
+
+	// Stale pass: the trap bumps the column version while the rebuild
+	// is encrypting (the window between snapshot and write-back), so
+	// the first pass must be discarded as stale and retried.
+	hr.onRead = func() {
+		sdc.mu.Lock()
+		sdc.colVer[8]++
+		sdc.mu.Unlock()
+	}
+	u, err = pu.Tune(1, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok0, stale0, err0 = m.colRebuildOK.Count(), m.colRebuildStale.Count(), m.colRebuildErr.Count()
+	retries0 = m.colRetries.Value()
+	hr.armed.Store(true)
+	if err := sdc.HandlePUUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.colRebuildStale.Count() - stale0; d != 1 {
+		t.Fatalf("raced rebuild observed %d stale passes, want 1", d)
+	}
+	if d := m.colRebuildOK.Count() - ok0; d != 1 {
+		t.Fatalf("raced rebuild observed %d ok passes, want 1 (the retry)", d)
+	}
+	if d := m.colRetries.Value() - retries0; d != 1 {
+		t.Fatalf("raced rebuild counted %d retries, want 1", d)
+	}
+
+	// Error pass: entropy fails mid-rebuild; the pass must be observed
+	// under outcome=error and the update surfaced as failed.
+	hr.onRead = nil
+	hr.fail.Store(true)
+	u, err = pu.Tune(1, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok0, stale0, err0 = m.colRebuildOK.Count(), m.colRebuildStale.Count(), m.colRebuildErr.Count()
+	hr.armed.Store(true)
+	if err := sdc.HandlePUUpdate(u); err == nil {
+		t.Fatal("rebuild with failing entropy succeeded")
+	}
+	hr.fail.Store(false)
+	if d := m.colRebuildErr.Count() - err0; d != 1 {
+		t.Fatalf("failed rebuild observed %d error passes, want 1 (error passes were previously unobserved)", d)
+	}
+	if d := m.colRebuildOK.Count() - ok0; d != 0 {
+		t.Fatalf("failed rebuild observed %d ok passes, want 0", d)
+	}
+	_ = stale0
+
+	// Heal: a later clean update must leave the column consistent again.
+	u, err = pu.Tune(1, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sdc.HandlePUUpdate(u); err != nil {
+		t.Fatalf("healing update failed: %v", err)
+	}
+}
+
+// TestCacheChurnStress interleaves cache-hitting SU requests, PU
+// updates (cache invalidations), and export/restore cycles, then
+// checks every stably-timed decision against the plaintext oracle's
+// expectation for that state. Run with -race this doubles as the
+// tentpole's concurrency acceptance test. PISA_CACHE_CHURN_ITERS
+// scales it up for soak runs.
+func TestCacheChurnStress(t *testing.T) {
+	iters := 10
+	if v := os.Getenv("PISA_CACHE_CHURN_ITERS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("PISA_CACHE_CHURN_ITERS=%q invalid", v)
+		}
+		iters = n
+	}
+	d := newDeployment(t)
+	t.Cleanup(d.sdc.Close)
+	// One SU per requester goroutine (SU-side nonce accounting is not
+	// concurrent-safe); same block + same EIRP means they share the
+	// shape digest, so they still exercise one cache entry together.
+	sus := []*SU{d.newSU(t, "su-1", 7), d.newSU(t, "su-2", 7)}
+	pu := d.newPU(t, "tv-1", 8)
+	eirp := map[int]int64{1: maxEIRP(d)}
+	weak := d.params.Watch.Quantize(d.params.Watch.SMinPUmW)
+
+	// Plaintext expectations for the two alternating spectrum states.
+	if err := d.oracle.UpdatePU("tv-1", watch.Registration{Block: 8, Channel: 1, SignalUnits: weak}); err != nil {
+		t.Fatal(err)
+	}
+	expectOn := d.oracleDecision(t, 7, eirp)
+	if err := d.oracle.UpdatePU("tv-1", watch.Registration{Channel: -1}); err != nil {
+		t.Fatal(err)
+	}
+	expectOff := d.oracleDecision(t, 7, eirp)
+	if expectOn == expectOff {
+		t.Fatalf("scenario not decision-flipping (on=%v off=%v)", expectOn, expectOff)
+	}
+
+	bases := make([]*TransmissionRequest, len(sus))
+	for i, su := range sus {
+		b, err := su.PrepareRequest(eirp, geo.Disclosure{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases[i] = b
+	}
+	if bases[0].ShapeDigest != bases[1].ShapeDigest {
+		t.Fatal("co-located same-shape SUs disagree on the digest")
+	}
+
+	before := snapshotCacheEvents()
+	requestsBefore := metrics().requests.Value()
+
+	// gen is even at stable points; gen/2 counts completed toggles.
+	// Toggle i (0-based) switches the PU ON when i is even, OFF when
+	// odd — so after m completed toggles the PU is on iff m is odd.
+	var gen atomic.Uint64
+	expectAt := func(g uint64) bool {
+		if (g/2)%2 == 1 {
+			return expectOn
+		}
+		return expectOff
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2*iters+iters+4)
+
+	wg.Add(1)
+	go func() { // updater: toggles + periodic export/restore
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			var u *PUUpdate
+			var err error
+			if i%2 == 0 {
+				u, err = pu.Tune(1, weak)
+			} else {
+				u, err = pu.Off()
+			}
+			if err == nil {
+				gen.Add(1)
+				err = d.sdc.HandlePUUpdate(u)
+				gen.Add(1)
+			}
+			if err != nil {
+				errCh <- fmt.Errorf("toggle %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	for r := range sus {
+		wg.Add(1)
+		go func(r int) { // requesters: refresh-driven cache traffic
+			defer wg.Done()
+			su, req := sus[r], bases[r]
+			for i := 0; i < iters; i++ {
+				refreshed, err := su.RefreshRequest(req)
+				if err != nil {
+					errCh <- fmt.Errorf("requester %d refresh %d: %w", r, i, err)
+					return
+				}
+				g1 := gen.Load()
+				resp, err := d.sdc.ProcessRequest(refreshed)
+				if err != nil {
+					errCh <- fmt.Errorf("requester %d request %d: %w", r, i, err)
+					return
+				}
+				grant, err := su.OpenResponse(resp, refreshed, d.sdc.VerifyKey())
+				if err != nil {
+					errCh <- fmt.Errorf("requester %d open %d: %w", r, i, err)
+					return
+				}
+				g2 := gen.Load()
+				if g1 == g2 && g1%2 == 0 {
+					// No toggle was in flight: the decision must match the
+					// oracle for that exact stable state.
+					if want := expectAt(g1); grant.Granted != want {
+						errCh <- fmt.Errorf("requester %d iter %d: stable-state decision %v, oracle says %v (gen %d)",
+							r, i, grant.Granted, want, g1)
+						return
+					}
+				}
+				req = refreshed
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Quiescent exact check, plus a restore: a fresh SDC built from the
+	// exported state (new cache, new colApplied) must agree.
+	finalWant := expectAt(gen.Load())
+	final, err := sus[0].RefreshRequest(bases[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.decide(t, sus[0], final).Granted; got != finalWant {
+		t.Fatalf("quiescent decision %v, oracle expectation %v", got, finalWant)
+	}
+	blob, err := d.sdc.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSDC("sdc-test", d.params, nil, d.stp, blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	rreq, err := sus[0].RefreshRequest(bases[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := restored.ProcessRequest(rreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, err := sus[0].OpenResponse(resp, rreq, restored.VerifyKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grant.Granted != finalWant {
+		t.Fatalf("restored-SDC decision %v, oracle expectation %v", grant.Granted, finalWant)
+	}
+
+	// Conservation: every digest-carrying request resolved to exactly
+	// one of hit/miss/stale — across both SDCs and all the churn.
+	delta := snapshotCacheEvents().deltaFrom(before)
+	requests := metrics().requests.Value() - requestsBefore
+	if got := delta.hits + delta.misses + delta.stale; got != requests {
+		t.Fatalf("cache events (hit %d + miss %d + stale %d = %d) do not account for %d requests",
+			delta.hits, delta.misses, delta.stale, got, requests)
+	}
+}

@@ -2,8 +2,10 @@ package pisa
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"pisa/internal/dsig"
 	"pisa/internal/geo"
@@ -50,6 +52,19 @@ type TransmissionRequest struct {
 	// Disclosure lists the block columns shipped; nil or
 	// grid-complete means full location privacy (§VI-A trade-off).
 	Disclosure []geo.BlockID
+	// ShapeDigest commits to the request's plaintext shape — layout,
+	// SU block, per-channel EIRP classes, disclosure — over public
+	// inputs only (see ShapeDigest below). The SDC uses it as the
+	// lookup key of its encrypted-decision cache: two requests with
+	// equal digests have bit-identical plaintext F matrices, so the
+	// aggregate output Ĩ can be reused after re-randomisation. The
+	// zero value opts out of caching (the SDC always recomputes); a
+	// wrong digest degrades to a cache miss or a self-inflicted wrong
+	// answer for this SU only, in the same trust class as honest F
+	// values (§IV-A assumes SUs follow the protocol for their own
+	// decisions). It deliberately leaks shape EQUALITY across a fleet
+	// — the intended trade for cacheability.
+	ShapeDigest [32]byte
 }
 
 // SizeBytes reports the request's dominant wire size (the ciphertext
@@ -141,6 +156,51 @@ func (r *TransmissionRequest) Digest() ([32]byte, error) {
 		return [32]byte{}, err
 	}
 	return dsig.HashRequest(buf.Bytes()), nil
+}
+
+// shapeDigestTag domain-separates the cache key from the license
+// digest above (which binds ciphertext bytes and would change on
+// every refresh, defeating the cache).
+const shapeDigestTag = "pisa-shape-digest-v1\x00"
+
+// ShapeDigest hashes the plaintext inputs that determine the F matrix
+// bit-for-bit: the layout mode, the grid dimensions, the SU's block,
+// the (channel, EIRP-units) demand pairs, and the disclosed block set.
+// planner.ComputeF is deterministic in exactly these inputs, so equal
+// digests imply equal plaintext F — the soundness condition for the
+// SDC's encrypted-decision cache. Computed SU-side, because the SDC
+// only ever sees F encrypted.
+func ShapeDigest(packed bool, channels, blocks int, block geo.BlockID, eirpUnits map[int]int64, disclosure []geo.BlockID) [32]byte {
+	var buf bytes.Buffer
+	buf.WriteString(shapeDigestTag)
+	if packed {
+		buf.WriteByte(digestModePacked)
+	} else {
+		buf.WriteByte(digestModeUnpacked)
+	}
+	digestU32(&buf, channels)
+	digestU32(&buf, blocks)
+	digestU32(&buf, int(block))
+	chans := make([]int, 0, len(eirpUnits))
+	for c := range eirpUnits {
+		chans = append(chans, c)
+	}
+	sort.Ints(chans)
+	digestU32(&buf, len(chans))
+	for _, c := range chans {
+		digestU32(&buf, c)
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(eirpUnits[c]))
+		buf.Write(b[:])
+	}
+	sorted := make([]geo.BlockID, len(disclosure))
+	copy(sorted, disclosure)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	digestU32(&buf, len(sorted))
+	for _, b := range sorted {
+		digestU32(&buf, int(b))
+	}
+	return sha256.Sum256(buf.Bytes())
 }
 
 // Response is the SDC's reply (Figure 5, step 11): the license body in

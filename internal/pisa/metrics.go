@@ -28,8 +28,15 @@ type sdcMetrics struct {
 
 	puUpdate       *obs.Histogram
 	puUpdateErrors *obs.Counter
-	colRebuild     *obs.Histogram
-	colRetries     *obs.Counter
+	// Every rebuild pass is observed exactly once, labelled by how it
+	// ended: committed (ok), discarded because a newer update raced in
+	// (stale), or failed (error). Summing the three families gives the
+	// true pass count — the pre-label histogram silently dropped error
+	// passes, undercounting exactly when rebuilds were slow.
+	colRebuildOK    *obs.Histogram
+	colRebuildStale *obs.Histogram
+	colRebuildErr   *obs.Histogram
+	colRetries      *obs.Counter
 
 	blindDepth     *obs.Gauge
 	blindRefills   *obs.Counter // result="ok"
@@ -40,6 +47,18 @@ type sdcMetrics struct {
 	batchFlushFull  *obs.Counter // reason="full"
 	batchFlushTimer *obs.Counter // reason="timer"
 	batchWait       *obs.Histogram
+
+	// Encrypted-decision cache: event counters plus the aggregate
+	// stage split into served-from-cache vs recomputed, so the hit
+	// speedup is directly readable from /metrics.
+	cacheHits    *obs.Counter // event="hit"
+	cacheMisses  *obs.Counter // event="miss"
+	cacheStale   *obs.Counter // event="stale"
+	cacheEvicts  *obs.Counter // event="evict"
+	cacheBypass  *obs.Counter // event="bypass" (request carried no shape digest)
+	cacheEntries *obs.Gauge
+	cacheAggHit  *obs.Histogram // path="hit": re-randomise cached Ĩ
+	cacheAggMiss *obs.Histogram // path="miss": full eq. 11-12 recompute
 }
 
 // requestStages enumerates the per-stage histogram labels in pipeline
@@ -67,8 +86,15 @@ func metrics() *sdcMetrics {
 				"PU channel-reception update handling (validate + register + journal + rebuild)", nil, nil),
 			puUpdateErrors: r.Counter("pisa_sdc_pu_update_errors_total",
 				"PU updates rejected or rolled back", nil),
-			colRebuild: r.Histogram("pisa_sdc_column_rebuild_seconds",
-				"one encrypted budget-column recomputation pass (eqs. 9-10)", nil, nil),
+			colRebuildOK: r.Histogram("pisa_sdc_column_rebuild_seconds",
+				"one encrypted budget-column recomputation pass (eqs. 9-10), by outcome",
+				obs.Labels{"outcome": "ok"}, nil),
+			colRebuildStale: r.Histogram("pisa_sdc_column_rebuild_seconds",
+				"one encrypted budget-column recomputation pass (eqs. 9-10), by outcome",
+				obs.Labels{"outcome": "stale"}, nil),
+			colRebuildErr: r.Histogram("pisa_sdc_column_rebuild_seconds",
+				"one encrypted budget-column recomputation pass (eqs. 9-10), by outcome",
+				obs.Labels{"outcome": "error"}, nil),
 			colRetries: r.Counter("pisa_sdc_column_rebuild_retries_total",
 				"column rebuild passes discarded because a newer update raced in", nil),
 			blindDepth: r.Gauge("pisa_sdc_blind_pool_depth",
@@ -88,6 +114,24 @@ func metrics() *sdcMetrics {
 				"coalesced STP batch flushes by trigger", obs.Labels{"reason": "timer"}),
 			batchWait: r.Histogram("pisa_sdc_stp_batch_wait_seconds",
 				"time a sign-test request waited in the coalescing queue", nil, nil),
+			cacheHits: r.Counter("pisa_sdc_cache_events_total",
+				"encrypted-decision cache events by kind", obs.Labels{"event": "hit"}),
+			cacheMisses: r.Counter("pisa_sdc_cache_events_total",
+				"encrypted-decision cache events by kind", obs.Labels{"event": "miss"}),
+			cacheStale: r.Counter("pisa_sdc_cache_events_total",
+				"encrypted-decision cache events by kind", obs.Labels{"event": "stale"}),
+			cacheEvicts: r.Counter("pisa_sdc_cache_events_total",
+				"encrypted-decision cache events by kind", obs.Labels{"event": "evict"}),
+			cacheBypass: r.Counter("pisa_sdc_cache_events_total",
+				"encrypted-decision cache events by kind", obs.Labels{"event": "bypass"}),
+			cacheEntries: r.Gauge("pisa_sdc_cache_entries",
+				"encrypted-decision cache entries currently live", nil),
+			cacheAggHit: r.Histogram("pisa_sdc_cache_aggregate_seconds",
+				"aggregate stage cost split by cache path (hit = re-randomise, miss = recompute)",
+				obs.Labels{"path": "hit"}, obs.IOBuckets),
+			cacheAggMiss: r.Histogram("pisa_sdc_cache_aggregate_seconds",
+				"aggregate stage cost split by cache path (hit = re-randomise, miss = recompute)",
+				obs.Labels{"path": "miss"}, obs.IOBuckets),
 		}
 		for _, s := range requestStages {
 			m.stage[s] = r.Histogram("pisa_sdc_request_stage_seconds",

@@ -110,6 +110,18 @@ type Params struct {
 	// queue flushes immediately without waiting out the window. Zero
 	// selects DefaultSTPBatchMax when coalescing is enabled.
 	STPBatchMax int
+
+	// CacheEntries bounds the SDC's encrypted-decision cache: the
+	// aggregate output Ĩ of eqs. 11-12, keyed on the request's shape
+	// digest and invalidated against per-block column versions, served
+	// after re-randomisation so two hits are unlinkable. Zero disables
+	// the cache (every request recomputes, the paper's Figure 5 cost).
+	CacheEntries int
+
+	// CacheTTL additionally expires cached aggregates by age. Zero
+	// means version-checking alone bounds staleness — which is already
+	// exact, so a TTL is only useful as defence in depth.
+	CacheTTL time.Duration
 }
 
 // DefaultSTPBatchMax is the batch-size cap used when coalescing is
@@ -135,6 +147,7 @@ func DefaultParams(w watch.Params) Params {
 		Parallelism:   -1,   // production default: one worker per CPU
 		FastExp:       true, // fixed-base engine at default window/width
 		Packing:       true, // slot-packed ciphertexts (12 blocks/ct at 2048 bits)
+		CacheEntries:  1024, // encrypted-decision cache (0 = recompute every request)
 	}
 }
 
@@ -152,6 +165,7 @@ func TestParams(w watch.Params) Params {
 		SignerBits:    512,
 		FastExp:       true,
 		Packing:       true,
+		CacheEntries:  256,
 	}
 }
 
@@ -223,6 +237,10 @@ func (p Params) Validate() error {
 		return fmt.Errorf("pisa: STPBatchWindow must not be negative")
 	case p.STPBatchMax < 0:
 		return fmt.Errorf("pisa: STPBatchMax must not be negative")
+	case p.CacheEntries < 0:
+		return fmt.Errorf("pisa: CacheEntries must not be negative")
+	case p.CacheTTL < 0:
+		return fmt.Errorf("pisa: CacheTTL must not be negative")
 	}
 	// Blinded value: |eps*(alpha*I - beta)| < 2^(AlphaBits + PlaintextBits) + 2^BetaBits.
 	// It must stay inside the centred plaintext domain (-n/2, n/2).

@@ -61,14 +61,31 @@ type SDC struct {
 	// batching; nil otherwise.
 	batcher *stpBatcher
 
+	// cacheNonces feeds the encrypted-decision cache's hit path: one
+	// pooled r^n factor re-randomises one served ciphertext, the same
+	// fast-nonce machinery SU refreshes use. Nil when the cache is off.
+	cacheNonces *paillier.NoncePool
+
 	mu        sync.Mutex
 	nEnc      *matrix.Enc                // N~: encrypted budgets (unpacked mode)
 	nPack     *matrix.Packed             // N~: packed budgets (packed mode)
 	puUpdates map[watch.PUID]*PUUpdate   // latest update per PU
 	puBlocks  map[watch.PUID]geo.BlockID // fixed registered locations
 	colVer    map[geo.BlockID]uint64     // bumped on every update registration
-	serial    uint64
-	journal   func(*PUUpdate) error // WAL hook; called outside the lock
+	// colApplied is bumped to the registration version a rebuild pass
+	// actually folded into the stored budget, in the same critical
+	// section as the write-back. It trails colVer while a rebuild is in
+	// flight, which is exactly what makes it the right cache key: the
+	// budget CONTENT a request snapshot reads is identified by
+	// colApplied, not colVer (between registration and write-back the
+	// old content is still being served — by recomputes and cache hits
+	// alike, so the two always agree).
+	colApplied map[geo.BlockID]uint64
+	// cache memoises the aggregate output Ĩ per request shape; nil
+	// when Params.CacheEntries is 0. Guarded by mu.
+	cache   *decisionCache
+	serial  uint64
+	journal func(*PUUpdate) error // WAL hook; called outside the lock
 
 	blindPool      []blindFactors // offline-precomputed blinding tuples
 	blindTarget    int            // auto-refill high-water mark; 0 disarms
@@ -181,9 +198,10 @@ func newSDCBase(issuer string, params Params, transmitters []watch.TVTransmitter
 		random:    rand.Reader,
 		now:       time.Now,
 		licTTL:    24 * time.Hour,
-		puUpdates: make(map[watch.PUID]*PUUpdate),
-		puBlocks:  make(map[watch.PUID]geo.BlockID),
-		colVer:    make(map[geo.BlockID]uint64),
+		puUpdates:  make(map[watch.PUID]*PUUpdate),
+		puBlocks:   make(map[watch.PUID]geo.BlockID),
+		colVer:     make(map[geo.BlockID]uint64),
+		colApplied: make(map[geo.BlockID]uint64),
 	}
 	for _, opt := range opts {
 		opt.apply(s)
@@ -228,6 +246,24 @@ func newSDCBase(issuer string, params Params, transmitters []watch.TVTransmitter
 			}
 		}
 	}
+	if params.CacheEntries > 0 {
+		s.cache = newDecisionCache(params.CacheEntries, params.CacheTTL)
+		s.cacheNonces = paillier.NewNoncePool(s.group, s.random, s.workers)
+		// Size the nonce pool for roughly two full-footprint hits in
+		// flight: one r^n factor per served ciphertext. Refills run in
+		// the background; a dry pool falls back to online generation.
+		cols := params.Watch.Grid.Blocks()
+		if s.codec != nil {
+			cols = (cols + s.codec.Slots() - 1) / s.codec.Slots()
+		}
+		target := 2 * params.Watch.Channels * cols
+		if target > 4096 {
+			target = 4096
+		}
+		if err := s.cacheNonces.SetAutoRefill(target); err != nil {
+			return nil, fmt.Errorf("pisa: arm cache nonce pool: %w", err)
+		}
+	}
 	return s, nil
 }
 
@@ -236,10 +272,17 @@ func newSDCBase(issuer string, params Params, transmitters []watch.TVTransmitter
 func (s *SDC) Packed() bool { return s.codec != nil }
 
 // convert routes one sign test to the STP: through the coalescing
-// batcher when armed, directly otherwise.
+// batcher when armed, directly otherwise. A request drained out of the
+// batcher by Close (or racing Close's shutdown) falls back to its own
+// direct round trip — Close's contract is that request processing
+// keeps working, only the background machinery stops.
 func (s *SDC) convert(req *SignRequest) (*SignResponse, error) {
 	if s.batcher != nil {
-		return s.batcher.convert(req)
+		resp, err := s.batcher.convert(req)
+		if err == errSTPBatcherClosed {
+			return s.stp.ConvertSigns(req)
+		}
+		return resp, err
 	}
 	return s.stp.ConvertSigns(req)
 }
@@ -440,6 +483,7 @@ func (s *SDC) rebuildColumn(b geo.BlockID) error {
 			return nil
 		})
 		if err != nil {
+			m.colRebuildErr.ObserveSince(passStart)
 			return err
 		}
 
@@ -448,18 +492,23 @@ func (s *SDC) rebuildColumn(b geo.BlockID) error {
 			// A newer update landed while we computed; retry with a
 			// fresh snapshot so its ciphertexts are folded in.
 			s.mu.Unlock()
-			m.colRebuild.ObserveSince(passStart)
+			m.colRebuildStale.ObserveSince(passStart)
 			m.colRetries.Inc()
 			continue
 		}
 		for c, ct := range col {
 			if err := s.nEnc.Set(c, int(b), ct); err != nil {
 				s.mu.Unlock()
+				m.colRebuildErr.ObserveSince(passStart)
 				return err
 			}
 		}
+		// Write-back committed: the stored content now reflects every
+		// update registered up to ver. Cached decisions keyed on older
+		// applied versions turn stale at their next lookup.
+		s.colApplied[b] = ver
 		s.mu.Unlock()
-		m.colRebuild.ObserveSince(passStart)
+		m.colRebuildOK.ObserveSince(passStart)
 		return nil
 	}
 }
@@ -525,6 +574,7 @@ func (s *SDC) rebuildGroup(g int) error {
 			return nil
 		})
 		if err != nil {
+			m.colRebuildErr.ObserveSince(passStart)
 			return err
 		}
 
@@ -538,18 +588,24 @@ func (s *SDC) rebuildGroup(g int) error {
 		}
 		if stale {
 			s.mu.Unlock()
-			m.colRebuild.ObserveSince(passStart)
+			m.colRebuildStale.ObserveSince(passStart)
 			m.colRetries.Inc()
 			continue
 		}
 		for c, ct := range col {
 			if err := s.nPack.SetGroup(c, g, ct); err != nil {
 				s.mu.Unlock()
+				m.colRebuildErr.ObserveSince(passStart)
 				return err
 			}
 		}
+		// The whole group ciphertext was rebuilt, so every member
+		// block's content is now at its snapshot version.
+		for b := lo; b < hi; b++ {
+			s.colApplied[geo.BlockID(b)] = vers[b-lo]
+		}
 		s.mu.Unlock()
-		m.colRebuild.ObserveSince(passStart)
+		m.colRebuildOK.ObserveSince(passStart)
 		return nil
 	}
 }
@@ -563,6 +619,90 @@ type requestCell struct {
 	c, b int
 	f, n *paillier.Ciphertext
 	bf   blindFactors
+}
+
+// footprintVersLocked returns the distinct budget blocks a request's
+// cells read — packed groups expanded to their member blocks — with
+// their current applied-content versions, in the deterministic cell
+// enumeration order. Caller holds s.mu.
+func (s *SDC) footprintVersLocked(cells []requestCell) ([]geo.BlockID, []uint64) {
+	total := s.params.Watch.Grid.Blocks()
+	seen := make(map[int]bool)
+	var blocks []geo.BlockID
+	add := func(b int) {
+		if !seen[b] {
+			seen[b] = true
+			blocks = append(blocks, geo.BlockID(b))
+		}
+	}
+	if s.codec != nil {
+		k := s.codec.Slots()
+		for i := range cells {
+			g := cells[i].b
+			for b := g * k; b < (g+1)*k && b < total; b++ {
+				add(b)
+			}
+		}
+	} else {
+		for i := range cells {
+			add(cells[i].b)
+		}
+	}
+	vers := make([]uint64, len(blocks))
+	for i, b := range blocks {
+		vers[i] = s.colApplied[b]
+	}
+	return blocks, vers
+}
+
+// entryFreshLocked decides whether a cached aggregate column can serve
+// the request whose cells and current footprint versions are given.
+// The coords comparison is positional: the entry's ciphertexts must
+// align one-to-one with the cells the blinding stage will walk, so a
+// digest collision (or a dishonest SU reusing another shape's digest)
+// degrades to a miss instead of misaligning Ĩ against blinding
+// factors. vers was computed from these same cells, so coord equality
+// implies the entry's block list matches too. Caller holds s.mu.
+func (s *SDC) entryFreshLocked(e *cacheEntry, cells []requestCell, vers []uint64) bool {
+	if s.cache.ttl > 0 && s.now().Sub(e.filled) > s.cache.ttl {
+		return false
+	}
+	if len(e.coords) != len(cells) || len(e.vers) != len(vers) {
+		return false
+	}
+	for i := range cells {
+		if e.coords[i].c != cells[i].c || e.coords[i].b != cells[i].b {
+			return false
+		}
+	}
+	for i := range vers {
+		if e.vers[i] != vers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrecomputeCacheNonces extends the pool of re-randomisation factors
+// the cache hit path consumes (one per served ciphertext). A dry pool
+// falls back to online nonce generation; benchmarks pre-fill so the
+// hit path measures the pooled regime.
+func (s *SDC) PrecomputeCacheNonces(count int) error {
+	if s.cacheNonces == nil {
+		return fmt.Errorf("pisa: decision cache disabled")
+	}
+	return s.cacheNonces.Fill(count)
+}
+
+// CachedDecisions reports the live entry count of the encrypted
+// decision cache (0 when disabled).
+func (s *SDC) CachedDecisions() int {
+	if s.cache == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.len()
 }
 
 // ProcessRequest executes Figure 5 steps 3-11 for one SU request and
@@ -680,6 +820,45 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 			return nil
 		})
 	}
+	// Cache lookup happens in the same critical section as the budget
+	// snapshot: the colApplied vector read here identifies exactly the
+	// content the `n` pointers above reference, so a version-matched
+	// entry equals what the recompute below would produce.
+	var (
+		cacheHit *cacheEntry
+		cachePut *cacheEntry
+	)
+	if err == nil && s.cache != nil {
+		switch {
+		case req.ShapeDigest == [32]byte{}:
+			m.cacheBypass.Inc()
+		default:
+			blocks, vers := s.footprintVersLocked(cells)
+			if e := s.cache.get(req.ShapeDigest); e != nil {
+				if s.entryFreshLocked(e, cells, vers) {
+					cacheHit = e
+				} else {
+					s.cache.remove(req.ShapeDigest)
+					m.cacheStale.Inc()
+				}
+			} else {
+				m.cacheMisses.Inc()
+			}
+			if cacheHit == nil {
+				coords := make([]cellCoord, len(cells))
+				for i := range cells {
+					coords[i] = cellCoord{c: cells[i].c, b: cells[i].b}
+				}
+				cachePut = &cacheEntry{
+					key:    req.ShapeDigest,
+					coords: coords,
+					blocks: blocks,
+					vers:   vers,
+				}
+			}
+			m.cacheEntries.Set(int64(s.cache.len()))
+		}
+	}
 	if err == nil {
 		s.maybeRefillBlindingLocked()
 	}
@@ -690,26 +869,58 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 	}
 	m.stage["snapshot"].ObserveSince(stageStart)
 
-	// Steps 3-4 on the worker pool: R~ = X (x) F~, I~ = N~ (-) R~
-	// (eqs. 11-12) — the budget aggregation.
+	// Steps 3-4: R~ = X (x) F~, I~ = N~ (-) R~ (eqs. 11-12) — the
+	// budget aggregation. A cache hit replaces the recompute with one
+	// re-randomisation per ciphertext: the served column decrypts
+	// identically but is unlinkable to the stored entry and to any
+	// other serving of it (fresh r^n per ciphertext, PR-4 fast path).
 	stageStart = time.Now()
-	deltaX := big.NewInt(w.DeltaInt)
-	is := make([]*paillier.Ciphertext, len(cells))
-	err = parallel.For(s.workers, len(cells), func(k int) error {
-		cell := &cells[k]
-		r, err := s.group.ScalarMul(deltaX, cell.f) // eq. 11
-		if err != nil {
-			return fmt.Errorf("scale F(%d, %d): %w", cell.c, cell.b, err)
+	var is []*paillier.Ciphertext
+	if cacheHit != nil {
+		if is, err = s.cacheNonces.RerandomizeBatch(cacheHit.is); err != nil {
+			return nil, fmt.Errorf("pisa: re-randomise cached aggregate: %w", err)
 		}
-		i, err := s.group.Sub(cell.n, r) // eq. 12
+		m.cacheHits.Inc()
+		m.cacheAggHit.ObserveSince(stageStart)
+	} else {
+		deltaX := big.NewInt(w.DeltaInt)
+		is = make([]*paillier.Ciphertext, len(cells))
+		err = parallel.For(s.workers, len(cells), func(k int) error {
+			cell := &cells[k]
+			r, err := s.group.ScalarMul(deltaX, cell.f) // eq. 11
+			if err != nil {
+				return fmt.Errorf("scale F(%d, %d): %w", cell.c, cell.b, err)
+			}
+			i, err := s.group.Sub(cell.n, r) // eq. 12
+			if err != nil {
+				return fmt.Errorf("budget at (%d, %d): %w", cell.c, cell.b, err)
+			}
+			is[k] = i
+			return nil
+		})
 		if err != nil {
-			return fmt.Errorf("budget at (%d, %d): %w", cell.c, cell.b, err)
+			return nil, err
 		}
-		is[k] = i
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		if cachePut != nil {
+			// The cached copy is the freshly computed column; the hit
+			// path re-randomises before serving, so storing it verbatim
+			// links it to nothing the SDC ever emits. The version vector
+			// was captured under the same lock as the budget snapshot —
+			// a rebuild that committed since then changed colApplied and
+			// simply makes this entry stale at its first lookup.
+			cachePut.is = is
+			cachePut.filled = s.now()
+			s.mu.Lock()
+			evicted := s.cache.put(cachePut)
+			m.cacheEntries.Set(int64(s.cache.len()))
+			s.mu.Unlock()
+			for ; evicted > 0; evicted-- {
+				m.cacheEvicts.Inc()
+			}
+		}
+		if s.cache != nil {
+			m.cacheAggMiss.ObserveSince(stageStart)
+		}
 	}
 	m.stage["aggregate"].ObserveSince(stageStart)
 
@@ -1026,16 +1237,26 @@ func (s *SDC) WaitBlindingRefill() {
 }
 
 // Close disarms blinding auto-refill and waits for any in-flight
-// background refill goroutine to exit, so a retired SDC leaks no
-// goroutines. Request and update processing keep working after Close
-// (cells fall back to on-the-fly blinding); only the background
-// machinery stops. Safe to call more than once.
+// background refill goroutine to exit, drains the STP coalescing
+// batcher (queued sign tests are handed back to their callers, who
+// retry with a direct round trip), and retires the cache's nonce
+// pool — so a retired SDC leaks no goroutines and strands no waiter
+// inside an open coalescing window. Request and update processing
+// keep working after Close (cells fall back to on-the-fly blinding,
+// sign tests go direct, cache hits generate nonces online); only the
+// background machinery stops. Safe to call more than once.
 func (s *SDC) Close() {
 	s.mu.Lock()
 	s.blindClosed = true
 	s.blindTarget = 0
 	s.mu.Unlock()
 	s.blindWG.Wait()
+	if s.batcher != nil {
+		s.batcher.close()
+	}
+	if s.cacheNonces != nil {
+		s.cacheNonces.Close()
+	}
 }
 
 // PooledBlinding reports the remaining precomputed blinding tuples.

@@ -141,8 +141,11 @@ func (u *SU) PrepareRequest(eirpUnits map[int]int64, disclosure geo.Disclosure) 
 	if err != nil {
 		return nil, err
 	}
+	// The shape digest keys the SDC's encrypted-decision cache; it
+	// covers exactly the plaintext inputs ComputeF is deterministic in.
+	shape := ShapeDigest(u.codec != nil, p.Channels, p.Grid.Blocks(), u.block, eirpUnits, disclosure.Blocks)
 	if u.codec != nil {
-		return u.preparePacked(f, disclosure)
+		return u.preparePacked(f, disclosure, shape)
 	}
 	enc, err := matrix.NewEnc(u.group, p.Channels, p.Grid.Blocks())
 	if err != nil {
@@ -184,9 +187,10 @@ func (u *SU) PrepareRequest(eirpUnits map[int]int64, disclosure geo.Disclosure) 
 		}
 	}
 	return &TransmissionRequest{
-		SUID:       u.id,
-		F:          enc,
-		Disclosure: append([]geo.BlockID(nil), disclosure.Blocks...),
+		SUID:        u.id,
+		F:           enc,
+		Disclosure:  append([]geo.BlockID(nil), disclosure.Blocks...),
+		ShapeDigest: shape,
 	}, nil
 }
 
@@ -198,7 +202,7 @@ func (u *SU) PrepareRequest(eirpUnits map[int]int64, disclosure geo.Disclosure) 
 // so the unpacked footprint check above still guarantees no
 // interference constraint is dropped. Out-of-disclosure slots inside a
 // shipped group and padding slots past the grid encrypt zero.
-func (u *SU) preparePacked(f *matrix.Int, disclosure geo.Disclosure) (*TransmissionRequest, error) {
+func (u *SU) preparePacked(f *matrix.Int, disclosure geo.Disclosure, shape [32]byte) (*TransmissionRequest, error) {
 	p := u.planner.Params()
 	blocks := p.Grid.Blocks()
 	k := u.codec.Slots()
@@ -258,9 +262,10 @@ func (u *SU) preparePacked(f *matrix.Int, disclosure geo.Disclosure) (*Transmiss
 		}
 	}
 	return &TransmissionRequest{
-		SUID:       u.id,
-		FP:         fp,
-		Disclosure: append([]geo.BlockID(nil), disclosure.Blocks...),
+		SUID:        u.id,
+		FP:          fp,
+		Disclosure:  append([]geo.BlockID(nil), disclosure.Blocks...),
+		ShapeDigest: shape,
 	}, nil
 }
 
@@ -358,9 +363,13 @@ func (u *SU) RefreshRequest(req *TransmissionRequest) (*TransmissionRequest, err
 		}
 	}
 	return &TransmissionRequest{
-		SUID:       req.SUID,
-		F:          fresh,
-		Disclosure: append([]geo.BlockID(nil), req.Disclosure...),
+		SUID: req.SUID,
+		F:    fresh,
+		// The shape digest survives a refresh unchanged — only the
+		// ciphertext randomness moves, which is exactly what makes a
+		// refreshed request a cache hit at the SDC.
+		Disclosure:  append([]geo.BlockID(nil), req.Disclosure...),
+		ShapeDigest: req.ShapeDigest,
 	}, nil
 }
 
@@ -407,9 +416,10 @@ func (u *SU) refreshPacked(req *TransmissionRequest) (*TransmissionRequest, erro
 		}
 	}
 	return &TransmissionRequest{
-		SUID:       req.SUID,
-		FP:         fresh,
-		Disclosure: append([]geo.BlockID(nil), req.Disclosure...),
+		SUID:        req.SUID,
+		FP:          fresh,
+		Disclosure:  append([]geo.BlockID(nil), req.Disclosure...),
+		ShapeDigest: req.ShapeDigest,
 	}, nil
 }
 
