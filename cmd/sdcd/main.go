@@ -18,14 +18,18 @@
 //	sdcd [-config pisa.json] [-listen host:port] [-stp host:port,host:port]
 //	     [-issuer name] [-store dir] [-snapshot-on-exit=true]
 //	     [-metrics host:port] [-packing=false] [-stp-batch-window ms]
-//	     [-cache entries|off] [-backend pisa|pir]
+//	     [-cache entries|off] [-cache-domains decls|off] [-backend pisa|pir]
 //
 // The SDC memoises the aggregate pass of repeated request shapes in an
 // encrypted-decision cache (DESIGN.md §14): hits replace the eq. 11-12
 // recompute with one re-randomisation per ciphertext, invalidated
 // exactly when a PU update is folded into a footprint block. -cache
 // bounds the entry count; -cache=off (or "cacheEntries": 0) disables
-// it.
+// it. Entries are scoped per SU by default (a dishonest shape digest
+// is strictly self-inflicted); -cache-domains "fleet-a=su1,su2;..."
+// (config "cacheDomains") declares trust domains whose member SUs
+// share entries with each other — the fleet-concentration win, at the
+// cost of trusting every declared member's digests.
 //
 // With -backend pir (or "backend": "pir" in the config) the daemon
 // serves the plaintext availability database through the multi-server
@@ -80,6 +84,7 @@ func run(args []string) error {
 	packing := fs.Bool("packing", true, "slot-packed ciphertexts (-packing=off via config or flag falls back to one cell per ciphertext; must match the deployment's SUs)")
 	stpBatchMS := fs.Int("stp-batch-window", -1, "coalesce concurrent sign tests into batched STP calls, waiting up to this many ms for companions (-1 = use config, 0 = off)")
 	cacheFlag := fs.String("cache", "", "encrypted-decision cache entry bound, or 'off' (overrides config cacheEntries)")
+	cacheDomainsFlag := fs.String("cache-domains", "", "cross-SU cache trust domains 'name=su1,su2[;...]', or 'off' for per-SU scope (overrides config cacheDomains)")
 	backend := fs.String("backend", "", "spectrum-query backend: pisa (encrypted protocol) or pir (plaintext PIR replica; overrides config)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,6 +118,13 @@ func run(args []string) error {
 			return err
 		}
 		cfg.CacheEntries = entries
+	}
+	if *cacheDomainsFlag != "" {
+		domains, err := config.ParseCacheDomainsFlag(*cacheDomainsFlag)
+		if err != nil {
+			return err
+		}
+		cfg.CacheDomains = domains
 	}
 	addr := cfg.SDCAddr
 	if *listen != "" {

@@ -110,7 +110,11 @@ func MeasureCache(channels, cols, rows, bits, entries int, concentrations []int)
 		start := time.Now()
 		for n := 0; n < c; n++ {
 			if n > 0 {
-				// Fresh ciphertexts, same shape — the next SU in the fleet.
+				// Fresh ciphertexts, same shape — modelling the next SU in
+				// the fleet with a refresh of the one benchmark SU. Cache
+				// entries are scoped per requester, so one SU's refreshes
+				// measure the same hit path a declared cache domain
+				// (Params.CacheDomains) gives a real multi-SU fleet.
 				if req, err = u.SU.RefreshRequest(req); err != nil {
 					return nil, err
 				}

@@ -134,6 +134,14 @@ type File struct {
 	// CacheTTLSec additionally age-bounds cached decisions; 0 (the
 	// default) relies on exact content-version invalidation alone.
 	CacheTTLSec int `json:"cacheTTLSec,omitempty"`
+	// CacheDomains declares trust domains for cross-SU cache sharing
+	// (pisa.Params.CacheDomains): domain name -> member SUIDs. By
+	// default cache entries are scoped per SU, so a dishonest shape
+	// digest is strictly self-inflicted; SUs declared in one domain
+	// share entries instead, which trusts every member not to ship a
+	// mismatched digest/F pair. The daemons' -cache-domains flag
+	// overrides it.
+	CacheDomains map[string][]string `json:"cacheDomains,omitempty"`
 
 	// Network addresses. STPAddrs lists additional equivalent STP
 	// replicas (same group key, shared SU registry) that clients fail
@@ -324,6 +332,39 @@ func ParseCacheFlag(v string) (int, error) {
 		return 0, fmt.Errorf("config: -cache wants a non-negative entry count or 'off', got %q", v)
 	}
 	return entries, nil
+}
+
+// ParseCacheDomainsFlag parses the daemons' -cache-domains flag value:
+// semicolon-separated "domain=su1,su2" declarations ("off" or the
+// empty string clears every domain, reverting to per-SU cache scope).
+// Duplicate-membership validation happens in pisa.Params.Validate.
+func ParseCacheDomainsFlag(v string) (map[string][]string, error) {
+	if v == "" || strings.EqualFold(v, "off") {
+		return nil, nil
+	}
+	domains := make(map[string][]string)
+	for _, decl := range strings.Split(v, ";") {
+		if decl = strings.TrimSpace(decl); decl == "" {
+			continue
+		}
+		name, list, ok := strings.Cut(decl, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("config: -cache-domains wants 'domain=su1,su2[;...]', got %q", decl)
+		}
+		members := SplitAddrs(list)
+		if len(members) == 0 {
+			return nil, fmt.Errorf("config: -cache-domains domain %q has no members", name)
+		}
+		if _, dup := domains[name]; dup {
+			return nil, fmt.Errorf("config: -cache-domains declares domain %q twice", name)
+		}
+		domains[name] = members
+	}
+	if len(domains) == 0 {
+		return nil, nil
+	}
+	return domains, nil
 }
 
 // SplitAddrs parses a comma-separated address list (the form the
@@ -537,6 +578,7 @@ func (f File) PisaParams() (pisa.Params, error) {
 		STPBatchMax:    f.STPBatchMax,
 		CacheEntries:   f.CacheEntries,
 		CacheTTL:       time.Duration(f.CacheTTLSec) * time.Second,
+		CacheDomains:   f.CacheDomains,
 	}
 	return p, p.Validate()
 }

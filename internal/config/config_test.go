@@ -245,3 +245,40 @@ func TestModelSpecBuild(t *testing.T) {
 		t.Error("unknown model type accepted")
 	}
 }
+
+func TestParseCacheDomainsFlag(t *testing.T) {
+	domains, err := ParseCacheDomainsFlag("fleet-a=su1, su2;fleet-b=su3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{"fleet-a": {"su1", "su2"}, "fleet-b": {"su3"}}
+	if !reflect.DeepEqual(domains, want) {
+		t.Fatalf("parsed %v, want %v", domains, want)
+	}
+	for _, v := range []string{"", "off", "OFF", " ; "} {
+		if got, err := ParseCacheDomainsFlag(v); err != nil || got != nil {
+			t.Errorf("%q: got (%v, %v), want (nil, nil)", v, got, err)
+		}
+	}
+	for _, v := range []string{"nodomain", "=su1", "fleet=", "fleet=su1;fleet=su2"} {
+		if _, err := ParseCacheDomainsFlag(v); err == nil {
+			t.Errorf("%q: invalid declaration accepted", v)
+		}
+	}
+}
+
+func TestCacheDomainsReachParams(t *testing.T) {
+	f := Default()
+	f.CacheDomains = map[string][]string{"fleet": {"su1", "su2"}}
+	p, err := f.PisaParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.CacheDomains, f.CacheDomains) {
+		t.Fatalf("params carry %v, want %v", p.CacheDomains, f.CacheDomains)
+	}
+	f.CacheDomains = map[string][]string{"a": {"dup"}, "b": {"dup"}}
+	if _, err := f.PisaParams(); err == nil {
+		t.Fatal("duplicate domain membership accepted")
+	}
+}

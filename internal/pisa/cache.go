@@ -2,6 +2,8 @@ package pisa
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
 	"time"
 
 	"pisa/internal/geo"
@@ -13,9 +15,18 @@ import (
 // only on public inputs — the plaintext request shape (committed by
 // the SU's ShapeDigest) and the budget content the SDC folded PU
 // updates into. Neither the SU's key nor any per-request randomness
-// enters before eq. 13, so the column can be reused across SUs and
-// across refreshes of the same SU, provided it is re-randomised before
-// blinding (RerandomizeBatch) so no two servings are linkable.
+// enters before eq. 13, so the column can be reused across refreshes
+// of the same SU — and across SUs within a declared trust domain —
+// provided it is re-randomised before blinding (RerandomizeBatch) so
+// no two servings are linkable.
+//
+// Entries are keyed on scopedCacheKey, not on the raw digest: the
+// digest is SU-supplied and the SDC cannot check it against the
+// encrypted F values, so an entry filled from one SU's ciphertexts
+// must never be served to a different SU unless the operator has
+// declared the two to be in the same cache domain (Params.
+// CacheDomains — one administrative fleet whose members are trusted
+// not to ship a mismatched digest/F pair at each other).
 //
 // Freshness is exact, not heuristic: every entry stores the
 // content-version vector (SDC.colApplied) of the blocks its footprint
@@ -36,6 +47,36 @@ type decisionCache struct {
 
 	lru   *list.List // front = most recently used; values are *cacheEntry
 	byKey map[[32]byte]*list.Element
+}
+
+// Cache-key scope discriminators: a per-SU scope (the default — the
+// scope string is the requester's SUID) and a shared-domain scope
+// (the scope string is the operator-declared domain name). The tag
+// byte domain-separates the two, so an SU whose id collides with a
+// domain name can never alias its entries.
+const (
+	cacheKeyTag      = "pisa-cache-key-v1\x00"
+	cacheScopePerSU  = byte(0)
+	cacheScopeDomain = byte(1)
+)
+
+// scopedCacheKey derives the cache map key: SHA-256 over a domain
+// tag, the sharing scope (length-prefixed, so scope/digest boundaries
+// cannot shift) and the SU-supplied shape digest. Binding the scope
+// into the key is the cross-SU poisoning defence — a dishonest digest
+// can only ever address entries inside the sender's own scope.
+func scopedCacheKey(scopeTag byte, scope string, digest [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(cacheKeyTag))
+	h.Write([]byte{scopeTag})
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(scope)))
+	h.Write(n[:])
+	h.Write([]byte(scope))
+	h.Write(digest[:])
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
 }
 
 // cellCoord is one (channel, block-or-group) coordinate of the

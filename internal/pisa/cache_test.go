@@ -42,33 +42,36 @@ func newCacheDeployment(t *testing.T, mutate func(*Params)) *deployment {
 
 // cacheEventCounts snapshots the cache event counters (process-global,
 // so tests always compare deltas).
-type cacheEventCounts struct{ hits, misses, stale, bypass uint64 }
+type cacheEventCounts struct{ hits, misses, stale, expired, bypass uint64 }
 
 func snapshotCacheEvents() cacheEventCounts {
 	m := metrics()
 	return cacheEventCounts{
-		hits:   m.cacheHits.Value(),
-		misses: m.cacheMisses.Value(),
-		stale:  m.cacheStale.Value(),
-		bypass: m.cacheBypass.Value(),
+		hits:    m.cacheHits.Value(),
+		misses:  m.cacheMisses.Value(),
+		stale:   m.cacheStale.Value(),
+		expired: m.cacheExpired.Value(),
+		bypass:  m.cacheBypass.Value(),
 	}
 }
 
 func (c cacheEventCounts) deltaFrom(prev cacheEventCounts) cacheEventCounts {
 	return cacheEventCounts{
-		hits:   c.hits - prev.hits,
-		misses: c.misses - prev.misses,
-		stale:  c.stale - prev.stale,
-		bypass: c.bypass - prev.bypass,
+		hits:    c.hits - prev.hits,
+		misses:  c.misses - prev.misses,
+		stale:   c.stale - prev.stale,
+		expired: c.expired - prev.expired,
+		bypass:  c.bypass - prev.bypass,
 	}
 }
 
 // TestCacheHitOracleParity runs the same scenario with the cache on
-// and off, in both request layouts: two SUs sharing a request shape,
-// decisions checked against the plaintext oracle in both the empty
-// band and the PU-denied state. With the cache on, the second SU's
-// aggregate must be served from the cache (hit counted) and still
-// yield the per-SU correct, oracle-identical decision.
+// and off, in both request layouts: two SUs of one declared cache
+// domain sharing a request shape, decisions checked against the
+// plaintext oracle in both the empty band and the PU-denied state.
+// With the cache on, the second SU's aggregate must be served from
+// the cache (hit counted) and still yield the per-SU correct,
+// oracle-identical decision.
 func TestCacheHitOracleParity(t *testing.T) {
 	for _, tc := range []struct {
 		name    string
@@ -84,6 +87,9 @@ func TestCacheHitOracleParity(t *testing.T) {
 			d := newCacheDeployment(t, func(p *Params) {
 				p.Packing = tc.packed
 				p.CacheEntries = tc.entries
+				// Cross-SU sharing is opt-in: without this declaration
+				// each SU only hits entries it filled itself.
+				p.CacheDomains = map[string][]string{"fleet": {"su-a", "su-b"}}
 			})
 			su1 := d.newSU(t, "su-a", 7)
 			su2 := d.newSU(t, "su-b", 7)
@@ -204,6 +210,7 @@ func TestCacheBypassWithoutDigest(t *testing.T) {
 
 	before := snapshotCacheEvents()
 	entriesBefore := d.sdc.CachedDecisions()
+	aggMissBefore := metrics().cacheAggMiss.Count()
 	want := d.oracleDecision(t, 7, eirp)
 	for i := 0; i < 2; i++ {
 		if got := d.decide(t, su, req).Granted; got != want {
@@ -216,6 +223,230 @@ func TestCacheBypassWithoutDigest(t *testing.T) {
 	}
 	if got := d.sdc.CachedDecisions(); got != entriesBefore {
 		t.Fatalf("bypass requests changed the cache population: %d -> %d", entriesBefore, got)
+	}
+	// Bypass recomputes must not skew the hit-vs-miss cost comparison:
+	// only digest-carrying recomputes feed the path="miss" histogram.
+	if d := metrics().cacheAggMiss.Count() - aggMissBefore; d != 0 {
+		t.Fatalf("bypass recomputes observed %d samples into the path=miss histogram", d)
+	}
+}
+
+// TestCachePerSUScopeIsolation is the cross-SU poisoning regression:
+// the shape digest is SU-supplied and the SDC cannot verify it against
+// the encrypted F values, so cache entries are scoped to the
+// requester. A rogue SU submitting a popular shape's honest digest
+// over a mismatching F matrix (same coordinates, different demand)
+// must only ever poison itself — the honest SU carrying the same
+// digest gets a scoped miss, a fresh recompute, and the
+// oracle-correct decision.
+func TestCachePerSUScopeIsolation(t *testing.T) {
+	d := newDeployment(t)
+	honest := d.newSU(t, "su-honest", 7)
+	rogue := d.newSU(t, "su-rogue", 7)
+	strong := map[int]int64{1: maxEIRP(d)}
+	weak := map[int]int64{1: d.params.Watch.Quantize(1)}
+
+	honestReq, err := honest.PrepareRequest(strong, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rogue claims the honest shape's digest over weak-demand F
+	// values at the same coordinates (full disclosure either way, so
+	// the positional coords check cannot catch the mismatch).
+	poisoned, err := rogue.PrepareRequest(weak, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poisoned.ShapeDigest == honestReq.ShapeDigest {
+		t.Fatal("distinct demands produced one digest")
+	}
+	poisoned.ShapeDigest = honestReq.ShapeDigest
+
+	before := snapshotCacheEvents()
+	rogueGrant := d.decide(t, rogue, poisoned).Granted
+	want := d.oracleDecision(t, 7, strong)
+	if got := d.decide(t, honest, honestReq).Granted; got != want {
+		t.Fatalf("honest SU's decision %v poisoned away from the oracle's %v", got, want)
+	}
+	delta := snapshotCacheEvents().deltaFrom(before)
+	if delta.hits != 0 || delta.misses != 2 {
+		t.Fatalf("cache events = %+v, want two scoped misses and no cross-SU hit", delta)
+	}
+
+	// The two scopes hold different aggregates for the one digest —
+	// the rogue's entry really was computed from its own weak F, and
+	// never replaced or served the honest SU's column.
+	d.sdc.mu.Lock()
+	rogueEntry := d.sdc.cache.get(d.sdc.cacheKeyFor("su-rogue", honestReq.ShapeDigest))
+	honestEntry := d.sdc.cache.get(d.sdc.cacheKeyFor("su-honest", honestReq.ShapeDigest))
+	d.sdc.mu.Unlock()
+	if rogueEntry == nil || honestEntry == nil {
+		t.Fatal("scoped entries missing after the two fills")
+	}
+	if len(rogueEntry.is) != len(honestEntry.is) {
+		t.Fatalf("scoped entries disagree on footprint size: %d vs %d", len(rogueEntry.is), len(honestEntry.is))
+	}
+	differs := false
+	for i := range honestEntry.is {
+		hp, err := d.stp.group.Decrypt(honestEntry.is[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := d.stp.group.Decrypt(rogueEntry.is[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hp.Cmp(rp) != 0 {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("rogue and honest scopes cached identical aggregates for different F matrices")
+	}
+
+	// Within its own scope the dishonest digest IS self-inflicted: the
+	// rogue's genuine strong-demand request now hits its own poisoned
+	// entry and is answered with the weak-F aggregate's decision.
+	rogueStrong, err := rogue.PrepareRequest(strong, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = snapshotCacheEvents()
+	if got := d.decide(t, rogue, rogueStrong).Granted; got != rogueGrant {
+		t.Fatalf("self-poisoned decision %v, want the weak-F answer %v", got, rogueGrant)
+	}
+	if delta := snapshotCacheEvents().deltaFrom(before); delta.hits != 1 {
+		t.Fatalf("cache events = %+v, want the rogue to hit its own poisoned entry", delta)
+	}
+}
+
+// TestCacheDomainScope: members of a declared trust domain share
+// entries with each other, but an SU outside the domain can neither
+// read nor seed what the fleet is served.
+func TestCacheDomainScope(t *testing.T) {
+	d := newCacheDeployment(t, func(p *Params) {
+		p.CacheDomains = map[string][]string{"fleet": {"su-a", "su-b"}}
+	})
+	a := d.newSU(t, "su-a", 7)
+	b := d.newSU(t, "su-b", 7)
+	out := d.newSU(t, "su-out", 7)
+	strong := map[int]int64{1: maxEIRP(d)}
+	weak := map[int]int64{1: d.params.Watch.Quantize(1)}
+
+	reqA, err := a.PrepareRequest(strong, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned, err := out.PrepareRequest(weak, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned.ShapeDigest = reqA.ShapeDigest
+
+	before := snapshotCacheEvents()
+	d.decide(t, out, poisoned) // fills the outsider's own scope only
+	want := d.oracleDecision(t, 7, strong)
+	if got := d.decide(t, a, reqA).Granted; got != want {
+		t.Fatalf("domain member a: decision %v, oracle %v", got, want)
+	}
+	reqB, err := b.PrepareRequest(strong, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.decide(t, b, reqB).Granted; got != want {
+		t.Fatalf("domain member b (shared-entry hit): decision %v, oracle %v", got, want)
+	}
+	delta := snapshotCacheEvents().deltaFrom(before)
+	// Outsider: miss into its own scope; a: miss that fills the fleet
+	// scope; b: hit on a's entry.
+	if delta.misses != 2 || delta.hits != 1 {
+		t.Fatalf("cache events = %+v, want 2 misses (outsider + first member) and 1 shared hit", delta)
+	}
+}
+
+// TestCacheDomainsValidation pins the Params-level declaration checks:
+// a domain must be named, non-empty, and no SUID may be claimed twice.
+func TestCacheDomainsValidation(t *testing.T) {
+	for name, domains := range map[string]map[string][]string{
+		"duplicate-member": {"a": {"su-1"}, "b": {"su-1"}},
+		"empty-domain":     {"a": {}},
+		"empty-name":       {"": {"su-1"}},
+		"empty-suid":       {"a": {""}},
+	} {
+		params := TestParams(testWatchParams(t))
+		params.CacheDomains = domains
+		if err := params.Validate(); err == nil {
+			t.Errorf("%s: invalid CacheDomains passed validation", name)
+		}
+	}
+	params := TestParams(testWatchParams(t))
+	params.CacheDomains = map[string][]string{"a": {"su-1", "su-2"}, "b": {"su-3"}}
+	if err := params.Validate(); err != nil {
+		t.Errorf("valid CacheDomains rejected: %v", err)
+	}
+}
+
+// TestCacheTTLExpiredEvent pins the TTL invalidation accounting: an
+// age-expired entry is dropped under event="expired" and refilled by
+// the recompute — never conflated with the version-skew "stale"
+// counter DESIGN.md reserves for PU-update/rebuild invalidation.
+func TestCacheTTLExpiredEvent(t *testing.T) {
+	wp := testWatchParams(t)
+	params := TestParams(wp)
+	params.CacheTTL = time.Minute
+	stp, err := NewSTP(rand.Reader, params.PaillierBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	base := time.Now()
+	skew := time.Duration(0)
+	sdc, err := NewSDC("sdc-test", params, nil, stp, WithClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return base.Add(skew)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sdc.Close)
+	oracle, err := watch.NewSystem(wp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &deployment{params: params, stp: stp, sdc: sdc, oracle: oracle}
+	su := d.newSU(t, "su-1", 7)
+	eirp := map[int]int64{1: maxEIRP(d)}
+	req, err := su.PrepareRequest(eirp, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.oracleDecision(t, 7, eirp)
+	decideRefreshed := func() {
+		t.Helper()
+		r, err := su.RefreshRequest(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.decide(t, su, r).Granted; got != want {
+			t.Fatalf("decision %v, oracle %v", got, want)
+		}
+	}
+
+	if got := d.decide(t, su, req).Granted; got != want { // miss, fills
+		t.Fatalf("decision %v, oracle %v", got, want)
+	}
+	before := snapshotCacheEvents()
+	decideRefreshed() // hit, within the TTL
+	mu.Lock()
+	skew = 2 * time.Minute
+	mu.Unlock()
+	decideRefreshed() // expired: dropped, recomputed, refilled
+	decideRefreshed() // hit again at the new fill time
+	delta := snapshotCacheEvents().deltaFrom(before)
+	if delta.hits != 2 || delta.expired != 1 || delta.stale != 0 || delta.misses != 0 {
+		t.Fatalf("cache events = %+v, want 2 hits, 1 expired, 0 stale and 0 misses", delta)
 	}
 }
 
@@ -237,7 +468,7 @@ func TestCacheRerandomizedUnlinkable(t *testing.T) {
 	d.decide(t, su, req) // fills the cache
 
 	d.sdc.mu.Lock()
-	entry := d.sdc.cache.get(req.ShapeDigest)
+	entry := d.sdc.cache.get(d.sdc.cacheKeyFor("su-1", req.ShapeDigest))
 	d.sdc.mu.Unlock()
 	if entry == nil {
 		t.Fatal("request did not fill the cache")
@@ -503,7 +734,12 @@ func TestCacheChurnStress(t *testing.T) {
 		}
 		iters = n
 	}
-	d := newDeployment(t)
+	d := newCacheDeployment(t, func(p *Params) {
+		// One declared cache domain, so the two requesters contend on a
+		// single shared entry (the default per-SU scope would give each
+		// its own).
+		p.CacheDomains = map[string][]string{"fleet": {"su-1", "su-2"}}
+	})
 	t.Cleanup(d.sdc.Close)
 	// One SU per requester goroutine (SU-side nonce accounting is not
 	// concurrent-safe); same block + same EIRP means they share the
@@ -658,11 +894,12 @@ func TestCacheChurnStress(t *testing.T) {
 	}
 
 	// Conservation: every digest-carrying request resolved to exactly
-	// one of hit/miss/stale — across both SDCs and all the churn.
+	// one of hit/miss/stale/expired — across both SDCs and all the
+	// churn (no TTL is configured here, so expired stays 0).
 	delta := snapshotCacheEvents().deltaFrom(before)
 	requests := metrics().requests.Value() - requestsBefore
-	if got := delta.hits + delta.misses + delta.stale; got != requests {
-		t.Fatalf("cache events (hit %d + miss %d + stale %d = %d) do not account for %d requests",
-			delta.hits, delta.misses, delta.stale, got, requests)
+	if got := delta.hits + delta.misses + delta.stale + delta.expired; got != requests {
+		t.Fatalf("cache events (hit %d + miss %d + stale %d + expired %d = %d) do not account for %d requests",
+			delta.hits, delta.misses, delta.stale, delta.expired, got, requests)
 	}
 }

@@ -54,16 +54,22 @@ type TransmissionRequest struct {
 	Disclosure []geo.BlockID
 	// ShapeDigest commits to the request's plaintext shape — layout,
 	// SU block, per-channel EIRP classes, disclosure — over public
-	// inputs only (see ShapeDigest below). The SDC uses it as the
-	// lookup key of its encrypted-decision cache: two requests with
-	// equal digests have bit-identical plaintext F matrices, so the
-	// aggregate output Ĩ can be reused after re-randomisation. The
-	// zero value opts out of caching (the SDC always recomputes); a
-	// wrong digest degrades to a cache miss or a self-inflicted wrong
-	// answer for this SU only, in the same trust class as honest F
-	// values (§IV-A assumes SUs follow the protocol for their own
-	// decisions). It deliberately leaks shape EQUALITY across a fleet
-	// — the intended trade for cacheability.
+	// inputs only (see ShapeDigest below). The SDC uses it, bound to
+	// the requester's sharing scope, as the lookup key of its
+	// encrypted-decision cache: two requests with equal digests have
+	// bit-identical plaintext F matrices, so the aggregate output Ĩ
+	// can be reused after re-randomisation. The zero value opts out of
+	// caching (the SDC always recomputes). The digest is SU-supplied
+	// and the SDC cannot check it against the encrypted F values, so
+	// entries are scoped per SU by default: a wrong digest then
+	// degrades to a cache miss or a wrong answer served back to the
+	// same sender only, in the same trust class as honest F values
+	// (§IV-A assumes SUs follow the protocol for their own decisions).
+	// Cross-SU reuse exists only inside an operator-declared trust
+	// domain (Params.CacheDomains), where a dishonest member could
+	// poison its co-members' decisions — the explicit extra assumption
+	// the declaration records. Within a scope the digest deliberately
+	// leaks shape EQUALITY — the intended trade for cacheability.
 	ShapeDigest [32]byte
 }
 

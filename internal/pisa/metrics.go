@@ -53,7 +53,8 @@ type sdcMetrics struct {
 	// speedup is directly readable from /metrics.
 	cacheHits    *obs.Counter // event="hit"
 	cacheMisses  *obs.Counter // event="miss"
-	cacheStale   *obs.Counter // event="stale"
+	cacheStale   *obs.Counter // event="stale" (footprint content versions moved)
+	cacheExpired *obs.Counter // event="expired" (optional TTL ran out)
 	cacheEvicts  *obs.Counter // event="evict"
 	cacheBypass  *obs.Counter // event="bypass" (request carried no shape digest)
 	cacheEntries *obs.Gauge
@@ -120,6 +121,8 @@ func metrics() *sdcMetrics {
 				"encrypted-decision cache events by kind", obs.Labels{"event": "miss"}),
 			cacheStale: r.Counter("pisa_sdc_cache_events_total",
 				"encrypted-decision cache events by kind", obs.Labels{"event": "stale"}),
+			cacheExpired: r.Counter("pisa_sdc_cache_events_total",
+				"encrypted-decision cache events by kind", obs.Labels{"event": "expired"}),
 			cacheEvicts: r.Counter("pisa_sdc_cache_events_total",
 				"encrypted-decision cache events by kind", obs.Labels{"event": "evict"}),
 			cacheBypass: r.Counter("pisa_sdc_cache_events_total",

@@ -122,6 +122,19 @@ type Params struct {
 	// means version-checking alone bounds staleness — which is already
 	// exact, so a TTL is only useful as defence in depth.
 	CacheTTL time.Duration
+
+	// CacheDomains declares trust domains for cross-SU cache sharing:
+	// domain name -> member SUIDs. Cache entries are scoped — by
+	// default each SU only ever hits entries it filled itself, so a
+	// dishonest ShapeDigest is strictly self-inflicted. SUs listed in
+	// one domain share entries with each other instead: that is what
+	// makes fleet concentration pay, but it trusts every member not to
+	// ship a mismatched digest/F pair (the SDC cannot check the digest
+	// against the encrypted F), so a dishonest member could poison its
+	// domain's decisions. Declare a domain only for SUs under one
+	// administration (e.g. one operator's smart-TV fleet). An SUID may
+	// appear in at most one domain.
+	CacheDomains map[string][]string
 }
 
 // DefaultSTPBatchMax is the batch-size cap used when coalescing is
@@ -241,6 +254,24 @@ func (p Params) Validate() error {
 		return fmt.Errorf("pisa: CacheEntries must not be negative")
 	case p.CacheTTL < 0:
 		return fmt.Errorf("pisa: CacheTTL must not be negative")
+	}
+	domainOf := make(map[string]string)
+	for domain, members := range p.CacheDomains {
+		if domain == "" {
+			return fmt.Errorf("pisa: CacheDomains contains an empty domain name")
+		}
+		if len(members) == 0 {
+			return fmt.Errorf("pisa: cache domain %q has no members", domain)
+		}
+		for _, su := range members {
+			if su == "" {
+				return fmt.Errorf("pisa: cache domain %q lists an empty SUID", domain)
+			}
+			if prev, dup := domainOf[su]; dup && prev != domain {
+				return fmt.Errorf("pisa: SU %q listed in cache domains %q and %q", su, prev, domain)
+			}
+			domainOf[su] = domain
+		}
 	}
 	// Blinded value: |eps*(alpha*I - beta)| < 2^(AlphaBits + PlaintextBits) + 2^BetaBits.
 	// It must stay inside the centred plaintext domain (-n/2, n/2).

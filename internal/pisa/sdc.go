@@ -81,11 +81,16 @@ type SDC struct {
 	// old content is still being served — by recomputes and cache hits
 	// alike, so the two always agree).
 	colApplied map[geo.BlockID]uint64
-	// cache memoises the aggregate output Ĩ per request shape; nil
-	// when Params.CacheEntries is 0. Guarded by mu.
-	cache   *decisionCache
-	serial  uint64
-	journal func(*PUUpdate) error // WAL hook; called outside the lock
+	// cache memoises the aggregate output Ĩ per (sharing scope,
+	// request shape); nil when Params.CacheEntries is 0. Guarded by mu.
+	cache *decisionCache
+	// cacheDomain maps an SUID to its operator-declared cache domain
+	// (Params.CacheDomains). SUs absent from the map get a private
+	// per-SU scope. Immutable after construction, so readable without
+	// mu.
+	cacheDomain map[string]string
+	serial      uint64
+	journal     func(*PUUpdate) error // WAL hook; called outside the lock
 
 	blindPool      []blindFactors // offline-precomputed blinding tuples
 	blindTarget    int            // auto-refill high-water mark; 0 disarms
@@ -188,16 +193,16 @@ func newSDCBase(issuer string, params Params, transmitters []watch.TVTransmitter
 		return nil, fmt.Errorf("pisa: public precomputation: %w", err)
 	}
 	s := &SDC{
-		params:    params,
-		workers:   parallel.Resolve(params.Parallelism),
-		issuer:    issuer,
-		group:     stp.GroupKey(),
-		stp:       stp,
-		public:    public,
-		ePlain:    public.EMatrix(),
-		random:    rand.Reader,
-		now:       time.Now,
-		licTTL:    24 * time.Hour,
+		params:     params,
+		workers:    parallel.Resolve(params.Parallelism),
+		issuer:     issuer,
+		group:      stp.GroupKey(),
+		stp:        stp,
+		public:     public,
+		ePlain:     public.EMatrix(),
+		random:     rand.Reader,
+		now:        time.Now,
+		licTTL:     24 * time.Hour,
 		puUpdates:  make(map[watch.PUID]*PUUpdate),
 		puBlocks:   make(map[watch.PUID]geo.BlockID),
 		colVer:     make(map[geo.BlockID]uint64),
@@ -248,6 +253,12 @@ func newSDCBase(issuer string, params Params, transmitters []watch.TVTransmitter
 	}
 	if params.CacheEntries > 0 {
 		s.cache = newDecisionCache(params.CacheEntries, params.CacheTTL)
+		s.cacheDomain = make(map[string]string)
+		for domain, members := range params.CacheDomains {
+			for _, su := range members {
+				s.cacheDomain[su] = domain
+			}
+		}
 		s.cacheNonces = paillier.NewNoncePool(s.group, s.random, s.workers)
 		// Size the nonce pool for roughly two full-footprint hits in
 		// flight: one r^n factor per served ciphertext. Refills run in
@@ -655,32 +666,48 @@ func (s *SDC) footprintVersLocked(cells []requestCell) ([]geo.BlockID, []uint64)
 	return blocks, vers
 }
 
+// cacheKeyFor derives the decision-cache key for a request: the shape
+// digest bound to its sharing scope — the requester's declared cache
+// domain when the operator registered one, the requester's own SUID
+// otherwise. Under the default per-SU scope a dishonest digest can
+// only address (and so only poison) the sender's own entries; sharing
+// across SUs requires the explicit CacheDomains trust declaration.
+func (s *SDC) cacheKeyFor(suid string, digest [32]byte) [32]byte {
+	if domain, ok := s.cacheDomain[suid]; ok {
+		return scopedCacheKey(cacheScopeDomain, domain, digest)
+	}
+	return scopedCacheKey(cacheScopePerSU, suid, digest)
+}
+
 // entryFreshLocked decides whether a cached aggregate column can serve
-// the request whose cells and current footprint versions are given.
+// the request whose cells and current footprint versions are given,
+// distinguishing an age-based rejection (expired — the optional TTL
+// ran out) from a content-based one (the footprint shape or versions
+// moved) so the two invalidation causes stay separately countable.
 // The coords comparison is positional: the entry's ciphertexts must
 // align one-to-one with the cells the blinding stage will walk, so a
-// digest collision (or a dishonest SU reusing another shape's digest)
+// digest collision (or a scope member reusing another shape's digest)
 // degrades to a miss instead of misaligning Ĩ against blinding
 // factors. vers was computed from these same cells, so coord equality
 // implies the entry's block list matches too. Caller holds s.mu.
-func (s *SDC) entryFreshLocked(e *cacheEntry, cells []requestCell, vers []uint64) bool {
+func (s *SDC) entryFreshLocked(e *cacheEntry, cells []requestCell, vers []uint64) (fresh, expired bool) {
 	if s.cache.ttl > 0 && s.now().Sub(e.filled) > s.cache.ttl {
-		return false
+		return false, true
 	}
 	if len(e.coords) != len(cells) || len(e.vers) != len(vers) {
-		return false
+		return false, false
 	}
 	for i := range cells {
 		if e.coords[i].c != cells[i].c || e.coords[i].b != cells[i].b {
-			return false
+			return false, false
 		}
 	}
 	for i := range vers {
 		if e.vers[i] != vers[i] {
-			return false
+			return false, false
 		}
 	}
-	return true
+	return true, false
 }
 
 // PrecomputeCacheNonces extends the pool of re-randomisation factors
@@ -823,7 +850,9 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 	// Cache lookup happens in the same critical section as the budget
 	// snapshot: the colApplied vector read here identifies exactly the
 	// content the `n` pointers above reference, so a version-matched
-	// entry equals what the recompute below would produce.
+	// entry equals what the recompute below would produce. Entries are
+	// addressed by the digest bound to the requester's sharing scope
+	// (cacheKeyFor), never by the raw digest alone.
 	var (
 		cacheHit *cacheEntry
 		cachePut *cacheEntry
@@ -833,12 +862,18 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 		case req.ShapeDigest == [32]byte{}:
 			m.cacheBypass.Inc()
 		default:
+			key := s.cacheKeyFor(req.SUID, req.ShapeDigest)
 			blocks, vers := s.footprintVersLocked(cells)
-			if e := s.cache.get(req.ShapeDigest); e != nil {
-				if s.entryFreshLocked(e, cells, vers) {
+			if e := s.cache.get(key); e != nil {
+				fresh, expired := s.entryFreshLocked(e, cells, vers)
+				switch {
+				case fresh:
 					cacheHit = e
-				} else {
-					s.cache.remove(req.ShapeDigest)
+				case expired:
+					s.cache.remove(key)
+					m.cacheExpired.Inc()
+				default:
+					s.cache.remove(key)
 					m.cacheStale.Inc()
 				}
 			} else {
@@ -850,7 +885,7 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 					coords[i] = cellCoord{c: cells[i].c, b: cells[i].b}
 				}
 				cachePut = &cacheEntry{
-					key:    req.ShapeDigest,
+					key:    key,
 					coords: coords,
 					blocks: blocks,
 					vers:   vers,
@@ -918,7 +953,11 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 				m.cacheEvicts.Inc()
 			}
 		}
-		if s.cache != nil {
+		if cachePut != nil {
+			// Only digest-carrying recomputes feed the path="miss"
+			// histogram: bypass (zero-digest) requests recompute too, but
+			// folding them in would skew the hit-vs-miss cost comparison
+			// whenever opt-out/legacy SUs share the deployment.
 			m.cacheAggMiss.ObserveSince(stageStart)
 		}
 	}
