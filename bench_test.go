@@ -22,6 +22,7 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -33,6 +34,7 @@ import (
 	"pisa/internal/paillier"
 	"pisa/internal/pir"
 	"pisa/internal/pisa"
+	"pisa/internal/pisa/shard"
 	"pisa/internal/seccmp"
 	"pisa/internal/watch"
 )
@@ -743,4 +745,85 @@ func convertFixture(b *testing.B, reg registrar, group *paillier.PublicKey, para
 		vs[i] = ct
 	}
 	return &pisa.SignRequest{SUID: "bench-su", V: vs}
+}
+
+// shardedRouter builds an N-shard fan-out router over the shared
+// figureUniverse's STP, reusing its registered SU. Serial fan-out
+// keeps per-shard timings uncontended on a one-CPU runner; see
+// bench.MeasureShards for the modeled parallel-deployment number.
+func shardedRouter(b *testing.B, u *bench.Universe, n int) *shard.Router {
+	b.Helper()
+	windows, err := shard.Windows(u.Params.Watch.Channels, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	services := make([]shard.Service, n)
+	for i, w := range windows {
+		s, err := pisa.NewSDC("bench-shard", u.Params, nil, u.STP,
+			pisa.WithChannelWindow(w[0], w[1]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(s.Close)
+		services[i] = s
+	}
+	r, err := shard.NewRouter("bench-router", u.Params, nil, u.STP, services,
+		shard.WithSerialFanout())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkShardedRequest measures end-to-end SU request processing
+// under the shard count selected by the PISA_SHARDS environment
+// variable ("off", unset or "1" runs the monolithic SDC; "N" runs an
+// N-shard router; DESIGN.md §15). Compare with:
+//
+//	PISA_SHARDS=off go test -bench ShardedRequest -count 5 > mono.txt
+//	PISA_SHARDS=4   go test -bench ShardedRequest -count 5 > sharded.txt
+//	benchstat mono.txt sharded.txt
+//
+// The modeled one-host-per-shard latency (slowest shard + merge +
+// license) is reported as a custom metric alongside the wall-clock
+// ns/op, which on one host includes every shard's serial pass.
+func BenchmarkShardedRequest(b *testing.B) {
+	u := figureUniverse()
+	eirp := map[int]int64{0: u.Params.Watch.Quantize(1000)}
+	req, err := u.SU.PrepareRequest(eirp, geo.Disclosure{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 1
+	if v := os.Getenv("PISA_SHARDS"); v != "" && v != "off" {
+		if n, err = strconv.Atoi(v); err != nil || n < 1 {
+			b.Fatalf("PISA_SHARDS wants a count >= 1 or 'off', got %q", v)
+		}
+	}
+	var sdc pisa.SDCService = u.SDC
+	var router *shard.Router
+	if n > 1 {
+		router = shardedRouter(b, u, n)
+		sdc = router
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sdc.ProcessRequest(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if router != nil {
+		st := router.Stats()
+		if st.Requests > 0 {
+			var maxShard int64
+			for _, ns := range st.ShardNs {
+				if mean := ns / int64(st.Requests); mean > maxShard {
+					maxShard = mean
+				}
+			}
+			b.ReportMetric(float64(maxShard+(st.MergeNs+st.LicenseNs)/int64(st.Requests)),
+				"modeled-ns/op")
+		}
+	}
 }

@@ -43,6 +43,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"pisa/internal/bench"
@@ -72,8 +74,26 @@ type options struct {
 	stpBatch                                                int
 	cache                                                   string
 	cacheEntries                                            int
+	shards                                                  string
 	jsonPath                                                string
 	metricsDump                                             string
+}
+
+// parseShardCounts parses the -shards sweep list: a comma-separated
+// set of shard counts, or "off" to skip the scaling sweep.
+func parseShardCounts(v string) ([]int, error) {
+	if v == "" || strings.EqualFold(v, "off") {
+		return nil, nil
+	}
+	var counts []int
+	for _, f := range strings.Split(v, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("pisabench: -shards wants a comma-separated list of counts >= 1, got %q", v)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func run(args []string) error {
@@ -106,6 +126,8 @@ func run(args []string) error {
 	fs.StringVar(&opt.cache, "cache", "off",
 		"decision cache in end-to-end experiments: entry count or 'off' (default off so repeated "+
 			"measurements stay cold; the -json cache sweep always runs cache-enabled)")
+	fs.StringVar(&opt.shards, "shards", "1,2,4,8",
+		"channel-shard counts for the -json scaling sweep (comma-separated, or 'off' to skip)")
 	fs.StringVar(&opt.jsonPath, "json", "",
 		"write the hot-path micro-benchmark (engine off vs on) as JSON to this path")
 	fs.StringVar(&opt.metricsDump, "metrics-dump", "",
@@ -284,6 +306,17 @@ func runJSON(opt options) error {
 	if err != nil {
 		return err
 	}
+	counts, err := parseShardCounts(opt.shards)
+	if err != nil {
+		return err
+	}
+	if len(counts) > 0 {
+		fmt.Println("  measuring channel-sharded vs monolithic SU throughput (scaling sweep)...")
+		report.Shard, err = bench.MeasureShards(8, 8, 6, opt.bits, counts, max(5, opt.iters/3))
+		if err != nil {
+			return err
+		}
+	}
 	if err := report.WriteJSON(opt.jsonPath); err != nil {
 		return err
 	}
@@ -310,6 +343,18 @@ func runJSON(opt options) error {
 			top.Concentration, top.HitRate,
 			time.Duration(top.AggregateHitNs).Round(time.Microsecond),
 			time.Duration(top.AggregateMissNs).Round(time.Microsecond), top.Speedup)
+	}
+	if report.Shard != nil {
+		fmt.Printf("  channel sharding (C=%d, B=%d): monolithic %s\n",
+			report.Shard.Channels, report.Shard.Blocks,
+			time.Duration(report.Shard.MonolithicNs).Round(time.Microsecond))
+		for _, row := range report.Shard.Rows {
+			fmt.Printf("    N=%d: modeled %s/req (slowest shard %s + merge %s + license %s) = %.1fx\n",
+				row.Shards, time.Duration(row.ModelNs).Round(time.Microsecond),
+				time.Duration(row.MaxShardNs).Round(time.Microsecond),
+				time.Duration(row.MergeNs).Round(time.Microsecond),
+				time.Duration(row.LicenseNs).Round(time.Microsecond), row.Speedup)
+		}
 	}
 	fmt.Printf("  table: %.1f KiB/key, report written to %s\n",
 		float64(report.TableBytes)/1024, opt.jsonPath)

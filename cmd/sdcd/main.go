@@ -19,6 +19,17 @@
 //	     [-issuer name] [-store dir] [-snapshot-on-exit=true]
 //	     [-metrics host:port] [-packing=false] [-stp-batch-window ms]
 //	     [-cache entries|off] [-cache-domains decls|off] [-backend pisa|pir]
+//	     [-shards n | -shard-index i -shard-count n]
+//
+// With -shards N (or "shards" in the config) the daemon partitions
+// the budget matrix into N channel slices, each owned by an
+// independent windowed SDC with its own WAL/snapshot subdirectory
+// (store dir/shard-i), and serves SU requests through an in-process
+// fan-out router that merges the per-shard encrypted partial sums
+// homomorphically before the single sign test tail (DESIGN.md §15).
+// Alternatively -shard-index i -shard-count n serves exactly one
+// shard of a multi-host partition; run cmd/sdcrouterd in front of n
+// such daemons.
 //
 // The SDC memoises the aggregate pass of repeated request shapes in an
 // encrypted-decision cache (DESIGN.md §14): hits replace the eq. 11-12
@@ -62,6 +73,7 @@ import (
 	"pisa/internal/obs"
 	"pisa/internal/pir"
 	"pisa/internal/pisa"
+	"pisa/internal/pisa/shard"
 	"pisa/internal/store"
 )
 
@@ -86,6 +98,9 @@ func run(args []string) error {
 	cacheFlag := fs.String("cache", "", "encrypted-decision cache entry bound, or 'off' (overrides config cacheEntries)")
 	cacheDomainsFlag := fs.String("cache-domains", "", "cross-SU cache trust domains 'name=su1,su2[;...]', or 'off' for per-SU scope (overrides config cacheDomains)")
 	backend := fs.String("backend", "", "spectrum-query backend: pisa (encrypted protocol) or pir (plaintext PIR replica; overrides config)")
+	shards := fs.Int("shards", -1, "partition the budget matrix into this many in-process channel shards behind a fan-out router (overrides config shards; 0 or 1 = monolithic)")
+	shardIndex := fs.Int("shard-index", -1, "serve exactly one channel shard of a -shard-count partition (for multi-host sharding behind cmd/sdcrouterd)")
+	shardCount := fs.Int("shard-count", 0, "total shard count of the partition this -shard-index belongs to")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -165,6 +180,18 @@ func run(args []string) error {
 		log.Info("metrics serving", "addr", obsSrv.Addr(), "endpoints", "/metrics /debug/pprof/")
 	}
 
+	if *shards >= 0 {
+		cfg.Shards = *shards
+	}
+	if *shardIndex >= 0 {
+		if *shardCount < 1 || *shardIndex >= *shardCount {
+			return fmt.Errorf("-shard-index %d needs -shard-count greater than the index", *shardIndex)
+		}
+		if cfg.Shards > 1 {
+			return fmt.Errorf("-shard-index (one remote shard) and -shards (in-process partition) are mutually exclusive")
+		}
+	}
+
 	log.Info("connecting to STP", "addrs", stpTargets)
 	stp, err := node.DialSTPWith(rpcOpts, stpTargets...)
 	if err != nil {
@@ -173,56 +200,79 @@ func run(args []string) error {
 	defer stp.Close()
 
 	var (
-		sdc    *pisa.SDC
-		st     *store.Store
-		keeper *store.Keeper
-		source = "fresh (in-memory)"
+		backendSDC node.SDCBackend
+		units      []*sdcUnit
+		router     *shard.Router
 	)
 	start := time.Now()
-	if cfg.Store.Enabled() {
-		opts, err := cfg.Store.Options()
+	switch {
+	case *shardIndex >= 0:
+		// One remote channel shard of a multi-host partition, fronted
+		// by cmd/sdcrouterd. It refuses whole-matrix SU requests and
+		// answers KindShardQuery with window-local partial sums.
+		windows, err := shard.Windows(params.Watch.Channels, *shardCount)
 		if err != nil {
 			return err
 		}
-		st, err = store.Open(cfg.Store.Dir, opts)
+		w := windows[*shardIndex]
+		dir := ""
+		if cfg.Store.Enabled() {
+			dir = store.ShardDir(cfg.Store.Dir, *shardIndex)
+		}
+		u, err := buildSDC(cfg, params, *issuer, stp, log, dir,
+			pisa.WithChannelWindow(w[0], w[1]))
 		if err != nil {
 			return err
 		}
-		defer st.Close()
-		rec := st.Recovery()
-		source = rec.Source
-		log.Info("recovering SDC state", "dir", st.Dir(), "source", rec.Source,
-			"snapshotIndex", rec.SnapshotIndex, "tailRecords", rec.TailRecords,
-			"tornBytes", rec.TornBytes)
-		sdc, err = pisa.RestoreSDC(*issuer, params, nil, stp, st.SnapshotData(), st.Tail())
+		defer u.release()
+		units = append(units, u)
+		backendSDC = u.sdc
+		log.Info("serving channel shard", "index", *shardIndex, "of", *shardCount,
+			"window", fmt.Sprintf("[%d,%d)", w[0], w[1]))
+	case cfg.Shards > 1:
+		// In-process sharding: N windowed SDCs behind a fan-out
+		// router, each with its own WAL/snapshot subdirectory.
+		windows, err := shard.Windows(params.Watch.Channels, cfg.Shards)
 		if err != nil {
 			return err
 		}
-		keeper = store.NewKeeper(st, sdc.ExportState,
-			cfg.Store.SnapshotInterval(), cfg.Store.SnapshotThreshold())
-		// Journal armed only now, after replay: recovered updates are
-		// already on disk and must not be re-appended.
-		sdc.SetUpdateJournal(func(u *pisa.PUUpdate) error {
-			payload, err := pisa.EncodePUUpdate(u)
+		services := make([]shard.Service, len(windows))
+		for i, w := range windows {
+			dir := ""
+			if cfg.Store.Enabled() {
+				dir = store.ShardDir(cfg.Store.Dir, i)
+			}
+			u, err := buildSDC(cfg, params, fmt.Sprintf("%s-shard-%d", *issuer, i), stp, log, dir,
+				pisa.WithChannelWindow(w[0], w[1]))
 			if err != nil {
 				return err
 			}
-			_, err = keeper.Append(pisa.RecordPUUpdate, payload)
-			return err
-		})
-		keeper.Start(func(err error) { log.Error("background snapshot failed", "err", err) })
-		defer keeper.Stop()
-	} else {
-		log.Info("initialising SDC (encrypting budget matrix)",
-			"channels", params.Watch.Channels, "blocks", params.Watch.Grid.Blocks())
-		sdc, err = pisa.NewSDC(*issuer, params, nil, stp)
+			defer u.release()
+			units = append(units, u)
+			services[i] = u.sdc
+		}
+		router, err = shard.NewRouter(*issuer, params, nil, stp, services)
 		if err != nil {
 			return err
 		}
+		backendSDC = router
+		log.Info("sharded SDC assembled", "shards", len(services))
+	default:
+		dir := ""
+		if cfg.Store.Enabled() {
+			dir = cfg.Store.Dir
+		}
+		u, err := buildSDC(cfg, params, *issuer, stp, log, dir)
+		if err != nil {
+			return err
+		}
+		defer u.release()
+		units = append(units, u)
+		backendSDC = u.sdc
 	}
-	log.Info("initialisation complete", "took", time.Since(start).String(), "source", source)
+	log.Info("initialisation complete", "took", time.Since(start).String())
 
-	srv := node.NewSDCServer(sdc, log, 0)
+	srv := node.NewSDCServer(backendSDC, log, 0)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -236,26 +286,112 @@ func run(args []string) error {
 	select {
 	case s := <-sig:
 		log.Info("shutting down", "signal", s.String())
-		logSummary(log, sdc, st, source)
+		for i, u := range units {
+			logSummary(log, u.sdc, u.st, u.source, len(units) > 1, i)
+		}
+		if router != nil {
+			logRouterSummary(log, router)
+		}
 		logSTPClient(log, stp)
 		err := srv.Close()
-		if keeper != nil {
-			keeper.Stop()
-			if *snapOnExit {
-				if snapErr := keeper.Snapshot(); snapErr != nil {
-					log.Error("final snapshot failed", "err", snapErr)
-					if err == nil {
-						err = snapErr
-					}
-				} else {
-					log.Info("final snapshot written", "dir", st.Dir())
-				}
+		for _, u := range units {
+			if snapErr := u.finish(log, *snapOnExit); snapErr != nil && err == nil {
+				err = snapErr
 			}
 		}
 		return err
 	case err := <-errCh:
 		return err
 	}
+}
+
+// sdcUnit is one SDC role instance plus its durability attachments —
+// the monolithic controller, or one channel shard of a partition.
+type sdcUnit struct {
+	sdc    *pisa.SDC
+	st     *store.Store
+	keeper *store.Keeper
+	source string
+}
+
+// release stops the background keeper and closes the store; safe to
+// run after finish (both are idempotent).
+func (u *sdcUnit) release() {
+	if u.keeper != nil {
+		u.keeper.Stop()
+	}
+	if u.st != nil {
+		u.st.Close()
+	}
+}
+
+// finish runs the graceful-shutdown tail: stop the keeper and, when
+// asked, publish a final snapshot.
+func (u *sdcUnit) finish(log *slog.Logger, snapOnExit bool) error {
+	if u.keeper == nil {
+		return nil
+	}
+	u.keeper.Stop()
+	if !snapOnExit {
+		return nil
+	}
+	if err := u.keeper.Snapshot(); err != nil {
+		log.Error("final snapshot failed", "dir", u.st.Dir(), "err", err)
+		return err
+	}
+	log.Info("final snapshot written", "dir", u.st.Dir())
+	return nil
+}
+
+// buildSDC recovers (or initialises) one SDC role instance. A
+// non-empty dir arms WAL + snapshot durability rooted there; an empty
+// dir runs in memory.
+func buildSDC(cfg config.File, params pisa.Params, issuer string, stp pisa.STPService,
+	log *slog.Logger, dir string, opts ...pisa.SDCOption) (*sdcUnit, error) {
+	u := &sdcUnit{source: "fresh (in-memory)"}
+	if dir == "" {
+		log.Info("initialising SDC (encrypting budget matrix)", "issuer", issuer,
+			"channels", params.Watch.Channels, "blocks", params.Watch.Grid.Blocks())
+		sdc, err := pisa.NewSDC(issuer, params, nil, stp, opts...)
+		if err != nil {
+			return nil, err
+		}
+		u.sdc = sdc
+		return u, nil
+	}
+	storeOpts, err := cfg.Store.Options()
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.Open(dir, storeOpts)
+	if err != nil {
+		return nil, err
+	}
+	rec := st.Recovery()
+	u.st, u.source = st, rec.Source
+	log.Info("recovering SDC state", "dir", st.Dir(), "source", rec.Source,
+		"snapshotIndex", rec.SnapshotIndex, "tailRecords", rec.TailRecords,
+		"tornBytes", rec.TornBytes)
+	sdc, err := pisa.RestoreSDC(issuer, params, nil, stp, st.SnapshotData(), st.Tail(), opts...)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	u.sdc = sdc
+	u.keeper = store.NewKeeper(st, sdc.ExportState,
+		cfg.Store.SnapshotInterval(), cfg.Store.SnapshotThreshold())
+	// Journal armed only now, after replay: recovered updates are
+	// already on disk and must not be re-appended.
+	sdc.SetUpdateJournal(func(upd *pisa.PUUpdate) error {
+		payload, err := pisa.EncodePUUpdate(upd)
+		if err != nil {
+			return err
+		}
+		_, err = u.keeper.Append(pisa.RecordPUUpdate, payload)
+		return err
+	})
+	u.keeper.Start(func(err error) { log.Error("background snapshot failed", "err", err) })
+	return u, nil
 }
 
 // servePIRReplica runs the daemon as one replica of the multi-server
@@ -309,17 +445,31 @@ func servePIRReplica(cfg config.File, addr string) error {
 	}
 }
 
-// logSummary emits the shutdown state digest: protocol counters, and
-// (when durable) WAL pressure plus where this process booted from.
-func logSummary(log *slog.Logger, sdc *pisa.SDC, st *store.Store, source string) {
+// logSummary emits the shutdown state digest: protocol counters,
+// decision-cache effectiveness, and (when durable) WAL pressure plus
+// where this process booted from. Sharded runs emit one line per
+// shard, labelled with its index.
+func logSummary(log *slog.Logger, sdc *pisa.SDC, st *store.Store, source string, sharded bool, index int) {
 	sum := sdc.Summary()
-	attrs := []any{
+	attrs := []any{}
+	if sharded {
+		lo, hi := sdc.ChannelWindow()
+		attrs = append(attrs, "shard", index, "window", fmt.Sprintf("[%d,%d)", lo, hi))
+	}
+	attrs = append(attrs,
 		"pus", sum.PUs,
 		"blocksWithPUs", sum.BlocksWithPUs,
 		"populatedCells", sum.PopulatedCells,
 		"serial", sum.Serial,
 		"bootSource", source,
-	}
+	)
+	cs := sdc.CacheStats()
+	attrs = append(attrs,
+		"cacheHits", cs.Hits,
+		"cacheMisses", cs.Misses,
+		"cacheStale", cs.Stale,
+		"cacheExpired", cs.Expired,
+		"cacheEvicted", cs.Evicted)
 	if st != nil {
 		stats := st.Stats()
 		attrs = append(attrs,
@@ -329,6 +479,25 @@ func logSummary(log *slog.Logger, sdc *pisa.SDC, st *store.Store, source string)
 			"snapshotIndex", stats.SnapshotIndex)
 	}
 	log.Info("state summary", attrs...)
+}
+
+// logRouterSummary emits the fan-out router's shutdown digest:
+// request/update volume and the mean per-stage split (fan-out, merge,
+// license) plus each shard's mean service time.
+func logRouterSummary(log *slog.Logger, r *shard.Router) {
+	st := r.Stats()
+	attrs := []any{"requests", st.Requests, "errors", st.Errors, "updates", st.Updates}
+	if st.Requests > 0 {
+		n := float64(st.Requests)
+		attrs = append(attrs,
+			"fanoutMeanMs", float64(st.FanoutNs)/n/1e6,
+			"mergeMeanMs", float64(st.MergeNs)/n/1e6,
+			"licenseMeanMs", float64(st.LicenseNs)/n/1e6)
+		for i, ns := range st.ShardNs {
+			attrs = append(attrs, fmt.Sprintf("shard%dMeanMs", i), float64(ns)/n/1e6)
+		}
+	}
+	log.Info("router summary", attrs...)
 }
 
 // logSTPClient emits the STP link's resilience counters so operators

@@ -1,0 +1,166 @@
+// Command sdcrouterd fronts a multi-host channel-sharded SDC
+// deployment (DESIGN.md §15): it fans each SU transmission request
+// out to every shard daemon (sdcd -shard-index i -shard-count n) in
+// parallel, merges the per-shard encrypted partial sums
+// homomorphically, and runs the single blind/sign-test/license tail
+// itself. PU updates are broadcast to every shard — the active
+// channel is encrypted, so routing by channel would leak it.
+//
+// The -shards flag takes semicolon-separated shard groups, each a
+// comma-separated owner-then-replicas address list; shard queries are
+// idempotent, so the client layer retries them with backoff and fails
+// over inside a group when the owner stops answering.
+//
+// Usage:
+//
+//	sdcrouterd -shards "h1:9101,h1:9111;h2:9102;h3:9103"
+//	           [-config pisa.json] [-listen host:port]
+//	           [-stp host:port,host:port] [-issuer name]
+//	           [-metrics host:port] [-packing=false]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pisa/internal/config"
+	"pisa/internal/node"
+	"pisa/internal/obs"
+	"pisa/internal/pisa/shard"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdcrouterd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdcrouterd", flag.ContinueOnError)
+	configPath := fs.String("config", "", "deployment config JSON (defaults built in)")
+	listen := fs.String("listen", "", "listen address (overrides config sdcAddr)")
+	stpAddr := fs.String("stp", "", "comma-separated STP addresses (overrides config stpAddr/stpAddrs)")
+	issuer := fs.String("issuer", "pisa-sdc", "license issuer name")
+	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
+	packing := fs.Bool("packing", true, "slot-packed ciphertexts (must match the shard daemons and SUs)")
+	shardAddrs := fs.String("shards", "", "shard address groups 'owner1[,replica...][;...]', one group per channel shard in window order")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := config.Load(*configPath)
+	if err != nil {
+		return err
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "packing" {
+			cfg.Packing = *packing
+		}
+	})
+	groups, err := config.ParseShardFlag(*shardAddrs)
+	if err != nil {
+		return err
+	}
+	if len(groups) == 0 {
+		return fmt.Errorf("-shards is required (semicolon-separated shard address groups)")
+	}
+	addr := cfg.SDCAddr
+	if *listen != "" {
+		addr = *listen
+	}
+	stpTargets := cfg.STPTargets()
+	if *stpAddr != "" {
+		stpTargets = config.SplitAddrs(*stpAddr)
+	}
+	rpcOpts, err := cfg.RPC.Options()
+	if err != nil {
+		return err
+	}
+	params, err := cfg.PisaParams()
+	if err != nil {
+		return err
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	if *metricsAddr != "" {
+		cfg.Obs.MetricsAddr = *metricsAddr
+	}
+	if cfg.Obs.Enabled() {
+		obsSrv, err := obs.ListenAndServe(cfg.Obs.MetricsAddr, nil)
+		if err != nil {
+			return err
+		}
+		defer obsSrv.Close()
+		log.Info("metrics serving", "addr", obsSrv.Addr(), "endpoints", "/metrics /debug/pprof/")
+	}
+
+	log.Info("connecting to STP", "addrs", stpTargets)
+	stp, err := node.DialSTPWith(rpcOpts, stpTargets...)
+	if err != nil {
+		return err
+	}
+	defer stp.Close()
+
+	services := make([]shard.Service, len(groups))
+	clients := make([]*node.SDCClient, len(groups))
+	for i, g := range groups {
+		c := node.DialSDCWith(rpcOpts, g...)
+		defer c.Close()
+		clients[i] = c
+		services[i] = c
+	}
+	start := time.Now()
+	router, err := shard.NewRouter(*issuer, params, nil, stp, services)
+	if err != nil {
+		return err
+	}
+	log.Info("router assembled", "shards", len(groups),
+		"took", time.Since(start).String())
+	for i := range groups {
+		lo, hi := router.Window(i)
+		log.Info("shard group", "index", i, "window", fmt.Sprintf("[%d,%d)", lo, hi),
+			"addrs", groups[i])
+	}
+
+	srv := node.NewSDCServer(router, log, 0)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Info("router serving", "addr", ln.Addr().String())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case s := <-sig:
+		log.Info("shutting down", "signal", s.String())
+		st := router.Stats()
+		attrs := []any{"requests", st.Requests, "errors", st.Errors, "updates", st.Updates}
+		if st.Requests > 0 {
+			n := float64(st.Requests)
+			attrs = append(attrs,
+				"fanoutMeanMs", float64(st.FanoutNs)/n/1e6,
+				"mergeMeanMs", float64(st.MergeNs)/n/1e6,
+				"licenseMeanMs", float64(st.LicenseNs)/n/1e6)
+		}
+		log.Info("router summary", attrs...)
+		for i, c := range clients {
+			cs := c.Stats()
+			log.Info("shard client summary", "shard", i,
+				"calls", cs.Calls, "retries", cs.Retries,
+				"transportFaults", cs.TransportFaults,
+				"failovers", cs.Failovers, "breakerOpens", cs.BreakerOpens)
+		}
+		return srv.Close()
+	case err := <-errCh:
+		return err
+	}
+}

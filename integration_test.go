@@ -19,6 +19,8 @@ import (
 	"pisa/internal/node"
 	"pisa/internal/paillier"
 	"pisa/internal/pisa"
+	"pisa/internal/pisa/shard"
+	"pisa/internal/propagation"
 	"pisa/internal/store"
 	"pisa/internal/trace"
 	"pisa/internal/watch"
@@ -541,4 +543,179 @@ func TestRestartRecovery(t *testing.T) {
 			t.Fatalf("post-recovery decision %q diverges: restored=%v control=%v", name, d, c)
 		}
 	}
+}
+
+// TestShardFailoverUnderLoad is the channel-sharding resilience
+// acceptance test (DESIGN.md §15): three windowed shards behind a
+// fan-out router, with shard 0 served by an owner AND a replica
+// (two node servers sharing one shard instance, the same pattern as
+// the STP failover test). The owner is killed while an SU request
+// storm is in flight. Shard queries are idempotent, so the router's
+// per-shard client must retry and fail over to the replica with zero
+// failed SU decisions — and every decision must still match the
+// plaintext watch oracle.
+func TestShardFailoverUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full networked system")
+	}
+	grid, err := geo.NewGrid(5, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := watch.Params{
+		Channels:    3,
+		Grid:        grid,
+		UnitsPerMW:  1e9,
+		SUMaxEIRPmW: 4000,
+		SMinPUmW:    1e-5,
+		DeltaInt:    32,
+		Secondary:   propagation.LogDistance{RefLossDB: 40, Exponent: 3.5},
+		WorstCase:   propagation.LogDistance{RefLossDB: 60, Exponent: 4},
+	}
+	params := pisa.TestParams(wp)
+	stp, err := pisa.NewSTP(nil, params.PaillierBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := shard.Windows(wp.Channels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard 0 gets two servers over one role instance; 1 and 2 one
+	// each. Aggressive retry/breaker settings so the dead owner costs
+	// milliseconds, not the default breaker cooldown.
+	opts := node.Options{
+		CallTimeout: time.Minute,
+		Retry:       node.RetryPolicy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond},
+		Breaker:     node.BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute},
+	}
+	var victim *node.SDCServer
+	services := make([]shard.Service, len(windows))
+	clients := make([]*node.SDCClient, len(windows))
+	for i, w := range windows {
+		s, err := pisa.NewSDC("fo-shard", params, nil, stp,
+			pisa.WithChannelWindow(w[0], w[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		replicas := 1
+		if i == 0 {
+			replicas = 2
+		}
+		var addrs []string
+		for r := 0; r < replicas; r++ {
+			srv := node.NewSDCServer(s, nil, time.Minute)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go func() { _ = srv.Serve(ln) }()
+			t.Cleanup(func() { srv.Close() })
+			addrs = append(addrs, ln.Addr().String())
+			if i == 0 && r == 0 {
+				victim = srv
+			}
+		}
+		cli := node.DialSDCWith(opts, addrs...)
+		t.Cleanup(func() { cli.Close() })
+		clients[i] = cli
+		services[i] = cli
+	}
+	router, err := shard.NewRouter("fo-router", params, nil, stp, services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := watch.NewSystem(wp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One PU so the grid has both busy and free channels; the update
+	// broadcast crosses the wire to every shard.
+	eCol, err := router.EColumn(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pu, err := pisa.NewPU(nil, "tv-shard-fo", 8, eCol, stp.GroupKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	update, err := pu.Tune(1, wp.Quantize(wp.SMinPUmW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := router.HandlePUUpdate(update); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.UpdatePU(pu.ID(), watch.Registration{
+		Block: 8, Channel: 1, SignalUnits: wp.Quantize(wp.SMinPUmW),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	requests, err := trace.SUWorkload(trace.SUConfig{
+		Seed: 47, Blocks: wp.Grid.Blocks(),
+		Channels:        wp.Channels,
+		MaxEIRPUnits:    wp.Quantize(wp.SUMaxEIRPmW),
+		RequestsPerHour: 8, ChannelsPerRequest: 1.5, Horizon: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(requests) < 4 {
+		t.Fatalf("workload produced only %d requests; fixture too small", len(requests))
+	}
+
+	sus := make(map[string]*pisa.SU)
+	for i, req := range requests {
+		if i == len(requests)/2 {
+			// Mid-storm: shard 0's owner goes down hard.
+			if err := victim.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		su := sus[req.SU]
+		if su == nil {
+			if su, err = pisa.NewSU(nil, req.SU, req.Block, params, router.Planner(), stp.GroupKey()); err != nil {
+				t.Fatal(err)
+			}
+			if err := stp.RegisterSU(su.ID(), su.PublicKey()); err != nil {
+				t.Fatal(err)
+			}
+			sus[req.SU] = su
+		}
+		encReq, err := su.PrepareRequest(req.EIRPUnits, geo.Disclosure{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := router.ProcessRequest(encReq)
+		if err != nil {
+			t.Fatalf("request %d (shard-0 owner %s): %v", i,
+				map[bool]string{true: "down", false: "up"}[i >= len(requests)/2], err)
+		}
+		grant, err := su.OpenResponse(resp, encReq, router.VerifyKey())
+		if err != nil {
+			t.Fatalf("request %d: open response: %v", i, err)
+		}
+		dec, err := oracle.Evaluate(watch.Request{Block: req.Block, EIRPUnits: req.EIRPUnits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grant.Granted != dec.Granted {
+			t.Fatalf("request %d: sharded decision %v, oracle %v", i, grant.Granted, dec.Granted)
+		}
+	}
+	stats := clients[0].Stats()
+	if stats.Failovers < 1 {
+		t.Errorf("shard-0 failovers = %d, want >= 1 (did the kill land before the storm finished?)", stats.Failovers)
+	}
+	st := router.Stats()
+	if st.Errors != 0 {
+		t.Errorf("router recorded %d failed SU decisions, want 0", st.Errors)
+	}
+	t.Logf("%d SU requests, zero failed decisions across the shard-0 owner kill "+
+		"(%d retries, %d transport faults, %d failovers)",
+		len(requests), stats.Retries, stats.TransportFaults, stats.Failovers)
 }

@@ -66,6 +66,10 @@ type MicroReport struct {
 	// aggregate-stage hit vs miss cost at rising fleet concentration
 	// (DESIGN.md §14).
 	Cache *CacheReport `json:"cache,omitempty"`
+	// Shard, when present, is the channel-sharding scaling sweep:
+	// SU-request throughput of an N-shard fan-out router against the
+	// monolithic controller on the same deployment (DESIGN.md §15).
+	Shard *ShardReport `json:"shard,omitempty"`
 }
 
 // measureOp times iters runs of op and samples the allocation rate.

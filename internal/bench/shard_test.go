@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+func TestMeasureShardsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stands up several keyed deployments")
+	}
+	report, err := MeasureShards(4, 4, 3, 768, []int{1, 2, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MonolithicNs <= 0 {
+		t.Fatal("monolithic baseline not measured")
+	}
+	if len(report.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(report.Rows))
+	}
+	for _, row := range report.Rows {
+		if row.Requests != 2 {
+			t.Errorf("N=%d measured %d requests, want 2", row.Shards, row.Requests)
+		}
+		if row.MaxShardNs <= 0 || row.MergeNs <= 0 || row.LicenseNs <= 0 {
+			t.Errorf("N=%d has empty stage means: %+v", row.Shards, row)
+		}
+		if row.ModelNs != row.MaxShardNs+row.MergeNs+row.LicenseNs {
+			t.Errorf("N=%d ModelNs %d is not the stage sum", row.Shards, row.ModelNs)
+		}
+		if row.Speedup <= 0 {
+			t.Errorf("N=%d speedup not computed", row.Shards)
+		}
+	}
+	if _, err := MeasureShards(4, 4, 3, 768, []int{1}, 0); err == nil {
+		t.Error("iters=0 accepted")
+	}
+}

@@ -143,6 +143,12 @@ type File struct {
 	// overrides it.
 	CacheDomains map[string][]string `json:"cacheDomains,omitempty"`
 
+	// Shards partitions the SDC's budget matrix into this many channel
+	// slices, each owned by an independent windowed SDC behind a
+	// fan-out router (internal/pisa/shard). 0 or 1 (the default) runs
+	// the monolithic controller. The sdcd -shards flag overrides it.
+	Shards int `json:"shards,omitempty"`
+
 	// Network addresses. STPAddrs lists additional equivalent STP
 	// replicas (same group key, shared SU registry) that clients fail
 	// over to when STPAddr stops answering.
@@ -365,6 +371,38 @@ func ParseCacheDomainsFlag(v string) (map[string][]string, error) {
 		return nil, nil
 	}
 	return domains, nil
+}
+
+// ParseShardFlag parses the router tools' shard-address flag value:
+// semicolon-separated shard groups, each a comma-separated
+// owner-then-replicas address list ("off" or the empty string selects
+// the monolithic, unsharded deployment and returns nil). Every group
+// must name at least one address, and an address may appear in at
+// most one group — the groups partition the channel axis, so a server
+// listed twice would receive conflicting windows.
+func ParseShardFlag(v string) ([][]string, error) {
+	if v == "" || strings.EqualFold(v, "off") {
+		return nil, nil
+	}
+	var groups [][]string
+	seen := map[string]int{}
+	for _, decl := range strings.Split(v, ";") {
+		if strings.TrimSpace(decl) == "" {
+			return nil, fmt.Errorf("config: shard flag wants 'owner1[,replica...][;...]', got empty group in %q", v)
+		}
+		addrs := SplitAddrs(decl)
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("config: shard flag group %q has no addresses", decl)
+		}
+		for _, a := range addrs {
+			if g, dup := seen[a]; dup {
+				return nil, fmt.Errorf("config: shard flag lists %q in groups %d and %d", a, g, len(groups))
+			}
+			seen[a] = len(groups)
+		}
+		groups = append(groups, addrs)
+	}
+	return groups, nil
 }
 
 // SplitAddrs parses a comma-separated address list (the form the

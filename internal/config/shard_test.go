@@ -1,0 +1,51 @@
+package config
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseShardFlag(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		want    [][]string
+		wantErr bool
+	}{
+		{"empty means monolithic", "", nil, false},
+		{"off means monolithic", "off", nil, false},
+		{"off is case-insensitive", "OFF", nil, false},
+		{"single shard", "a:1", [][]string{{"a:1"}}, false},
+		{"owner plus replica", "a:1,a:2", [][]string{{"a:1", "a:2"}}, false},
+		{
+			"three groups with replicas",
+			"a:1,a:2; b:1 ;c:1,c:2",
+			[][]string{{"a:1", "a:2"}, {"b:1"}, {"c:1", "c:2"}},
+			false,
+		},
+		{"whitespace trimmed", " a:1 , a:2 ", [][]string{{"a:1", "a:2"}}, false},
+		{"empty group rejected", "a:1;;b:1", nil, true},
+		{"trailing empty group rejected", "a:1;", nil, true},
+		{"comma-only group rejected", "a:1; ,", nil, true},
+		{"duplicate across groups rejected", "a:1;b:1;a:1", nil, true},
+		{"duplicate replica across groups rejected", "a:1,x:9;b:1,x:9", nil, true},
+		{"duplicate inside one group rejected", "a:1,a:1", nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseShardFlag(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParseShardFlag(%q) = %v, want error", tc.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseShardFlag(%q): %v", tc.in, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("ParseShardFlag(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}

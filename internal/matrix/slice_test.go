@@ -1,0 +1,137 @@
+package matrix
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func TestEncChannelSlice(t *testing.T) {
+	sk := testKey()
+	m := testIntMatrix(t, 4, 3, 7)
+	e, err := EncryptInts(rand.Reader, sk.Public(), m, 1)
+	if err != nil {
+		t.Fatalf("EncryptInts: %v", err)
+	}
+	s, err := e.ChannelSlice(1, 3)
+	if err != nil {
+		t.Fatalf("ChannelSlice: %v", err)
+	}
+	if s.Channels() != 4 || s.Blocks() != 3 {
+		t.Errorf("slice dims %dx%d, want full 4x3", s.Channels(), s.Blocks())
+	}
+	if s.Populated() != 2*3 {
+		t.Errorf("slice Populated = %d, want 6", s.Populated())
+	}
+	for c := 0; c < 4; c++ {
+		for b := 0; b < 3; b++ {
+			ct, err := s.At(c, b)
+			if err != nil {
+				t.Fatalf("At(%d, %d): %v", c, b, err)
+			}
+			inWindow := c >= 1 && c < 3
+			if (ct != nil) != inWindow {
+				t.Errorf("At(%d, %d) populated=%v, want %v", c, b, ct != nil, inWindow)
+			}
+			if inWindow {
+				orig, _ := e.At(c, b)
+				if ct != orig {
+					t.Errorf("At(%d, %d) not shared with the source", c, b)
+				}
+			}
+		}
+	}
+	for _, w := range [][2]int{{-1, 2}, {2, 2}, {3, 1}, {0, 5}} {
+		if _, err := e.ChannelSlice(w[0], w[1]); err == nil {
+			t.Errorf("ChannelSlice(%d, %d) accepted an invalid window", w[0], w[1])
+		}
+	}
+}
+
+func TestPackedChannelSlice(t *testing.T) {
+	sk, codec := packedFixture(t)
+	m := testIntMatrix(t, 4, 7, 3)
+	p, err := PackEncryptInts(rand.Reader, sk.Public(), codec, m, 1, 1)
+	if err != nil {
+		t.Fatalf("PackEncryptInts: %v", err)
+	}
+	s, err := p.ChannelSlice(2, 4)
+	if err != nil {
+		t.Fatalf("ChannelSlice: %v", err)
+	}
+	if s.Channels() != 4 || s.Blocks() != 7 || s.Groups() != p.Groups() {
+		t.Errorf("slice geometry changed: %dx%d/%d groups", s.Channels(), s.Blocks(), s.Groups())
+	}
+	if want := 2 * p.Groups(); s.Populated() != want {
+		t.Errorf("slice Populated = %d, want %d", s.Populated(), want)
+	}
+	for c := 0; c < 4; c++ {
+		for g := 0; g < p.Groups(); g++ {
+			ct, err := s.GroupAt(c, g)
+			if err != nil {
+				t.Fatalf("GroupAt(%d, %d): %v", c, g, err)
+			}
+			if inWindow := c >= 2; (ct != nil) != inWindow {
+				t.Errorf("GroupAt(%d, %d) populated=%v, want %v", c, g, ct != nil, inWindow)
+			}
+		}
+	}
+}
+
+// Window-encrypting each slice of a partition and homomorphically
+// adding the slices must reproduce the full encryption — the
+// invariant the sharded budget matrix rests on.
+func TestEncryptIntsWindowPartitionCoversMatrix(t *testing.T) {
+	sk := testKey()
+	m := testIntMatrix(t, 5, 3, 11)
+	lo, err := EncryptIntsWindow(rand.Reader, sk.Public(), m, 0, 2, 1)
+	if err != nil {
+		t.Fatalf("EncryptIntsWindow(0, 2): %v", err)
+	}
+	hi, err := EncryptIntsWindow(rand.Reader, sk.Public(), m, 2, 5, 1)
+	if err != nil {
+		t.Fatalf("EncryptIntsWindow(2, 5): %v", err)
+	}
+	if lo.Populated() != 2*3 || hi.Populated() != 3*3 {
+		t.Fatalf("window populated counts %d/%d, want 6/9", lo.Populated(), hi.Populated())
+	}
+	sum, err := lo.Add(hi)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	got, err := Decrypt(sk, sum)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if !got.Equal(m) {
+		t.Error("partitioned window encryptions do not cover the matrix")
+	}
+}
+
+func TestPackEncryptIntsWindowMatchesFull(t *testing.T) {
+	sk, codec := packedFixture(t)
+	m := testIntMatrix(t, 4, 7, 5)
+	w, err := PackEncryptIntsWindow(rand.Reader, sk.Public(), codec, m, 1, 1, 3, 1)
+	if err != nil {
+		t.Fatalf("PackEncryptIntsWindow: %v", err)
+	}
+	if want := 2 * w.Groups(); w.Populated() != want {
+		t.Fatalf("window Populated = %d, want %d", w.Populated(), want)
+	}
+	got, err := DecryptPacked(sk, w)
+	if err != nil {
+		t.Fatalf("DecryptPacked: %v", err)
+	}
+	// Absent groups decode as zero; window rows must match the input.
+	for c := 1; c < 3; c++ {
+		for b := 0; b < 7; b++ {
+			want, _ := m.At(c, b)
+			v, _ := got.At(c, b)
+			if v != want {
+				t.Errorf("window cell (%d, %d) = %d, want %d", c, b, v, want)
+			}
+		}
+	}
+	if _, err := PackEncryptIntsWindow(rand.Reader, sk.Public(), codec, m, 1, 3, 3, 1); err == nil {
+		t.Error("empty window accepted")
+	}
+}

@@ -664,4 +664,31 @@ func (c *SDCClient) ProcessRequest(r *pisa.TransmissionRequest) (*pisa.Response,
 	return c.SendRequest(r)
 }
 
+// ProcessShard sends a (usually channel-sliced) SU request to a
+// remote windowed shard and returns its partial encrypted sum.
+// Shard queries are idempotent, so the client's retry and failover
+// machinery re-sends them freely across replica groups.
+func (c *SDCClient) ProcessShard(r *pisa.TransmissionRequest) (*pisa.ShardAnswer, error) {
+	return c.ProcessShardContext(context.Background(), r)
+}
+
+// ProcessShardContext is ProcessShard under a caller deadline.
+func (c *SDCClient) ProcessShardContext(ctx context.Context, r *pisa.TransmissionRequest) (*pisa.ShardAnswer, error) {
+	resp, err := c.callCtx(ctx, &wire.Envelope{Kind: wire.KindShardQuery, Request: r}, wire.KindShardAnswer)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ShardAnswer == nil {
+		return nil, fmt.Errorf("node: shard returned no answer payload")
+	}
+	return resp.ShardAnswer, nil
+}
+
+// HandlePUUpdate aliases SendUpdate so SDCClient satisfies
+// shard.Service and a router can broadcast PU updates to remote
+// shards through the same client.
+func (c *SDCClient) HandlePUUpdate(u *pisa.PUUpdate) error {
+	return c.SendUpdate(u)
+}
+
 var _ pisa.SDCService = (*SDCClient)(nil)

@@ -111,15 +111,19 @@ func Retryable(err error) bool {
 // because the STP registry treats a same-key re-registration as a
 // no-op. The PIR kinds all qualify: metadata and selection-vector
 // queries are pure reads, and a replica-sync update re-applies as the
-// same set-registration (only the version counter advances). PU
-// updates and SU transmission requests mutate budget state and are
-// sent at most once per transport attempt that reaches the wire.
+// same set-registration (only the version counter advances). A shard
+// query qualifies too: ProcessShard reads a budget snapshot and never
+// bumps the license serial, so replaying it on a replica after a lost
+// reply re-derives the same partial sum. PU updates and SU
+// transmission requests mutate budget state and are sent at most once
+// per transport attempt that reaches the wire.
 func idempotentKind(k wire.Kind) bool {
 	switch k {
 	case wire.KindGroupKeyRequest, wire.KindSUKeyRequest, wire.KindEColumnRequest,
 		wire.KindVerifyKeyRequest, wire.KindConvertRequest, wire.KindBatchConvertRequest,
 		wire.KindPartialRequest, wire.KindRegisterSU,
-		wire.KindPIRMetaRequest, wire.KindPIRQuery, wire.KindPIRSync:
+		wire.KindPIRMetaRequest, wire.KindPIRQuery, wire.KindPIRSync,
+		wire.KindShardQuery:
 		return true
 	}
 	return false

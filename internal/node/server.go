@@ -20,6 +20,7 @@
 package node
 
 import (
+	"crypto/rsa"
 	"fmt"
 	"log/slog"
 	"net"
@@ -243,15 +244,33 @@ func (s *STPServer) dispatch(env *wire.Envelope) (*wire.Envelope, error) {
 	}
 }
 
-// SDCServer exposes a pisa.SDC over TCP.
+// SDCBackend is what an SDC server needs from the role instance
+// behind it. *pisa.SDC satisfies it, as does shard.Router, so one
+// server wrapper fronts both a monolithic controller and a sharded
+// fan-out router.
+type SDCBackend interface {
+	ProcessRequest(req *pisa.TransmissionRequest) (*pisa.Response, error)
+	HandlePUUpdate(u *pisa.PUUpdate) error
+	EColumn(b geo.BlockID) ([]int64, error)
+	VerifyKey() *rsa.PublicKey
+}
+
+// shardBackend is the optional extension a windowed shard implements;
+// KindShardQuery is only served when the backend provides it.
+type shardBackend interface {
+	ProcessShard(req *pisa.TransmissionRequest) (*pisa.ShardAnswer, error)
+}
+
+// SDCServer exposes an SDC role instance over TCP.
 type SDCServer struct {
 	*server
 
-	sdc *pisa.SDC
+	sdc SDCBackend
 }
 
-// NewSDCServer wraps an SDC role instance.
-func NewSDCServer(sdc *pisa.SDC, log *slog.Logger, timeout time.Duration) *SDCServer {
+// NewSDCServer wraps an SDC role instance (monolithic SDC, windowed
+// shard, or shard router).
+func NewSDCServer(sdc SDCBackend, log *slog.Logger, timeout time.Duration) *SDCServer {
 	s := &SDCServer{sdc: sdc}
 	s.server = newServer("sdc", log, timeout, s.dispatch)
 	return s
@@ -284,6 +303,19 @@ func (s *SDCServer) dispatch(env *wire.Envelope) (*wire.Envelope, error) {
 		return &wire.Envelope{Kind: wire.KindEColumn, EColumn: col}, nil
 	case wire.KindVerifyKeyRequest:
 		return &wire.Envelope{Kind: wire.KindVerifyKey, VerifyKey: s.sdc.VerifyKey()}, nil
+	case wire.KindShardQuery:
+		sb, ok := s.sdc.(shardBackend)
+		if !ok {
+			return nil, fmt.Errorf("sdc: this instance does not serve shard queries")
+		}
+		if env.Request == nil {
+			return nil, fmt.Errorf("sdc: shard query missing payload")
+		}
+		ans, err := sb.ProcessShard(env.Request)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Envelope{Kind: wire.KindShardAnswer, ShardAnswer: ans}, nil
 	default:
 		return nil, fmt.Errorf("sdc: unexpected message kind %s", env.Kind)
 	}

@@ -182,6 +182,48 @@ func (u *PUUpdate) GobDecode(data []byte) error {
 	return nil
 }
 
+// shardAnswerWire mirrors ShardAnswer for encoding.
+type shardAnswerWire struct {
+	SumQ  *paillier.Ciphertext
+	Slots int64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (a *ShardAnswer) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&shardAnswerWire{SumQ: a.SumQ, Slots: a.Slots}); err != nil {
+		return nil, fmt.Errorf("pisa: encode shard answer: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder. A nil partial is legal only as
+// the empty-window answer (Slots == 0); a present ciphertext obeys the
+// shared size caps.
+func (a *ShardAnswer) GobDecode(data []byte) error {
+	var w shardAnswerWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("pisa: decode shard answer: %w", err)
+	}
+	if w.Slots < 0 || w.Slots > maxWireElements {
+		return fmt.Errorf("pisa: decode shard answer: slot count %d outside [0, %d]", w.Slots, maxWireElements)
+	}
+	if w.SumQ == nil {
+		if w.Slots != 0 {
+			return fmt.Errorf("pisa: decode shard answer: %d slots without a partial sum", w.Slots)
+		}
+	} else {
+		if w.Slots == 0 {
+			return fmt.Errorf("pisa: decode shard answer: partial sum without slot tests")
+		}
+		if err := checkWireCiphertexts("shard answer", []*paillier.Ciphertext{w.SumQ}); err != nil {
+			return err
+		}
+	}
+	*a = ShardAnswer{SumQ: w.SumQ, Slots: w.Slots}
+	return nil
+}
+
 // batchSignRequestWire flattens a whole batch into ONE gob stream.
 // Encoding the elements through their own GobEncode would open a fresh
 // nested gob stream per element, re-emitting and re-compiling the type

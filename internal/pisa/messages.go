@@ -220,6 +220,19 @@ type Response struct {
 	MaskedSig *paillier.Ciphertext
 }
 
+// ShardAnswer is one shard's contribution to a sharded SU request
+// (DESIGN.md §15): the partial sum(eps*X) under the SU's key over the
+// channel rows the shard owns, plus the number of slot tests folded
+// in. The router adds the partials (eq. 17's sum is linear in the
+// per-channel terms), subtracts the total slot count, and masks the
+// license with the merged sum. A shard that saw no populated cell
+// inside its window answers SumQ == nil, Slots == 0 — the additive
+// identity.
+type ShardAnswer struct {
+	SumQ  *paillier.Ciphertext
+	Slots int64
+}
+
 // SignRequest is what the SDC sends the STP: the blinded sign-test
 // column V~ (eq. 14) for one SU request, in an order known only to
 // the SDC.

@@ -100,12 +100,8 @@ func RestoreSDC(issuer string, params Params, transmitters []watch.TVTransmitter
 		return nil, err
 	}
 	if snapshot == nil {
-		if s.codec != nil {
-			if s.nPack, err = matrix.PackEncryptInts(s.random, s.group, s.codec, s.ePlain, 1, s.workers); err != nil {
-				return nil, fmt.Errorf("pisa: encrypt initial budgets: %w", err)
-			}
-		} else if s.nEnc, err = matrix.EncryptInts(s.random, s.group, s.ePlain, s.workers); err != nil {
-			return nil, fmt.Errorf("pisa: encrypt initial budgets: %w", err)
+		if err := s.encryptInitialBudgets(); err != nil {
+			return nil, err
 		}
 	} else {
 		var st sdcStateV1

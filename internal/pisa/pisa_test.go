@@ -644,12 +644,17 @@ func TestSTPSeesSignHiddenValues(t *testing.T) {
 		}
 	}
 	su := d.newSU(t, "su-1", 7)
-	req, err := su.PrepareRequest(map[int]int64{0: 100}, geo.Disclosure{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if g := d.decide(t, su, req); !g.Granted {
-		t.Fatal("premise broken: quiet SU denied")
+	// Pool the signs across several independently-blinded requests:
+	// one request yields only ~15 coin flips, and a fair coin lands
+	// outside [0.2, 0.8] about once in 135 runs.
+	for i := 0; i < 4; i++ {
+		req, err := su.PrepareRequest(map[int]int64{0: 100}, geo.Disclosure{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := d.decide(t, su, req); !g.Granted {
+			t.Fatal("premise broken: quiet SU denied")
+		}
 	}
 	if total == 0 {
 		t.Fatal("observer saw no values")

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"math/big"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pisa/internal/dsig"
@@ -44,6 +45,14 @@ type SDC struct {
 	now     func() time.Time
 	licTTL  time.Duration
 
+	// chanLo, chanHi bound the channel rows [chanLo, chanHi) this
+	// instance owns. A monolithic SDC owns every row; a shard of a
+	// channel-sharded deployment (WithChannelWindow, DESIGN.md §15)
+	// owns a slice, encrypts and rebuilds only its rows, and serves
+	// them through ProcessShard — ProcessRequest refuses, because a
+	// window-local decision is not the whole-matrix decision.
+	chanLo, chanHi int
+
 	// codec is the slot codec of a packed deployment
 	// (Params.Packing), nil otherwise. It fixes the deployment's
 	// layout: budgets live in nPack instead of nEnc, requests must
@@ -65,6 +74,11 @@ type SDC struct {
 	// pooled r^n factor re-randomises one served ciphertext, the same
 	// fast-nonce machinery SU refreshes use. Nil when the cache is off.
 	cacheNonces *paillier.NoncePool
+
+	// cacheCtr mirrors the obs cache counters per instance: the obs
+	// registry aggregates process-wide, so a sharded deployment reads
+	// each shard's hit/miss/stale split from here (CacheStats).
+	cacheCtr cacheCounters
 
 	mu        sync.Mutex
 	nEnc      *matrix.Enc                // N~: encrypted budgets (unpacked mode)
@@ -142,6 +156,16 @@ func WithRandom(r io.Reader) SDCOption {
 	return sdcOptionFunc(func(s *SDC) { s.random = r })
 }
 
+// WithChannelWindow restricts the instance to the channel rows
+// [lo, hi) of the budget matrix — one shard of a channel-sharded
+// deployment. Only those rows are encrypted at boot and rebuilt on PU
+// updates, and only ProcessShard may serve requests (the shard
+// router, internal/pisa/shard, merges the per-shard partials and
+// issues the license). The default window is the full channel range.
+func WithChannelWindow(lo, hi int) SDCOption {
+	return sdcOptionFunc(func(s *SDC) { s.chanLo, s.chanHi = lo, hi })
+}
+
 // WithUpdateJournal installs a write-ahead hook: every accepted PU
 // update is passed to fn before it is acknowledged, so a durable
 // deployment can append it to a log (internal/store). fn runs outside
@@ -160,21 +184,30 @@ func NewSDC(issuer string, params Params, transmitters []watch.TVTransmitter, st
 	if err != nil {
 		return nil, err
 	}
-	if s.codec != nil {
-		// Packed deployments pad the slots beyond the last block with a
-		// constant 1: a padding slot's blinded test value is
-		// eps*(alpha*1 - beta), strictly positive before the flip
-		// (BetaBits < AlphaBits), so padding always "passes" and the
-		// grant test only has to offset the slot count.
-		if s.nPack, err = matrix.PackEncryptInts(s.random, s.group, s.codec, s.ePlain, 1, s.workers); err != nil {
-			return nil, fmt.Errorf("pisa: encrypt initial budgets: %w", err)
-		}
-		return s, nil
-	}
-	if s.nEnc, err = matrix.EncryptInts(s.random, s.group, s.ePlain, s.workers); err != nil {
-		return nil, fmt.Errorf("pisa: encrypt initial budgets: %w", err)
+	if err := s.encryptInitialBudgets(); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// encryptInitialBudgets populates N~ = E~ for the channel rows this
+// instance owns — shared by NewSDC and RestoreSDC's fresh-boot path.
+// Packed deployments pad the slots beyond the last block with a
+// constant 1: a padding slot's blinded test value is
+// eps*(alpha*1 - beta), strictly positive before the flip
+// (BetaBits < AlphaBits), so padding always "passes" and the grant
+// test only has to offset the slot count.
+func (s *SDC) encryptInitialBudgets() error {
+	var err error
+	if s.codec != nil {
+		s.nPack, err = matrix.PackEncryptIntsWindow(s.random, s.group, s.codec, s.ePlain, 1, s.chanLo, s.chanHi, s.workers)
+	} else {
+		s.nEnc, err = matrix.EncryptIntsWindow(s.random, s.group, s.ePlain, s.chanLo, s.chanHi, s.workers)
+	}
+	if err != nil {
+		return fmt.Errorf("pisa: encrypt initial budgets: %w", err)
+	}
+	return nil
 }
 
 // newSDCBase performs every construction step except populating the
@@ -210,6 +243,13 @@ func newSDCBase(issuer string, params Params, transmitters []watch.TVTransmitter
 	}
 	for _, opt := range opts {
 		opt.apply(s)
+	}
+	if s.chanLo == 0 && s.chanHi == 0 {
+		s.chanHi = params.Watch.Channels
+	}
+	if s.chanLo < 0 || s.chanHi > params.Watch.Channels || s.chanLo >= s.chanHi {
+		return nil, fmt.Errorf("pisa: channel window [%d, %d) outside [0, %d)",
+			s.chanLo, s.chanHi, params.Watch.Channels)
 	}
 	// Worker goroutines and background refills share the randomness
 	// source; SharedReader serialises injected readers (crypto/rand is
@@ -282,6 +322,15 @@ func newSDCBase(issuer string, params Params, transmitters []watch.TVTransmitter
 // budget matrix in packed form (Params.Packing).
 func (s *SDC) Packed() bool { return s.codec != nil }
 
+// ChannelWindow reports the channel rows [lo, hi) this instance owns.
+func (s *SDC) ChannelWindow() (lo, hi int) { return s.chanLo, s.chanHi }
+
+// windowed reports whether this instance owns only a slice of the
+// channel rows (a shard), which bars the direct ProcessRequest path.
+func (s *SDC) windowed() bool {
+	return s.chanLo != 0 || s.chanHi != s.params.Watch.Channels
+}
+
 // convert routes one sign test to the STP: through the coalescing
 // batcher when armed, directly otherwise. A request drained out of the
 // batcher by Close (or racing Close's shutdown) falls back to its own
@@ -324,20 +373,36 @@ func (s *SDC) VerifyKey() *rsa.PublicKey { return s.signer.Public() }
 func (s *SDC) Planner() *watch.Planner { return s.public.Planner() }
 
 // EColumn returns the plaintext E column for a block — public data a
-// PU needs to form its offset update W = T - E.
+// PU needs to form its offset update W = T - E. The read takes the
+// same snapshot + column-version discipline as ProcessRequest: the
+// applied version is captured under the lock before and rechecked
+// after the column walk, and the walk retries if a concurrent rebuild
+// committed in between, so the column handed to watchctl is always
+// one consistent generation.
 func (s *SDC) EColumn(b geo.BlockID) ([]int64, error) {
 	if !s.params.Watch.Grid.Valid(b) {
 		return nil, fmt.Errorf("pisa: block %d invalid", b)
 	}
 	col := make([]int64, s.params.Watch.Channels)
-	for c := range col {
-		v, err := s.ePlain.At(c, int(b))
-		if err != nil {
-			return nil, err
+	for {
+		s.mu.Lock()
+		ver := s.colApplied[b]
+		s.mu.Unlock()
+		for c := range col {
+			v, err := s.ePlain.At(c, int(b))
+			if err != nil {
+				return nil, err
+			}
+			col[c] = v
 		}
-		col[c] = v
+		s.mu.Lock()
+		moved := s.colApplied[b] != ver
+		s.mu.Unlock()
+		if !moved {
+			return col, nil
+		}
+		metrics().colRetries.Inc()
 	}
-	return col, nil
 }
 
 // HandlePUUpdate ingests a channel-reception update (Figure 4 steps
@@ -459,7 +524,6 @@ func (s *SDC) rebuildColumn(b geo.BlockID) error {
 		return s.rebuildGroup(int(b) / s.codec.Slots())
 	}
 	m := metrics()
-	channels := s.params.Watch.Channels
 	for {
 		passStart := time.Now()
 		s.mu.Lock()
@@ -474,8 +538,11 @@ func (s *SDC) rebuildColumn(b geo.BlockID) error {
 		}
 		s.mu.Unlock()
 
-		col := make([]*paillier.Ciphertext, channels)
-		err := parallel.For(s.workers, channels, func(c int) error {
+		// Only the channel rows this instance owns are re-encrypted and
+		// folded — a shard's rebuild work is 1/N of the monolithic pass.
+		col := make([]*paillier.Ciphertext, s.chanHi-s.chanLo)
+		err := parallel.For(s.workers, len(col), func(j int) error {
+			c := s.chanLo + j
 			ev, err := s.ePlain.At(c, int(b))
 			if err != nil {
 				return err
@@ -490,7 +557,7 @@ func (s *SDC) rebuildColumn(b geo.BlockID) error {
 					return fmt.Errorf("pisa: fold update from %q: %w", u.PUID, err)
 				}
 			}
-			col[c] = acc
+			col[j] = acc
 			return nil
 		})
 		if err != nil {
@@ -507,8 +574,8 @@ func (s *SDC) rebuildColumn(b geo.BlockID) error {
 			m.colRetries.Inc()
 			continue
 		}
-		for c, ct := range col {
-			if err := s.nEnc.Set(c, int(b), ct); err != nil {
+		for j, ct := range col {
+			if err := s.nEnc.Set(s.chanLo+j, int(b), ct); err != nil {
 				s.mu.Unlock()
 				m.colRebuildErr.ObserveSince(passStart)
 				return err
@@ -533,7 +600,6 @@ func (s *SDC) rebuildColumn(b geo.BlockID) error {
 // The staleness check covers every block version in the group.
 func (s *SDC) rebuildGroup(g int) error {
 	m := metrics()
-	channels := s.params.Watch.Channels
 	k := s.codec.Slots()
 	lo, hi := g*k, (g+1)*k
 	if blocks := s.params.Watch.Grid.Blocks(); hi > blocks {
@@ -554,8 +620,9 @@ func (s *SDC) rebuildGroup(g int) error {
 		}
 		s.mu.Unlock()
 
-		col := make([]*paillier.Ciphertext, channels)
-		err := parallel.For(s.workers, channels, func(c int) error {
+		col := make([]*paillier.Ciphertext, s.chanHi-s.chanLo)
+		err := parallel.For(s.workers, len(col), func(j int) error {
+			c := s.chanLo + j
 			vals := make([]*big.Int, k)
 			for j := range vals {
 				if b := lo + j; b < hi {
@@ -581,7 +648,7 @@ func (s *SDC) rebuildGroup(g int) error {
 					return fmt.Errorf("pisa: fold update from %q: %w", u.PUID, err)
 				}
 			}
-			col[c] = acc
+			col[j] = acc
 			return nil
 		})
 		if err != nil {
@@ -603,8 +670,8 @@ func (s *SDC) rebuildGroup(g int) error {
 			m.colRetries.Inc()
 			continue
 		}
-		for c, ct := range col {
-			if err := s.nPack.SetGroup(c, g, ct); err != nil {
+		for j, ct := range col {
+			if err := s.nPack.SetGroup(s.chanLo+j, g, ct); err != nil {
 				s.mu.Unlock()
 				m.colRebuildErr.ObserveSince(passStart)
 				return err
@@ -721,6 +788,33 @@ func (s *SDC) PrecomputeCacheNonces(count int) error {
 	return s.cacheNonces.Fill(count)
 }
 
+// cacheCounters are the per-instance mirrors of the obs cache
+// counters, maintained lock-free next to each obs increment.
+type cacheCounters struct {
+	hits, misses, stale, expired, bypass, evicted atomic.Uint64
+}
+
+// CacheCounters is a point-in-time snapshot of one SDC instance's
+// decision-cache activity.
+type CacheCounters struct {
+	Hits, Misses, Stale, Expired, Bypass, Evicted uint64
+}
+
+// CacheStats returns this instance's decision-cache counters since
+// construction. Unlike the obs registry, which aggregates every SDC
+// in the process, these are per instance — a sharded sdcd reports one
+// shutdown-summary line per shard from them.
+func (s *SDC) CacheStats() CacheCounters {
+	return CacheCounters{
+		Hits:    s.cacheCtr.hits.Load(),
+		Misses:  s.cacheCtr.misses.Load(),
+		Stale:   s.cacheCtr.stale.Load(),
+		Expired: s.cacheCtr.expired.Load(),
+		Bypass:  s.cacheCtr.bypass.Load(),
+		Evicted: s.cacheCtr.evicted.Load(),
+	}
+}
+
 // CachedDecisions reports the live entry count of the encrypted
 // decision cache (0 when disabled).
 func (s *SDC) CachedDecisions() int {
@@ -745,6 +839,11 @@ func (s *SDC) CachedDecisions() int {
 // (pisa_sdc_request_stage_seconds; see metrics.go for the stage
 // vocabulary), which is how a live deployment sees the paper's §VI
 // per-stage budget instead of re-running a benchmark.
+//
+// A windowed instance (WithChannelWindow) refuses this path: its
+// partial sum covers only its own channel rows, so a license masked
+// with it would encode a window-local decision, not the whole-matrix
+// one. Shards serve ProcessShard; the router issues the license.
 func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err error) {
 	m := metrics()
 	m.requests.Inc()
@@ -755,11 +854,125 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 			m.requestErrors.Inc()
 		}
 	}()
+	if s.windowed() {
+		return nil, fmt.Errorf("pisa: shard owns channels [%d, %d) only; SU requests must go through the shard router",
+			s.chanLo, s.chanHi)
+	}
+	sumQ, slots, suKey, err := s.processCore(req)
+	if err != nil {
+		return nil, err
+	}
+	// Grant-condition offset: sum(Q) = sum(eps*X) - count, so sum(Q)
+	// decrypts to 0 exactly when every slot test passed.
+	sumQ, err = suKey.AddPlain(sumQ, big.NewInt(-slots))
+	if err != nil {
+		return nil, fmt.Errorf("pisa: offset Q sum: %w", err)
+	}
+
+	// Steps 10-11: sign the license, encrypt under the SU key, mask
+	// with eta (x) sum(Q~) (eq. 17).
+	stageStart := time.Now()
+	digest, err := req.Digest()
+	if err != nil {
+		return nil, err
+	}
+	now := s.now()
+	s.mu.Lock()
+	s.serial++
+	serial := s.serial
+	s.mu.Unlock()
+	lic := dsig.License{
+		SUID:          req.SUID,
+		Issuer:        s.issuer,
+		Serial:        serial,
+		IssuedUnix:    now.Unix(),
+		ExpiresUnix:   now.Add(s.licTTL).Unix(),
+		RequestDigest: digest,
+	}
+	resp, err = MaskedLicense(s.random, s.signer, suKey, &lic, sumQ, s.params.EtaBits)
+	if err != nil {
+		return nil, err
+	}
+	m.stage["license_mask"].ObserveSince(stageStart)
+	return resp, nil
+}
+
+// MaskedLicense performs Figure 5 steps 10-11 on an already-built
+// license: sign it, encrypt the signature under the SU key, and mask
+// with eta (x) sumQ (eq. 17), so the SU recovers the signature iff
+// sumQ decrypts to 0. sumQ must already carry the grant-condition
+// offset. Shared by the monolithic ProcessRequest and the shard
+// router, which masks the merged cross-shard sum with its own signer.
+func MaskedLicense(random io.Reader, signer *dsig.Signer, suKey *paillier.PublicKey,
+	lic *dsig.License, sumQ *paillier.Ciphertext, etaBits int) (*Response, error) {
+	sig, err := signer.Sign(lic)
+	if err != nil {
+		return nil, err
+	}
+	sigEnc, err := suKey.Encrypt(random, dsig.SignatureToInt(sig))
+	if err != nil {
+		return nil, fmt.Errorf("pisa: encrypt signature: %w", err)
+	}
+	etaLo := new(big.Int).Lsh(big.NewInt(1), uint(etaBits-1))
+	etaHi := new(big.Int).Lsh(big.NewInt(1), uint(etaBits))
+	eta, err := paillier.RandomInRange(random, etaLo, etaHi)
+	if err != nil {
+		return nil, err
+	}
+	mask, err := suKey.ScalarMul(eta, sumQ)
+	if err != nil {
+		return nil, fmt.Errorf("pisa: mask term: %w", err)
+	}
+	masked, err := suKey.Add(sigEnc, mask)
+	if err != nil {
+		return nil, fmt.Errorf("pisa: mask signature: %w", err)
+	}
+	return &Response{License: *lic, MaskedSig: masked}, nil
+}
+
+// ProcessShard executes the per-shard half of a sharded SU request
+// (DESIGN.md §15): the same snapshot/cache/aggregate/blind/STP/unblind
+// pipeline as ProcessRequest, restricted to the channel rows this
+// instance owns and stopping short of the grant offset and the
+// license. The answer carries the shard's partial sum(eps*X) under the
+// SU key plus the number of slot tests folded in; eq. 17's sum is
+// linear in the per-channel terms, so the router composes the partials
+// with plain Paillier addition and issues the single masked license.
+// No serial is consumed and nothing is issued, so a retried or
+// failed-over call is idempotent. Callable on a monolithic instance
+// too, where the window covers every row.
+func (s *SDC) ProcessShard(req *TransmissionRequest) (ans *ShardAnswer, err error) {
+	m := metrics()
+	m.requests.Inc()
+	start := time.Now()
+	defer func() {
+		m.stage["total"].ObserveSince(start)
+		if err != nil {
+			m.requestErrors.Inc()
+		}
+	}()
+	sumQ, slots, _, err := s.processCore(req)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardAnswer{SumQ: sumQ, Slots: slots}, nil
+}
+
+// processCore runs Figure 5 steps 3-9 over the channel rows this
+// instance owns: validation, budget snapshot + cache lookup,
+// aggregation (eqs. 11-12), blinding (eq. 14), the STP sign test, and
+// the eps unblinding fold (eq. 16) — everything up to, but not
+// including, the grant-condition offset. It returns the partial
+// sum(eps*X) under the SU key and the number of slot tests folded in;
+// slots == 0 with a nil sum when no populated request cell falls
+// inside the window (the request was sliced for a different shard).
+func (s *SDC) processCore(req *TransmissionRequest) (sumQ *paillier.Ciphertext, slots int64, suKey *paillier.PublicKey, err error) {
+	m := metrics()
 	if req == nil || (req.F == nil && req.FP == nil) {
-		return nil, fmt.Errorf("pisa: nil request")
+		return nil, 0, nil, fmt.Errorf("pisa: nil request")
 	}
 	if req.SUID == "" {
-		return nil, fmt.Errorf("pisa: request missing SU id")
+		return nil, 0, nil, fmt.Errorf("pisa: request missing SU id")
 	}
 	w := s.params.Watch
 	if s.codec != nil {
@@ -767,39 +980,39 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 		// same slot geometry (mode is a deployment parameter; the
 		// -packing flag must agree on both sides).
 		if req.FP == nil {
-			return nil, fmt.Errorf("pisa: packed deployment requires a packed request")
+			return nil, 0, nil, fmt.Errorf("pisa: packed deployment requires a packed request")
 		}
 		if req.FP.Channels() != w.Channels || req.FP.Blocks() != w.Grid.Blocks() {
-			return nil, fmt.Errorf("pisa: request matrix %dx%d, want %dx%d",
+			return nil, 0, nil, fmt.Errorf("pisa: request matrix %dx%d, want %dx%d",
 				req.FP.Channels(), req.FP.Blocks(), w.Channels, w.Grid.Blocks())
 		}
 		if !req.FP.Codec().Equal(s.codec) {
-			return nil, fmt.Errorf("pisa: request slot codec does not match the deployment")
+			return nil, 0, nil, fmt.Errorf("pisa: request slot codec does not match the deployment")
 		}
 		if !req.FP.Key().Equal(s.group) {
-			return nil, fmt.Errorf("pisa: request not encrypted under the group key")
+			return nil, 0, nil, fmt.Errorf("pisa: request not encrypted under the group key")
 		}
 		if req.FP.Populated() == 0 {
-			return nil, fmt.Errorf("pisa: request matrix is empty")
+			return nil, 0, nil, fmt.Errorf("pisa: request matrix is empty")
 		}
 	} else {
 		if req.F == nil {
-			return nil, fmt.Errorf("pisa: unpacked deployment cannot process a packed request")
+			return nil, 0, nil, fmt.Errorf("pisa: unpacked deployment cannot process a packed request")
 		}
 		if req.F.Channels() != w.Channels || req.F.Blocks() != w.Grid.Blocks() {
-			return nil, fmt.Errorf("pisa: request matrix %dx%d, want %dx%d",
+			return nil, 0, nil, fmt.Errorf("pisa: request matrix %dx%d, want %dx%d",
 				req.F.Channels(), req.F.Blocks(), w.Channels, w.Grid.Blocks())
 		}
 		if !req.F.Key().Equal(s.group) {
-			return nil, fmt.Errorf("pisa: request not encrypted under the group key")
+			return nil, 0, nil, fmt.Errorf("pisa: request not encrypted under the group key")
 		}
 		if req.F.Populated() == 0 {
-			return nil, fmt.Errorf("pisa: request matrix is empty")
+			return nil, 0, nil, fmt.Errorf("pisa: request matrix is empty")
 		}
 	}
-	suKey, err := s.stp.SUKey(req.SUID)
+	suKey, err = s.stp.SUKey(req.SUID)
 	if err != nil {
-		return nil, err
+		return nil, 0, nil, err
 	}
 
 	// Snapshot phase (the only part under s.mu): collect the budget
@@ -816,7 +1029,7 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 		s.blindErrPending = false
 		err := s.blindErr
 		s.mu.Unlock()
-		return nil, fmt.Errorf("pisa: background blinding refill: %w", err)
+		return nil, 0, nil, fmt.Errorf("pisa: background blinding refill: %w", err)
 	}
 	cells := make([]requestCell, 0, req.Ciphertexts())
 	take := func(c, b int, f, n *paillier.Ciphertext) {
@@ -828,8 +1041,14 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 		}
 		cells = append(cells, cell)
 	}
+	// Request cells outside the owned window are someone else's rows:
+	// a full (unsliced) request to a shard simply contributes nothing
+	// from them, which is what makes full fan-out broadcasts correct.
 	if s.codec != nil {
 		err = req.FP.ForEachGroup(func(c, g int, f *paillier.Ciphertext) error {
+			if c < s.chanLo || c >= s.chanHi {
+				return nil
+			}
 			n, err := s.nPack.GroupAt(c, g)
 			if err != nil {
 				return err
@@ -839,6 +1058,9 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 		})
 	} else {
 		err = req.F.ForEach(func(c, b int, f *paillier.Ciphertext) error {
+			if c < s.chanLo || c >= s.chanHi {
+				return nil
+			}
 			n, err := s.nEnc.At(c, b)
 			if err != nil {
 				return err
@@ -857,10 +1079,11 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 		cacheHit *cacheEntry
 		cachePut *cacheEntry
 	)
-	if err == nil && s.cache != nil {
+	if err == nil && s.cache != nil && len(cells) > 0 {
 		switch {
 		case req.ShapeDigest == [32]byte{}:
 			m.cacheBypass.Inc()
+			s.cacheCtr.bypass.Add(1)
 		default:
 			key := s.cacheKeyFor(req.SUID, req.ShapeDigest)
 			blocks, vers := s.footprintVersLocked(cells)
@@ -872,12 +1095,15 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 				case expired:
 					s.cache.remove(key)
 					m.cacheExpired.Inc()
+					s.cacheCtr.expired.Add(1)
 				default:
 					s.cache.remove(key)
 					m.cacheStale.Inc()
+					s.cacheCtr.stale.Add(1)
 				}
 			} else {
 				m.cacheMisses.Inc()
+				s.cacheCtr.misses.Add(1)
 			}
 			if cacheHit == nil {
 				coords := make([]cellCoord, len(cells))
@@ -900,9 +1126,15 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 	m.blindDepth.Set(int64(len(s.blindPool)))
 	s.mu.Unlock()
 	if err != nil {
-		return nil, err
+		return nil, 0, nil, err
 	}
 	m.stage["snapshot"].ObserveSince(stageStart)
+	if len(cells) == 0 {
+		// Every populated cell belongs to another shard's window:
+		// nothing to aggregate, no STP round trip. The router treats a
+		// nil partial as the additive identity.
+		return nil, 0, suKey, nil
+	}
 
 	// Steps 3-4: R~ = X (x) F~, I~ = N~ (-) R~ (eqs. 11-12) — the
 	// budget aggregation. A cache hit replaces the recompute with one
@@ -913,9 +1145,10 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 	var is []*paillier.Ciphertext
 	if cacheHit != nil {
 		if is, err = s.cacheNonces.RerandomizeBatch(cacheHit.is); err != nil {
-			return nil, fmt.Errorf("pisa: re-randomise cached aggregate: %w", err)
+			return nil, 0, nil, fmt.Errorf("pisa: re-randomise cached aggregate: %w", err)
 		}
 		m.cacheHits.Inc()
+		s.cacheCtr.hits.Add(1)
 		m.cacheAggHit.ObserveSince(stageStart)
 	} else {
 		deltaX := big.NewInt(w.DeltaInt)
@@ -934,7 +1167,7 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, 0, nil, err
 		}
 		if cachePut != nil {
 			// The cached copy is the freshly computed column; the hit
@@ -951,6 +1184,7 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 			s.mu.Unlock()
 			for ; evicted > 0; evicted-- {
 				m.cacheEvicts.Inc()
+				s.cacheCtr.evicted.Add(1)
 			}
 		}
 		if cachePut != nil {
@@ -986,7 +1220,7 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, nil, err
 	}
 	m.stage["blind"].ObserveSince(stageStart)
 
@@ -1002,20 +1236,21 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 	}
 	signResp, err := s.convert(signReq)
 	if err != nil {
-		return nil, fmt.Errorf("pisa: STP conversion: %w", err)
+		return nil, 0, nil, fmt.Errorf("pisa: STP conversion: %w", err)
 	}
 	if len(signResp.X) != len(cells) {
-		return nil, fmt.Errorf("pisa: STP returned %d signs, want %d", len(signResp.X), len(cells))
+		return nil, 0, nil, fmt.Errorf("pisa: STP returned %d signs, want %d", len(signResp.X), len(cells))
 	}
 	m.stage["stp_convert"].ObserveSince(stageStart)
 
-	// Step 9: Q~ = eps (x) X~ (-) 1~ under the SU key (eq. 16).
-	// The epsilon scalar-muls are independent and fan out; the final
-	// sum is a cheap modular-multiplication fold (commutative, so the
-	// fold order cannot change the result): sum(Q) = sum(eps*X) - count.
-	// In packed mode every element carries k slot tests (padding slots
-	// always pass), so the count is cells x slots and the grant
-	// condition sum(Q) == 0 is unchanged.
+	// Step 9's unblinding half: Q~ = eps (x) X~ under the SU key
+	// (eq. 16, offset deferred to the caller). The epsilon scalar-muls
+	// are independent and fan out; the final sum is a cheap
+	// modular-multiplication fold (commutative, so the fold order
+	// cannot change the result). In packed mode every element carries
+	// k slot tests (padding slots always pass), so the count handed
+	// back is cells x slots and the grant condition sum(Q) == 0 is
+	// unchanged.
 	stageStart = time.Now()
 	unblinded := make([]*paillier.Ciphertext, len(cells))
 	err = parallel.For(s.workers, len(cells), func(k int) error {
@@ -1027,72 +1262,23 @@ func (s *SDC) ProcessRequest(req *TransmissionRequest) (resp *Response, err erro
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, nil, err
 	}
-	var sumQ *paillier.Ciphertext
 	for _, u := range unblinded {
 		if sumQ == nil {
 			sumQ = u
 			continue
 		}
 		if sumQ, err = suKey.Add(sumQ, u); err != nil {
-			return nil, fmt.Errorf("pisa: accumulate Q: %w", err)
+			return nil, 0, nil, fmt.Errorf("pisa: accumulate Q: %w", err)
 		}
 	}
 	slotsPer := 1
 	if s.codec != nil {
 		slotsPer = s.codec.Slots()
 	}
-	sumQ, err = suKey.AddPlain(sumQ, big.NewInt(-int64(len(cells)*slotsPer)))
-	if err != nil {
-		return nil, fmt.Errorf("pisa: offset Q sum: %w", err)
-	}
 	m.stage["unblind"].ObserveSince(stageStart)
-
-	// Steps 10-11: sign the license, encrypt under the SU key, mask
-	// with eta (x) sum(Q~) (eq. 17).
-	stageStart = time.Now()
-	digest, err := req.Digest()
-	if err != nil {
-		return nil, err
-	}
-	now := s.now()
-	s.mu.Lock()
-	s.serial++
-	serial := s.serial
-	s.mu.Unlock()
-	lic := dsig.License{
-		SUID:          req.SUID,
-		Issuer:        s.issuer,
-		Serial:        serial,
-		IssuedUnix:    now.Unix(),
-		ExpiresUnix:   now.Add(s.licTTL).Unix(),
-		RequestDigest: digest,
-	}
-	sig, err := s.signer.Sign(&lic)
-	if err != nil {
-		return nil, err
-	}
-	sigEnc, err := suKey.Encrypt(s.random, dsig.SignatureToInt(sig))
-	if err != nil {
-		return nil, fmt.Errorf("pisa: encrypt signature: %w", err)
-	}
-	etaLo := new(big.Int).Lsh(big.NewInt(1), uint(s.params.EtaBits-1))
-	etaHi := new(big.Int).Lsh(big.NewInt(1), uint(s.params.EtaBits))
-	eta, err := paillier.RandomInRange(s.random, etaLo, etaHi)
-	if err != nil {
-		return nil, err
-	}
-	mask, err := suKey.ScalarMul(eta, sumQ)
-	if err != nil {
-		return nil, fmt.Errorf("pisa: mask term: %w", err)
-	}
-	masked, err := suKey.Add(sigEnc, mask)
-	if err != nil {
-		return nil, fmt.Errorf("pisa: mask signature: %w", err)
-	}
-	m.stage["license_mask"].ObserveSince(stageStart)
-	return &Response{License: lic, MaskedSig: masked}, nil
+	return sumQ, int64(len(cells) * slotsPer), suKey, nil
 }
 
 // newBlindFactors draws one (alpha, E(beta), epsilon) tuple — a

@@ -1,0 +1,430 @@
+// Package shard implements channel-sharding of the SDC (DESIGN.md
+// §15): the C×B encrypted budget matrix is partitioned into N
+// contiguous channel windows, each owned by an independent SDC
+// instance (pisa.WithChannelWindow) with its own WAL, decision cache
+// and STP batcher, and a thin Router fans each SU request out to every
+// shard, then merges the per-shard partial sums homomorphically before
+// the single license mask (eq. 17).
+//
+// Channel-partitioning is privacy-neutral: every shard still sees
+// every block of the request and every PU update ciphertext, exactly
+// the view the monolithic SDC has — unlike block-partitioning, which
+// would hand each shard a location-correlated subset. And because
+// eq. 17's masked-license exponent is linear in the per-(channel,
+// block) terms, the per-shard sums compose with plain Paillier
+// addition under the SU's key; no shard ever holds a decryptable
+// decision, and only the router signs licenses.
+package shard
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+	"time"
+
+	"pisa/internal/dsig"
+	"pisa/internal/geo"
+	"pisa/internal/paillier"
+	"pisa/internal/parallel"
+	"pisa/internal/pisa"
+	"pisa/internal/watch"
+)
+
+// Service is the per-shard surface the Router fans out to. A local
+// *pisa.SDC satisfies it directly; a remote shard is reached through
+// node.SDCClient (which adds pooling, retries and replica failover).
+type Service interface {
+	ProcessShard(*pisa.TransmissionRequest) (*pisa.ShardAnswer, error)
+	HandlePUUpdate(*pisa.PUUpdate) error
+}
+
+// Windows partitions C channels into n contiguous near-equal windows
+// [lo, hi); the first channels%n windows are one channel larger. Shard
+// i of an N-shard deployment owns Windows(C, N)[i] — the router and
+// the shard constructors must agree on this assignment.
+func Windows(channels, n int) ([][2]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	if n > channels {
+		return nil, fmt.Errorf("shard: %d shards exceed %d channels", n, channels)
+	}
+	out := make([][2]int, n)
+	base, rem := channels/n, channels%n
+	lo := 0
+	for i := range out {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = [2]int{lo, lo + size}
+		lo += size
+	}
+	return out, nil
+}
+
+// Router fans SU requests out to the shards and owns everything the
+// shards gave up: the license signing key, the serial counter, and the
+// merged grant decision. It satisfies pisa.SDCService, so sessions,
+// node.SDCServer and the benches drive it exactly like a monolithic
+// SDC.
+type Router struct {
+	params  pisa.Params
+	issuer  string
+	stp     pisa.STPService
+	public  *watch.System
+	signer  *dsig.Signer
+	random  io.Reader
+	now     func() time.Time
+	licTTL  time.Duration
+	shards  []Service
+	windows [][2]int
+	// serialFanout runs the per-shard calls sequentially instead of on
+	// goroutines. On a host with fewer cores than shards the parallel
+	// calls time-slice against each other, which inflates every
+	// per-shard latency reading; the benches use the serial mode to
+	// measure uncontended per-shard time (see bench.MeasureShards).
+	serialFanout bool
+
+	mu     sync.Mutex
+	serial uint64
+	stats  Stats
+}
+
+// Stats are the router's cumulative counters, one struct per Router
+// (the obs registry aggregates process-wide). Stage fields are summed
+// nanoseconds; divide by Requests for means. ShardNs[i] sums shard
+// i's ProcessShard latency as seen by the router (queueing, transport
+// and failover included for remote shards).
+type Stats struct {
+	Requests  uint64
+	Errors    uint64
+	Updates   uint64
+	FanoutNs  int64
+	MergeNs   int64
+	LicenseNs int64
+	ShardNs   []int64
+}
+
+// RouterOption customises Router construction.
+type RouterOption interface {
+	apply(*Router)
+}
+
+type routerOptionFunc func(*Router)
+
+func (f routerOptionFunc) apply(r *Router) { f(r) }
+
+// WithRouterClock injects a deterministic time source (tests).
+func WithRouterClock(now func() time.Time) RouterOption {
+	return routerOptionFunc(func(r *Router) { r.now = now })
+}
+
+// WithRouterRandom injects the randomness source (default crypto/rand).
+func WithRouterRandom(rd io.Reader) RouterOption {
+	return routerOptionFunc(func(r *Router) { r.random = rd })
+}
+
+// WithRouterLicenseTTL sets the license validity window (default 24h).
+func WithRouterLicenseTTL(ttl time.Duration) RouterOption {
+	return routerOptionFunc(func(r *Router) { r.licTTL = ttl })
+}
+
+// WithSerialFanout issues the per-shard calls one at a time. Benches
+// use it on few-core hosts so per-shard timings are uncontended; a
+// real deployment with one host per shard keeps the parallel default.
+func WithSerialFanout() RouterOption {
+	return routerOptionFunc(func(r *Router) { r.serialFanout = true })
+}
+
+// NewRouter builds a router over the given shards. Shard i must own
+// the channel window Windows(C, len(shards))[i] — the router slices
+// each request along those windows and a mismatched shard would
+// silently contribute nothing. The router generates its own license
+// signing key: in a sharded deployment the router is the issuer, and
+// the shards' signers go unused.
+func NewRouter(issuer string, params pisa.Params, transmitters []watch.TVTransmitter, stp pisa.STPService, shards []Service, opts ...RouterOption) (*Router, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if stp == nil {
+		return nil, fmt.Errorf("shard: router requires an STP service")
+	}
+	for i, sh := range shards {
+		if sh == nil {
+			return nil, fmt.Errorf("shard: shard %d is nil", i)
+		}
+	}
+	windows, err := Windows(params.Watch.Channels, len(shards))
+	if err != nil {
+		return nil, err
+	}
+	public, err := watch.NewSystem(params.Watch, transmitters)
+	if err != nil {
+		return nil, fmt.Errorf("shard: public precomputation: %w", err)
+	}
+	r := &Router{
+		params:  params,
+		issuer:  issuer,
+		stp:     stp,
+		public:  public,
+		random:  rand.Reader,
+		now:     time.Now,
+		licTTL:  24 * time.Hour,
+		shards:  shards,
+		windows: windows,
+	}
+	for _, opt := range opts {
+		opt.apply(r)
+	}
+	// Concurrent ProcessRequest calls share the randomness source.
+	r.random = paillier.SharedReader(r.random)
+	if r.signer, err = dsig.NewSigner(r.random, params.SignerBits); err != nil {
+		return nil, err
+	}
+	r.stats.ShardNs = make([]int64, len(shards))
+	return r, nil
+}
+
+// Shards reports the fan-out width.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Window reports the channel window [lo, hi) assigned to shard i.
+func (r *Router) Window(i int) (lo, hi int) { return r.windows[i][0], r.windows[i][1] }
+
+// VerifyKey returns the public key SUs use to check license
+// signatures — the router's own, since only the router signs.
+func (r *Router) VerifyKey() *rsa.PublicKey { return r.signer.Public() }
+
+// Planner returns the public-data planner for request building.
+func (r *Router) Planner() *watch.Planner { return r.public.Planner() }
+
+// EColumn serves the plaintext E column for a block from the router's
+// own public-data precomputation — no shard round trip; E is public
+// and immutable.
+func (r *Router) EColumn(b geo.BlockID) ([]int64, error) {
+	if !r.params.Watch.Grid.Valid(b) {
+		return nil, fmt.Errorf("shard: block %d invalid", b)
+	}
+	e := r.public.EMatrix()
+	col := make([]int64, r.params.Watch.Channels)
+	for c := range col {
+		v, err := e.At(c, int(b))
+		if err != nil {
+			return nil, err
+		}
+		col[c] = v
+	}
+	return col, nil
+}
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.stats
+	out.ShardNs = append([]int64(nil), r.stats.ShardNs...)
+	return out
+}
+
+// sliceFor returns req restricted to shard i's channel window: same
+// coordinates and dimensions, only the window rows populated, shared
+// ciphertext pointers (matrix channel-slice views). For a remote shard
+// this is what crosses the wire — 1/N of the request bytes.
+func (r *Router) sliceFor(req *pisa.TransmissionRequest, i int) (*pisa.TransmissionRequest, error) {
+	w := r.windows[i]
+	sub := *req
+	if req.FP != nil {
+		fp, err := req.FP.ChannelSlice(w[0], w[1])
+		if err != nil {
+			return nil, err
+		}
+		sub.FP = fp
+	} else {
+		f, err := req.F.ChannelSlice(w[0], w[1])
+		if err != nil {
+			return nil, err
+		}
+		sub.F = f
+	}
+	return &sub, nil
+}
+
+// ProcessRequest executes one SU request across the shards: slice the
+// request along the channel windows, fan the slices out (ProcessShard
+// on every shard), merge the partial sums additively under the SU's
+// key, fold in the grant-condition offset, and issue the single
+// eta-masked license (eq. 17). Decision parity with a monolithic SDC
+// is exact: the windows partition the channel rows, so the merged sum
+// ranges over precisely the same (channel, block) terms.
+func (r *Router) ProcessRequest(req *pisa.TransmissionRequest) (resp *pisa.Response, err error) {
+	m := routerMetrics()
+	m.requests.Inc()
+	start := time.Now()
+	defer func() {
+		m.stage["total"].ObserveSince(start)
+		r.mu.Lock()
+		r.stats.Requests++
+		if err != nil {
+			r.stats.Errors++
+		}
+		r.mu.Unlock()
+		if err != nil {
+			m.requestErrors.Inc()
+		}
+	}()
+	if req == nil {
+		return nil, fmt.Errorf("shard: nil request")
+	}
+	if req.SUID == "" {
+		return nil, fmt.Errorf("shard: request missing SU id")
+	}
+	// The license digest binds the ORIGINAL request — the slices are a
+	// routing artifact the SU never sees. Digest also rejects a request
+	// with neither or both matrix layouts before any shard is touched.
+	digest, err := req.Digest()
+	if err != nil {
+		return nil, err
+	}
+	suKey, err := r.stp.SUKey(req.SUID)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fan-out: each shard runs its slice through the full per-shard
+	// pipeline (snapshot, cache, aggregate, blind, STP, unblind).
+	stageStart := time.Now()
+	n := len(r.shards)
+	answers := make([]*pisa.ShardAnswer, n)
+	shardNs := make([]int64, n)
+	errs := make([]error, n)
+	workers := n
+	if r.serialFanout {
+		workers = 1
+	}
+	_ = parallel.For(workers, n, func(i int) error {
+		sub, err := r.sliceFor(req, i)
+		if err != nil {
+			errs[i] = err
+			return nil
+		}
+		if sub.Ciphertexts() == 0 {
+			// Nothing of the request falls in this shard's window; the
+			// additive identity needs no round trip.
+			answers[i] = &pisa.ShardAnswer{}
+			return nil
+		}
+		t0 := time.Now()
+		answers[i], errs[i] = r.shards[i].ProcessShard(sub)
+		shardNs[i] = time.Since(t0).Nanoseconds()
+		m.shardCall(i).ObserveSince(t0)
+		return nil
+	})
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, e)
+		}
+	}
+	m.stage["fanout"].ObserveSince(stageStart)
+	fanoutNs := time.Since(stageStart).Nanoseconds()
+
+	// Merge: sum(Q) = Σ_i sum_i(eps*X) - Σ_i slots_i under the SU key.
+	stageStart = time.Now()
+	var sumQ *paillier.Ciphertext
+	var slots int64
+	for i, ans := range answers {
+		if ans == nil {
+			return nil, fmt.Errorf("shard %d: nil answer", i)
+		}
+		if ans.SumQ == nil {
+			continue
+		}
+		slots += ans.Slots
+		if sumQ == nil {
+			sumQ = ans.SumQ
+			continue
+		}
+		if sumQ, err = suKey.Add(sumQ, ans.SumQ); err != nil {
+			return nil, fmt.Errorf("shard: merge partial %d: %w", i, err)
+		}
+	}
+	if sumQ == nil {
+		return nil, fmt.Errorf("shard: request matrix is empty")
+	}
+	if sumQ, err = suKey.AddPlain(sumQ, big.NewInt(-slots)); err != nil {
+		return nil, fmt.Errorf("shard: offset Q sum: %w", err)
+	}
+	m.stage["merge"].ObserveSince(stageStart)
+	mergeNs := time.Since(stageStart).Nanoseconds()
+
+	// License tail — identical to the monolithic SDC's, with the
+	// router's signer and serial.
+	stageStart = time.Now()
+	now := r.now()
+	r.mu.Lock()
+	r.serial++
+	serial := r.serial
+	r.mu.Unlock()
+	lic := dsig.License{
+		SUID:          req.SUID,
+		Issuer:        r.issuer,
+		Serial:        serial,
+		IssuedUnix:    now.Unix(),
+		ExpiresUnix:   now.Add(r.licTTL).Unix(),
+		RequestDigest: digest,
+	}
+	resp, err = pisa.MaskedLicense(r.random, r.signer, suKey, &lic, sumQ, r.params.EtaBits)
+	if err != nil {
+		return nil, err
+	}
+	m.stage["license"].ObserveSince(stageStart)
+	r.mu.Lock()
+	r.stats.FanoutNs += fanoutNs
+	r.stats.MergeNs += mergeNs
+	r.stats.LicenseNs += time.Since(stageStart).Nanoseconds()
+	for i, ns := range shardNs {
+		r.stats.ShardNs[i] += ns
+	}
+	r.mu.Unlock()
+	return resp, nil
+}
+
+// HandlePUUpdate broadcasts a PU update to every shard. The update's
+// active channel is inside its ciphertexts, so routing to "the owning
+// shard" is impossible without decrypting — and would leak the channel
+// to the router if it weren't. Broadcasting keeps the privacy
+// argument unchanged (each shard sees exactly what the monolithic SDC
+// saw) while the rebuild work still partitions: each shard re-encrypts
+// and folds only its own window rows, 1/N of the monolithic pass. On
+// a shard error the PU re-sends; updates are idempotent, so shards
+// that already applied it converge.
+func (r *Router) HandlePUUpdate(u *pisa.PUUpdate) error {
+	m := routerMetrics()
+	r.mu.Lock()
+	r.stats.Updates++
+	r.mu.Unlock()
+	start := time.Now()
+	defer m.stage["update"].ObserveSince(start)
+	n := len(r.shards)
+	errs := make([]error, n)
+	workers := n
+	if r.serialFanout {
+		workers = 1
+	}
+	_ = parallel.For(workers, n, func(i int) error {
+		errs[i] = r.shards[i].HandlePUUpdate(u)
+		return nil
+	})
+	for i, e := range errs {
+		if e != nil {
+			m.updateErrors.Inc()
+			return fmt.Errorf("shard %d: %w", i, e)
+		}
+	}
+	return nil
+}
+
+var _ pisa.SDCService = (*Router)(nil)

@@ -1,0 +1,307 @@
+package shard_test
+
+import (
+	"crypto/rand"
+	"strings"
+	"testing"
+
+	"pisa/internal/geo"
+	"pisa/internal/pisa"
+	"pisa/internal/pisa/shard"
+	"pisa/internal/propagation"
+	"pisa/internal/watch"
+)
+
+// testWatchParams mirrors the pisa package's tiny deployment: 5x4
+// grid of 10 m blocks, 3 channels.
+func testWatchParams(t *testing.T) watch.Params {
+	t.Helper()
+	g, err := geo.NewGrid(5, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return watch.Params{
+		Channels:    3,
+		Grid:        g,
+		UnitsPerMW:  1e9,
+		SUMaxEIRPmW: 4000,
+		SMinPUmW:    1e-5,
+		DeltaInt:    32,
+		Secondary:   propagation.LogDistance{RefLossDB: 40, Exponent: 3.5},
+		WorstCase:   propagation.LogDistance{RefLossDB: 60, Exponent: 4},
+	}
+}
+
+func TestWindows(t *testing.T) {
+	cases := []struct {
+		channels, n int
+		want        [][2]int
+	}{
+		{10, 3, [][2]int{{0, 4}, {4, 7}, {7, 10}}},
+		{3, 3, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{8, 1, [][2]int{{0, 8}}},
+		{7, 2, [][2]int{{0, 4}, {4, 7}}},
+	}
+	for _, tc := range cases {
+		got, err := shard.Windows(tc.channels, tc.n)
+		if err != nil {
+			t.Fatalf("Windows(%d, %d): %v", tc.channels, tc.n, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("Windows(%d, %d) = %v, want %v", tc.channels, tc.n, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Windows(%d, %d)[%d] = %v, want %v", tc.channels, tc.n, i, got[i], tc.want[i])
+			}
+		}
+	}
+	if _, err := shard.Windows(3, 0); err == nil {
+		t.Error("Windows(3, 0) accepted")
+	}
+	if _, err := shard.Windows(3, 4); err == nil {
+		t.Error("Windows(3, 4) accepted")
+	}
+}
+
+// shardedWorld is one monolithic SDC, an N-shard router over windowed
+// SDCs sharing the same STP, and the plaintext oracle both must agree
+// with.
+type shardedWorld struct {
+	params pisa.Params
+	stp    *pisa.STP
+	mono   *pisa.SDC
+	router *shard.Router
+	oracle *watch.System
+}
+
+func newShardedWorld(t *testing.T, packed bool, n int) *shardedWorld {
+	t.Helper()
+	wp := testWatchParams(t)
+	params := pisa.TestParams(wp)
+	params.Packing = packed
+	stp, err := pisa.NewSTP(rand.Reader, params.PaillierBits)
+	if err != nil {
+		t.Fatalf("NewSTP: %v", err)
+	}
+	mono, err := pisa.NewSDC("mono", params, nil, stp)
+	if err != nil {
+		t.Fatalf("NewSDC: %v", err)
+	}
+	windows, err := shard.Windows(wp.Channels, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	services := make([]shard.Service, n)
+	for i, w := range windows {
+		s, err := pisa.NewSDC("shard", params, nil, stp, pisa.WithChannelWindow(w[0], w[1]))
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		t.Cleanup(s.Close)
+		services[i] = s
+	}
+	router, err := shard.NewRouter("router", params, nil, stp, services)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	oracle, err := watch.NewSystem(wp, nil)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	t.Cleanup(mono.Close)
+	return &shardedWorld{params: params, stp: stp, mono: mono, router: router, oracle: oracle}
+}
+
+// ask runs one request through the monolithic SDC, the sharded
+// router, and the plaintext oracle, asserts three-way decision
+// parity, and returns the decision.
+func (w *shardedWorld) ask(t *testing.T, su *pisa.SU, eirp map[int]int64, block geo.BlockID) bool {
+	t.Helper()
+	req, err := su.PrepareRequest(eirp, geo.Disclosure{})
+	if err != nil {
+		t.Fatalf("PrepareRequest: %v", err)
+	}
+	monoResp, err := w.mono.ProcessRequest(req)
+	if err != nil {
+		t.Fatalf("monolithic ProcessRequest: %v", err)
+	}
+	monoGrant, err := su.OpenResponse(monoResp, req, w.mono.VerifyKey())
+	if err != nil {
+		t.Fatalf("open monolithic response: %v", err)
+	}
+	shardResp, err := w.router.ProcessRequest(req)
+	if err != nil {
+		t.Fatalf("router ProcessRequest: %v", err)
+	}
+	shardGrant, err := su.OpenResponse(shardResp, req, w.router.VerifyKey())
+	if err != nil {
+		t.Fatalf("open sharded response: %v", err)
+	}
+	if shardGrant.Granted != monoGrant.Granted {
+		t.Fatalf("sharded decision %v, monolithic %v", shardGrant.Granted, monoGrant.Granted)
+	}
+	if shardGrant.Granted && len(shardGrant.Signature) == 0 {
+		t.Fatal("sharded grant recovered no signature")
+	}
+	if !shardGrant.Granted && shardGrant.Signature != nil {
+		t.Fatal("sharded denial recovered a signature")
+	}
+	dec, err := w.oracle.Evaluate(watch.Request{Block: block, EIRPUnits: eirp})
+	if err != nil {
+		t.Fatalf("oracle Evaluate: %v", err)
+	}
+	if dec.Granted != shardGrant.Granted {
+		t.Fatalf("oracle decision %v, sharded %v", dec.Granted, shardGrant.Granted)
+	}
+	return shardGrant.Granted
+}
+
+// tune pushes one PU update through the monolithic SDC, the router
+// broadcast, and the oracle.
+func (w *shardedWorld) tune(t *testing.T, pu *pisa.PU, channel int, signal int64) {
+	t.Helper()
+	u, err := pu.Tune(channel, signal)
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	if err := w.mono.HandlePUUpdate(u); err != nil {
+		t.Fatalf("monolithic HandlePUUpdate: %v", err)
+	}
+	if err := w.router.HandlePUUpdate(u); err != nil {
+		t.Fatalf("router HandlePUUpdate: %v", err)
+	}
+	if err := w.oracle.UpdatePU(pu.ID(), watch.Registration{
+		Block: pu.Block(), Channel: channel, SignalUnits: signal,
+	}); err != nil {
+		t.Fatalf("oracle UpdatePU: %v", err)
+	}
+}
+
+// TestShardedParity runs the PU lifecycle against sharded and
+// monolithic deployments in both matrix layouts and asserts every
+// decision matches the watch oracle.
+func TestShardedParity(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		packed bool
+		shards int
+	}{
+		{"unpacked/3", false, 3},
+		{"packed/3", true, 3},
+		{"packed/2", true, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := newShardedWorld(t, tc.packed, tc.shards)
+			su, err := pisa.NewSU(rand.Reader, "su-1", 7, w.params, w.router.Planner(), w.stp.GroupKey())
+			if err != nil {
+				t.Fatalf("NewSU: %v", err)
+			}
+			if err := w.stp.RegisterSU(su.ID(), su.PublicKey()); err != nil {
+				t.Fatalf("RegisterSU: %v", err)
+			}
+			eirp := map[int]int64{1: w.params.Watch.Quantize(w.params.Watch.SUMaxEIRPmW)}
+			if !w.ask(t, su, eirp, 7) {
+				t.Fatal("denied before any PU is active")
+			}
+
+			// Activate a PU next door; the max-power request must flip
+			// to denial in all three worlds.
+			eCol, err := w.router.EColumn(8)
+			if err != nil {
+				t.Fatalf("EColumn: %v", err)
+			}
+			pu, err := pisa.NewPU(rand.Reader, "tv-1", 8, eCol, w.stp.GroupKey())
+			if err != nil {
+				t.Fatalf("NewPU: %v", err)
+			}
+			w.tune(t, pu, 1, w.params.Watch.Quantize(w.params.Watch.SMinPUmW))
+			if w.ask(t, su, eirp, 7) {
+				t.Fatal("granted next to a weak active PU")
+			}
+
+			// A different channel is unaffected by the PU.
+			if !w.ask(t, su, map[int]int64{0: eirp[1]}, 7) {
+				t.Fatal("denied on a channel with no PU")
+			}
+
+			// Re-asking the denied shape exercises the per-shard cache
+			// hit path; the decision must not change.
+			if w.ask(t, su, eirp, 7) {
+				t.Fatal("cached sharded decision flipped to grant")
+			}
+		})
+	}
+}
+
+// TestWindowedSDCRefusesDirectRequests pins the guard that keeps a
+// window-local decision from masquerading as the whole-matrix one.
+func TestWindowedSDCRefusesDirectRequests(t *testing.T) {
+	wp := testWatchParams(t)
+	params := pisa.TestParams(wp)
+	stp, err := pisa.NewSTP(rand.Reader, params.PaillierBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pisa.NewSDC("shard", params, nil, stp, pisa.WithChannelWindow(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	su, err := pisa.NewSU(rand.Reader, "su-1", 7, params, s.Planner(), stp.GroupKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stp.RegisterSU(su.ID(), su.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	req, err := su.PrepareRequest(map[int]int64{0: 1}, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ProcessRequest(req); err == nil || !strings.Contains(err.Error(), "shard router") {
+		t.Fatalf("windowed ProcessRequest error = %v, want shard-router refusal", err)
+	}
+	if lo, hi := s.ChannelWindow(); lo != 0 || hi != 2 {
+		t.Fatalf("ChannelWindow = [%d, %d), want [0, 2)", lo, hi)
+	}
+	// ProcessShard on the same instance works and reports its window's
+	// share of the slot tests.
+	ans, err := s.ProcessShard(req)
+	if err != nil {
+		t.Fatalf("ProcessShard: %v", err)
+	}
+	if ans.SumQ == nil || ans.Slots <= 0 {
+		t.Fatalf("ProcessShard answer %+v, want a partial sum", ans)
+	}
+}
+
+// TestRouterStats checks the shutdown-summary inputs: per-shard
+// latency accumulation and the merge-stage split.
+func TestRouterStats(t *testing.T) {
+	w := newShardedWorld(t, true, 3)
+	su, err := pisa.NewSU(rand.Reader, "su-1", 7, w.params, w.router.Planner(), w.stp.GroupKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.stp.RegisterSU(su.ID(), su.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	eirp := map[int]int64{1: 1}
+	w.ask(t, su, eirp, 7)
+	st := w.router.Stats()
+	if st.Requests != 1 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want 1 request, 0 errors", st)
+	}
+	if len(st.ShardNs) != 3 {
+		t.Fatalf("ShardNs has %d entries, want 3", len(st.ShardNs))
+	}
+	for i, ns := range st.ShardNs {
+		if ns <= 0 {
+			t.Errorf("shard %d accumulated no latency", i)
+		}
+	}
+	if st.MergeNs <= 0 || st.LicenseNs <= 0 || st.FanoutNs <= 0 {
+		t.Errorf("stage sums not populated: %+v", st)
+	}
+}

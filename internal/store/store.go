@@ -161,6 +161,13 @@ type Store struct {
 	syncDone chan struct{}
 }
 
+// ShardDir names the state subdirectory for one channel shard of a
+// sharded SDC, so N shards hosted from one -store root keep disjoint
+// WALs and snapshots. Open creates it on first use.
+func ShardDir(dir string, index int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d", index))
+}
+
 // Open recovers (or initialises) the store rooted at dir: loads the
 // newest snapshot, replays every intact WAL record past it into the
 // tail, truncates a torn final append, and positions the log for new

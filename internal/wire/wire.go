@@ -64,6 +64,13 @@ const (
 	KindPIRQuery // SU -> replica, one selection-vector share
 	KindPIRAnswer
 	KindPIRSync // PU feed -> replica, reply KindAck
+
+	// Shard kinds (appended): the channel-sharded SDC. A router fans
+	// one KindShardQuery (carrying the SU request, usually
+	// channel-sliced) out to each shard and merges the partial sums
+	// from the KindShardAnswer replies.
+	KindShardQuery // router -> shard, reply KindShardAnswer
+	KindShardAnswer
 )
 
 // String names the kind for logs.
@@ -119,6 +126,10 @@ func (k Kind) String() string {
 		return "pir-answer"
 	case KindPIRSync:
 		return "pir-sync"
+	case KindShardQuery:
+		return "shard-query"
+	case KindShardAnswer:
+		return "shard-answer"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -162,6 +173,10 @@ type Envelope struct {
 	PIRQuery  *pir.Query
 	PIRAnswer *pir.Answer
 	PIRSync   *pir.Update
+
+	// ShardAnswer carries one shard's partial encrypted sum
+	// (KindShardAnswer); the matching KindShardQuery reuses Request.
+	ShardAnswer *pisa.ShardAnswer
 }
 
 // RemoteError is an error reported by the peer (as opposed to a
