@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"pisa/internal/bench"
 	"pisa/internal/dghv"
@@ -745,6 +746,69 @@ func convertFixture(b *testing.B, reg registrar, group *paillier.PublicKey, para
 		vs[i] = ct
 	}
 	return &pisa.SignRequest{SUID: "bench-su", V: vs}
+}
+
+// BenchmarkLoad drives the trace-driven load harness (cmd/pisaload)
+// end to end: a closed loop of fleet SUs with Zipf revisit behaviour
+// against a fresh in-process deployment, gated by the PISA_LOAD
+// environment variable (each iteration is a multi-second scenario
+// run, far too slow to run unsolicited). "mono" or "on" runs the
+// monolithic SDC; an integer N runs an N-shard router. The headline
+// ns/op is the fixed run horizon; the interesting columns are the
+// custom metrics — achieved req/s, end-to-end p99 and decision-cache
+// hit rate. Compare with:
+//
+//	PISA_LOAD=mono go test -bench 'Load$' -benchtime 1x -count 3 > mono.txt
+//	PISA_LOAD=4    go test -bench 'Load$' -benchtime 1x -count 3 > sharded.txt
+//	benchstat mono.txt sharded.txt
+func BenchmarkLoad(b *testing.B) {
+	v := os.Getenv("PISA_LOAD")
+	if v == "" {
+		b.Skip("set PISA_LOAD=mono or PISA_LOAD=<shards> to run the scenario engine")
+	}
+	shards := 1
+	if v != "mono" && v != "on" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			b.Fatalf("PISA_LOAD wants 'mono', 'on' or a shard count >= 1, got %q", v)
+		}
+		shards = n
+	}
+	cfg := bench.LoadConfig{
+		Mode:     "closed",
+		Duration: 2 * time.Second,
+		Rate:     30,
+		Workers:  2,
+		Seed:     7,
+
+		Fleet:              4,
+		FleetZipfS:         1.5,
+		ChannelZipfS:       1.5,
+		EIRPLevels:         2,
+		ChannelsPerRequest: 1,
+
+		Channels: max(3, shards), Cols: 4, Rows: 3,
+		PaillierBits: 576,
+		Shards:       shards,
+		CacheEntries: 64,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.RunLoad(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors > 0 {
+			b.Fatalf("%d of %d requests failed: %s", rep.Errors, rep.Requests, rep.FirstError)
+		}
+		b.ReportMetric(rep.AchievedRate, "req/s")
+		b.ReportMetric(rep.CacheHitRate*100, "cache-hit-%")
+		for _, s := range rep.Stages {
+			if s.Stage == "e2e" {
+				b.ReportMetric(s.P99Ms, "e2e-p99-ms")
+			}
+		}
+	}
 }
 
 // shardedRouter builds an N-shard fan-out router over the shared

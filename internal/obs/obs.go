@@ -343,6 +343,106 @@ func (h *Histogram) Mean() float64 {
 	return 0
 }
 
+// Snapshot captures the histogram's current bucket counts and sum.
+// Subtracting two snapshots (Sub) isolates the observations of one
+// measured region, which is how the load harness reports per-row
+// quantiles from histograms that keep accumulating across rows.
+// Buckets are read without a barrier: concurrent Observe calls may or
+// may not be included, exactly like a Prometheus scrape.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable after construction
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Bounds are the ascending finite upper bounds; the +Inf bucket
+	// is implicit.
+	Bounds []float64
+	// Counts are per-bucket (not cumulative) counts, len(Bounds)+1;
+	// the last entry is the +Inf bucket.
+	Counts []uint64
+	// Sum is the sum of observed values.
+	Sum float64
+}
+
+// Sub returns the delta snapshot s - prev: the observations recorded
+// between the two snapshots. prev must come from the same histogram
+// (same bounds) and must have been taken earlier.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		Sum:    s.Sum - prev.Sum,
+	}
+	for i := range s.Counts {
+		if i < len(prev.Counts) && prev.Counts[i] <= s.Counts[i] {
+			out.Counts[i] = s.Counts[i] - prev.Counts[i]
+		} else if i >= len(prev.Counts) {
+			out.Counts[i] = s.Counts[i]
+		}
+	}
+	return out
+}
+
+// Count returns the total number of observations in the snapshot.
+func (s HistogramSnapshot) Count() uint64 {
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	return total
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the snapshot's
+// observations by linear interpolation inside the owning bucket — the
+// same estimator Prometheus's histogram_quantile uses. The first
+// bucket interpolates from zero (the latency histograms observe
+// non-negative values only). Rank mass that spills into the +Inf
+// bucket reports the largest finite bound: the histogram cannot say
+// more than "at least this". Returns NaN for an empty snapshot or a
+// q outside [0, 1].
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := s.Count()
+	if total == 0 || q < 0 || q > 1 || len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, bound := range s.Bounds {
+		prev := float64(cum)
+		cum += s.Counts[i]
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			n := float64(s.Counts[i])
+			if n == 0 {
+				return bound
+			}
+			return lower + (bound-lower)*(rank-prev)/n
+		}
+	}
+	// The rank falls in the +Inf bucket.
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantile estimates the q-quantile of everything the histogram has
+// observed so far; see HistogramSnapshot.Quantile for the estimator's
+// contract. For the quantile of one bounded region, bracket it with
+// Snapshot and subtract.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
 func (h *Histogram) sample(name, labels string) []string {
 	// Per-bucket counts are read without a snapshot barrier; the
 	// cumulative sums are still monotone within one scrape, which is

@@ -323,13 +323,23 @@ func (r *Router) ProcessRequest(req *pisa.TransmissionRequest) (resp *pisa.Respo
 		m.shardCall(i).ObserveSince(t0)
 		return nil
 	})
+	// Merge fan-out timings before inspecting errors: during failover
+	// the shards that DID complete still did the work, and dropping
+	// their latencies would make the shutdown summary under-report
+	// exactly when a shard is misbehaving.
+	fanoutNs := time.Since(stageStart).Nanoseconds()
+	r.mu.Lock()
+	r.stats.FanoutNs += fanoutNs
+	for i, ns := range shardNs {
+		r.stats.ShardNs[i] += ns
+	}
+	r.mu.Unlock()
 	for i, e := range errs {
 		if e != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, e)
 		}
 	}
 	m.stage["fanout"].ObserveSince(stageStart)
-	fanoutNs := time.Since(stageStart).Nanoseconds()
 
 	// Merge: sum(Q) = Σ_i sum_i(eps*X) - Σ_i slots_i under the SU key.
 	stageStart = time.Now()
@@ -382,12 +392,8 @@ func (r *Router) ProcessRequest(req *pisa.TransmissionRequest) (resp *pisa.Respo
 	}
 	m.stage["license"].ObserveSince(stageStart)
 	r.mu.Lock()
-	r.stats.FanoutNs += fanoutNs
 	r.stats.MergeNs += mergeNs
 	r.stats.LicenseNs += time.Since(stageStart).Nanoseconds()
-	for i, ns := range shardNs {
-		r.stats.ShardNs[i] += ns
-	}
 	r.mu.Unlock()
 	return resp, nil
 }

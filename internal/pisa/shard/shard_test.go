@@ -2,6 +2,7 @@ package shard_test
 
 import (
 	"crypto/rand"
+	"errors"
 	"strings"
 	"testing"
 
@@ -303,5 +304,72 @@ func TestRouterStats(t *testing.T) {
 	}
 	if st.MergeNs <= 0 || st.LicenseNs <= 0 || st.FanoutNs <= 0 {
 		t.Errorf("stage sums not populated: %+v", st)
+	}
+}
+
+// failingService wedges one shard so the fan-out hits its error path.
+type failingService struct {
+	shard.Service
+}
+
+func (f failingService) ProcessShard(req *pisa.TransmissionRequest) (*pisa.ShardAnswer, error) {
+	return nil, errors.New("injected shard failure")
+}
+
+// TestRouterStatsOnShardError pins the failover accounting fix: when
+// one shard errors, the latencies of the shards that DID complete must
+// still land in Stats.ShardNs — the old early return dropped them,
+// under-reporting the shutdown summary exactly when a shard
+// misbehaves.
+func TestRouterStatsOnShardError(t *testing.T) {
+	wp := testWatchParams(t)
+	params := pisa.TestParams(wp)
+	stp, err := pisa.NewSTP(rand.Reader, params.PaillierBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := shard.Windows(wp.Channels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	services := make([]shard.Service, len(windows))
+	for i, w := range windows {
+		s, err := pisa.NewSDC("shard", params, nil, stp, pisa.WithChannelWindow(w[0], w[1]))
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		t.Cleanup(s.Close)
+		services[i] = s
+	}
+	services[1] = failingService{services[1]}
+	router, err := shard.NewRouter("router", params, nil, stp, services)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	su, err := pisa.NewSU(rand.Reader, "su-1", 7, params, router.Planner(), stp.GroupKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stp.RegisterSU(su.ID(), su.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	req, err := su.PrepareRequest(map[int]int64{1: 1}, geo.Disclosure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := router.ProcessRequest(req); err == nil || !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("ProcessRequest error = %v, want a shard 1 failure", err)
+	}
+	st := router.Stats()
+	if st.Requests != 1 || st.Errors != 1 {
+		t.Fatalf("stats = %+v, want 1 request, 1 error", st)
+	}
+	if st.FanoutNs <= 0 {
+		t.Error("FanoutNs not recorded on the error path")
+	}
+	for _, i := range []int{0, 2} {
+		if st.ShardNs[i] <= 0 {
+			t.Errorf("completed shard %d's latency dropped on the error path", i)
+		}
 	}
 }

@@ -98,6 +98,20 @@ func (u *SU) Block() geo.BlockID { return u.block }
 // PublicKey returns pk_j for registration with the STP.
 func (u *SU) PublicKey() *paillier.PublicKey { return u.key.Public() }
 
+// MoveTo relocates the SU to another grid block. The key pair, STP
+// registration, and nonce pool survive the move — a roaming fleet
+// member does not re-register — but previously prepared requests
+// still encode the old block; the next PrepareRequest picks up the
+// new location (and a new shape digest). Not safe to call
+// concurrently with request preparation.
+func (u *SU) MoveTo(block geo.BlockID) error {
+	if !u.planner.Params().Grid.Valid(block) {
+		return fmt.Errorf("pisa: SU block %d invalid", block)
+	}
+	u.block = block
+	return nil
+}
+
 // SetParallelism resizes the SU's worker pool (see Params.Parallelism
 // for the encoding). Not safe to call concurrently with request
 // preparation.

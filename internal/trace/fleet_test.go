@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func fleetConfig() SUConfig {
+	cfg := suConfig()
+	cfg.Fleet = 20
+	cfg.FleetZipfS = 1.4
+	cfg.Mobility = 0.1
+	cfg.ChannelZipfS = 1.5
+	cfg.EIRPLevels = 4
+	cfg.RequestsPerHour = 300
+	return cfg
+}
+
+func TestSUFleetValidation(t *testing.T) {
+	mutations := []func(*SUConfig){
+		func(c *SUConfig) { c.Fleet = -1 },
+		func(c *SUConfig) { c.FleetZipfS = 0.5 },
+		func(c *SUConfig) { c.Mobility = -0.1 },
+		func(c *SUConfig) { c.Mobility = 1.5 },
+		func(c *SUConfig) { c.ChannelZipfS = 0.5 },
+		func(c *SUConfig) { c.EIRPLevels = -1 },
+	}
+	for i, mut := range mutations {
+		c := fleetConfig()
+		mut(&c)
+		if _, err := SUWorkload(c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// The PR-8 decision cache is scoped per SU, so a workload that never
+// revisits an SU can never hit it. A concentrated fleet must produce
+// repeat SUs — this is the regression test for the fresh-id-per-
+// arrival bug.
+func TestSUFleetProducesRepeatSUs(t *testing.T) {
+	cfg := fleetConfig()
+	reqs, err := SUWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) < cfg.Fleet*2 {
+		t.Fatalf("only %d requests, need enough to force revisits", len(reqs))
+	}
+	counts := make(map[string]int)
+	for _, r := range reqs {
+		counts[r.SU]++
+	}
+	if len(counts) > cfg.Fleet {
+		t.Fatalf("saw %d distinct SUs, fleet is only %d", len(counts), cfg.Fleet)
+	}
+	repeats := 0
+	max := 0
+	for _, n := range counts {
+		if n > 1 {
+			repeats++
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if repeats == 0 {
+		t.Fatal("no SU appeared twice: fleet attribution is broken")
+	}
+	// Zipf skew concentrates load well beyond a uniform share.
+	uniform := len(reqs) / cfg.Fleet
+	if max <= 2*uniform {
+		t.Errorf("hottest SU has %d requests, want > 2x uniform share %d", max, uniform)
+	}
+}
+
+func TestSUFleetHomeBlocksAndMobility(t *testing.T) {
+	pinned := fleetConfig()
+	pinned.Mobility = 0
+	reqs, err := SUWorkload(pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := make(map[string]int)
+	for _, r := range reqs {
+		if prev, ok := home[r.SU]; ok && prev != int(r.Block) {
+			t.Fatalf("SU %s moved blocks with Mobility=0", r.SU)
+		}
+		home[r.SU] = int(r.Block)
+	}
+
+	roaming := fleetConfig()
+	roaming.Mobility = 0.8
+	reqs, err = SUWorkload(roaming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	last := make(map[string]int)
+	for _, r := range reqs {
+		if prev, ok := last[r.SU]; ok && prev != int(r.Block) {
+			moved = true
+		}
+		last[r.SU] = int(r.Block)
+	}
+	if !moved {
+		t.Error("no SU ever changed blocks with Mobility=0.8")
+	}
+}
+
+func TestSUFleetEIRPLevelsQuantise(t *testing.T) {
+	cfg := fleetConfig()
+	reqs, err := SUWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := make(map[int64]bool)
+	for _, r := range reqs {
+		for _, p := range r.EIRPUnits {
+			levels[p] = true
+		}
+	}
+	if len(levels) > cfg.EIRPLevels {
+		t.Errorf("saw %d distinct EIRP values, want at most %d levels", len(levels), cfg.EIRPLevels)
+	}
+	if len(levels) < 2 {
+		t.Errorf("saw %d distinct EIRP values, quantisation collapsed the spread", len(levels))
+	}
+}
+
+func TestSUFleetChannelZipf(t *testing.T) {
+	cfg := fleetConfig()
+	cfg.ChannelZipfS = 2.0
+	cfg.Horizon = 24 * time.Hour
+	reqs, err := SUWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make([]int, cfg.Channels)
+	for _, r := range reqs {
+		for c := range r.EIRPUnits {
+			hist[c]++
+		}
+	}
+	if hist[0] <= hist[cfg.Channels-1]*2 {
+		t.Errorf("channel 0 (%d) not clearly more popular than channel %d (%d)",
+			hist[0], cfg.Channels-1, hist[cfg.Channels-1])
+	}
+}
+
+func TestSUFleetDeterministic(t *testing.T) {
+	a, err := SUWorkload(fleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SUWorkload(fleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].SU != b[i].SU || a[i].Block != b[i].Block {
+			t.Fatalf("request %d differs", i)
+		}
+		for c, p := range a[i].EIRPUnits {
+			if b[i].EIRPUnits[c] != p {
+				t.Fatalf("request %d channel %d power differs", i, c)
+			}
+		}
+	}
+}
+
+// Once a PU is off, further off-draws are no-ops and must not emit
+// another Channel:-1 switch. The counts are pinned against seed 42:
+// before the fix the off-heavy config emitted 227 events (121 offs);
+// the 60 duplicate off->off events are exactly what the suppression
+// removes. The base config never emitted consecutive offs by luck,
+// so its count pins the legacy random stream as unchanged.
+func TestPUScheduleSuppressesOffOff(t *testing.T) {
+	base := puConfig()
+	events, err := PUSchedule(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 195 {
+		t.Errorf("base config: got %d events, pinned 195", len(events))
+	}
+
+	heavy := puConfig()
+	heavy.OffProbability = 0.5
+	events, err = PUSchedule(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := 0
+	lastOff := make(map[string]bool)
+	for _, e := range events {
+		if e.Channel == -1 {
+			offs++
+			if lastOff[string(e.PU)] {
+				t.Fatalf("PU %s emitted consecutive off events", e.PU)
+			}
+		}
+		lastOff[string(e.PU)] = e.Channel == -1
+	}
+	if len(events) != 167 || offs != 61 {
+		t.Errorf("off-heavy config: got %d events (%d offs), pinned 167 (61 offs)", len(events), offs)
+	}
+}
+
+// Diurnal thinning must concentrate switches in the high-rate half of
+// the period while leaving the amplitude-0 stream untouched (pinned
+// by TestPUScheduleSuppressesOffOff above).
+func TestPUScheduleDiurnalModulation(t *testing.T) {
+	cfg := puConfig()
+	cfg.PUs = 200
+	cfg.DiurnalAmplitude = 1
+	cfg.DiurnalPeriod = 8 * time.Hour
+	cfg.Horizon = 8 * time.Hour
+	events, err := PUSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sin is positive over the first half-period (rate up to 2x the
+	// mean) and negative over the second (rate down to 0).
+	first, second := 0, 0
+	for _, e := range events {
+		if e.At == 0 {
+			continue // initial tune-ins are not rate-driven
+		}
+		if e.At < cfg.Horizon/2 {
+			first++
+		} else {
+			second++
+		}
+	}
+	if first <= 2*second {
+		t.Errorf("diurnal peak half has %d events vs trough half %d, want > 2x", first, second)
+	}
+
+	bad := puConfig()
+	bad.DiurnalAmplitude = 1.5
+	if _, err := PUSchedule(bad); err == nil {
+		t.Error("DiurnalAmplitude > 1 accepted")
+	}
+	bad = puConfig()
+	bad.DiurnalPeriod = -time.Hour
+	if _, err := PUSchedule(bad); err == nil {
+		t.Error("negative DiurnalPeriod accepted")
+	}
+}

@@ -52,6 +52,16 @@ type PUConfig struct {
 	// absorbed locally and never emitted. 0 or 1 disables the
 	// distinction.
 	VirtualsPerPhysical int
+	// DiurnalAmplitude modulates the switching rate sinusoidally over
+	// DiurnalPeriod: rate(t) = SwitchesPerHour * (1 + A*sin(2πt/P)),
+	// the TV-viewing day of §VI-A (quiet mornings, prime-time peaks).
+	// Implemented by thinning a peak-rate Poisson process, so the
+	// schedule stays seeded-deterministic. 0 disables the modulation
+	// (the homogeneous legacy process, identical random stream).
+	DiurnalAmplitude float64
+	// DiurnalPeriod is the modulation period; 0 selects 24 h. Only
+	// consulted when DiurnalAmplitude > 0.
+	DiurnalPeriod time.Duration
 	// Horizon is the schedule length.
 	Horizon time.Duration
 }
@@ -73,6 +83,10 @@ func (c PUConfig) Validate() error {
 		return fmt.Errorf("trace: ZipfS must be > 1 (or 0 for uniform), got %g", c.ZipfS)
 	case c.VirtualsPerPhysical < 0:
 		return fmt.Errorf("trace: VirtualsPerPhysical must be non-negative, got %d", c.VirtualsPerPhysical)
+	case c.DiurnalAmplitude < 0 || c.DiurnalAmplitude > 1:
+		return fmt.Errorf("trace: DiurnalAmplitude %g outside [0, 1]", c.DiurnalAmplitude)
+	case c.DiurnalPeriod < 0:
+		return fmt.Errorf("trace: DiurnalPeriod must be non-negative, got %v", c.DiurnalPeriod)
 	case c.Horizon <= 0:
 		return fmt.Errorf("trace: Horizon must be positive, got %v", c.Horizon)
 	}
@@ -107,7 +121,25 @@ func PUSchedule(cfg PUConfig) ([]PUSwitch, error) {
 		}
 		return rng.Intn(virtualChannels)
 	}
-	meanGap := time.Duration(float64(time.Hour) / cfg.SwitchesPerHour)
+	// With diurnal modulation the candidate process runs at the peak
+	// rate and each candidate is accepted with probability
+	// rate(t)/peak (Poisson thinning) — seeded-deterministic, and the
+	// amplitude-0 path draws the identical random stream the legacy
+	// homogeneous process did.
+	peakRate := cfg.SwitchesPerHour * (1 + cfg.DiurnalAmplitude)
+	period := cfg.DiurnalPeriod
+	if period == 0 {
+		period = 24 * time.Hour
+	}
+	accept := func(t time.Duration) bool {
+		if cfg.DiurnalAmplitude == 0 {
+			return true
+		}
+		rate := cfg.SwitchesPerHour *
+			(1 + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*float64(t)/float64(period)))
+		return rng.Float64() < rate/peakRate
+	}
+	meanGap := time.Duration(float64(time.Hour) / peakRate)
 	var events []PUSwitch
 	for i := 0; i < cfg.PUs; i++ {
 		id := watch.PUID(fmt.Sprintf("pu-%03d", i))
@@ -120,7 +152,18 @@ func PUSchedule(cfg PUConfig) ([]PUSwitch, error) {
 			if t >= cfg.Horizon {
 				break
 			}
+			if !accept(t) {
+				continue
+			}
 			if rng.Float64() < cfg.OffProbability {
+				if physical == -1 {
+					// Already off: a second off-draw is a no-op, not
+					// another SDC update. Mirrors the same-physical-
+					// channel suppression below — without it every
+					// extra off-draw inflated the update rate the
+					// §VI-A argument depends on.
+					continue
+				}
 				physical = -1
 				events = append(events, PUSwitch{At: t, PU: id, Block: block, Channel: -1})
 				continue
@@ -163,6 +206,34 @@ type SUConfig struct {
 	// ChannelsPerRequest is the mean number of channels each
 	// request asks for (at least 1 is always requested).
 	ChannelsPerRequest float64
+	// Fleet is the number of distinct SUs requests are attributed
+	// to. 0 keeps the legacy behaviour: every arrival mints a fresh
+	// SU id (no revisits, so per-SU decision caches never hit and
+	// every request registers a new SU with the STP). With Fleet > 0
+	// the workload draws each arrival's SU from a fixed fleet of
+	// `su-%04d` members, each with a home block.
+	Fleet int
+	// FleetZipfS skews request attribution across the fleet (heavy
+	// users dominate, s > 1); 0 attributes uniformly. Only consulted
+	// when Fleet > 0.
+	FleetZipfS float64
+	// Mobility is the probability a fleet member's request is issued
+	// away from its home block (a uniform roam over the grid); the
+	// member then stays at the new block until it roams again. 0
+	// pins every member to its home block. Only consulted when
+	// Fleet > 0.
+	Mobility float64
+	// ChannelZipfS skews channel popularity (s > 1, TV-style
+	// head-heavy demand); 0 picks channels uniformly. Only consulted
+	// when Fleet > 0 (the legacy path predates the knob and must
+	// keep its random stream).
+	ChannelZipfS float64
+	// EIRPLevels quantises the log-uniform EIRP draw onto this many
+	// discrete device-class levels, so a member re-requesting the
+	// same channels reproduces the same request shape (a decision-
+	// cache hit). 0 keeps the continuous draw. Only consulted when
+	// Fleet > 0.
+	EIRPLevels int
 	// Horizon is the workload length.
 	Horizon time.Duration
 }
@@ -180,6 +251,16 @@ func (c SUConfig) Validate() error {
 		return fmt.Errorf("trace: RequestsPerHour must be positive, got %g", c.RequestsPerHour)
 	case c.ChannelsPerRequest < 1:
 		return fmt.Errorf("trace: ChannelsPerRequest must be >= 1, got %g", c.ChannelsPerRequest)
+	case c.Fleet < 0:
+		return fmt.Errorf("trace: Fleet must be non-negative, got %d", c.Fleet)
+	case c.FleetZipfS != 0 && c.FleetZipfS <= 1:
+		return fmt.Errorf("trace: FleetZipfS must be > 1 (or 0 for uniform), got %g", c.FleetZipfS)
+	case c.Mobility < 0 || c.Mobility > 1:
+		return fmt.Errorf("trace: Mobility %g outside [0, 1]", c.Mobility)
+	case c.ChannelZipfS != 0 && c.ChannelZipfS <= 1:
+		return fmt.Errorf("trace: ChannelZipfS must be > 1 (or 0 for uniform), got %g", c.ChannelZipfS)
+	case c.EIRPLevels < 0:
+		return fmt.Errorf("trace: EIRPLevels must be non-negative, got %d", c.EIRPLevels)
 	case c.Horizon <= 0:
 		return fmt.Errorf("trace: Horizon must be positive, got %v", c.Horizon)
 	}
@@ -189,11 +270,57 @@ func (c SUConfig) Validate() error {
 // SUWorkload generates Poisson request arrivals over the horizon,
 // time-ordered. EIRPs are log-uniform between 1/1000 of the cap and
 // the cap, mimicking the spread of device classes.
+//
+// With Fleet > 0 each arrival is attributed to one of a fixed fleet
+// of SUs (Zipf-skewed by FleetZipfS), each with a home block it roams
+// away from with probability Mobility, so workloads exhibit the
+// revisit behaviour real deployments have — repeat SUs are what make
+// the per-SU decision cache (and STP registration reuse) observable.
+// Fleet == 0 preserves the legacy stream exactly: a fresh SU id per
+// arrival.
 func SUWorkload(cfg SUConfig) ([]SURequest, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Fleet state, materialised up front so member identity doesn't
+	// depend on how many arrivals precede the first attribution.
+	var (
+		memberBlock []geo.BlockID
+		fleetZipf   *rand.Zipf
+		fleetPerm   []int
+		channelZipf *rand.Zipf
+	)
+	if cfg.Fleet > 0 {
+		memberBlock = make([]geo.BlockID, cfg.Fleet)
+		for m := range memberBlock {
+			memberBlock[m] = geo.BlockID(rng.Intn(cfg.Blocks))
+		}
+		if cfg.FleetZipfS > 1 {
+			fleetZipf = rand.NewZipf(rng, cfg.FleetZipfS, 1, uint64(cfg.Fleet-1))
+			// Zipf rank 0 is the hottest member; permute ranks onto
+			// member indices so the heavy hitters aren't always the
+			// low-numbered ids.
+			fleetPerm = rng.Perm(cfg.Fleet)
+		}
+		if cfg.ChannelZipfS > 1 {
+			channelZipf = rand.NewZipf(rng, cfg.ChannelZipfS, 1, uint64(cfg.Channels-1))
+		}
+	}
+	pickMember := func() int {
+		if fleetZipf != nil {
+			return fleetPerm[int(fleetZipf.Uint64())]
+		}
+		return rng.Intn(cfg.Fleet)
+	}
+	pickChannel := func() int {
+		if channelZipf != nil {
+			return int(channelZipf.Uint64())
+		}
+		return rng.Intn(cfg.Channels)
+	}
+
 	meanGap := time.Duration(float64(time.Hour) / cfg.RequestsPerHour)
 	var out []SURequest
 	t := time.Duration(0)
@@ -209,21 +336,39 @@ func SUWorkload(cfg SUConfig) ([]SURequest, error) {
 			n++
 		}
 		for len(eirp) < n {
-			c := rng.Intn(cfg.Channels)
+			c := pickChannel()
 			if _, ok := eirp[c]; ok {
 				continue
 			}
-			// Log-uniform power over three decades.
-			p := float64(cfg.MaxEIRPUnits) / math.Pow(10, rng.Float64()*3)
+			// Log-uniform power over three decades, optionally
+			// quantised onto EIRPLevels discrete device classes.
+			d := rng.Float64() * 3
+			if cfg.Fleet > 0 && cfg.EIRPLevels > 0 {
+				d = 3 * float64(int(d/3*float64(cfg.EIRPLevels))) / float64(cfg.EIRPLevels)
+			}
+			p := float64(cfg.MaxEIRPUnits) / math.Pow(10, d)
 			if p < 1 {
 				p = 1
 			}
 			eirp[c] = int64(p)
 		}
+		var su string
+		var block geo.BlockID
+		if cfg.Fleet > 0 {
+			m := pickMember()
+			su = fmt.Sprintf("su-%04d", m)
+			if cfg.Mobility > 0 && rng.Float64() < cfg.Mobility {
+				memberBlock[m] = geo.BlockID(rng.Intn(cfg.Blocks))
+			}
+			block = memberBlock[m]
+		} else {
+			su = fmt.Sprintf("su-%04d", i)
+			block = geo.BlockID(rng.Intn(cfg.Blocks))
+		}
 		out = append(out, SURequest{
 			At:        t,
-			SU:        fmt.Sprintf("su-%04d", i),
-			Block:     geo.BlockID(rng.Intn(cfg.Blocks)),
+			SU:        su,
+			Block:     block,
 			EIRPUnits: eirp,
 		})
 	}
